@@ -1,0 +1,61 @@
+//! CoDel control-law microbenchmarks: dequeue cost below target (the
+//! common case) and inside a dropping episode.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::collections::VecDeque;
+use wifiq_bench::BenchPkt;
+use wifiq_codel::{CodelParams, CodelQueue, CodelState};
+use wifiq_sim::Nanos;
+
+struct Q(VecDeque<BenchPkt>, u64);
+
+impl CodelQueue for Q {
+    type Packet = BenchPkt;
+    fn pop_head(&mut self) -> Option<BenchPkt> {
+        let p = self.0.pop_front()?;
+        self.1 -= p.len;
+        Some(p)
+    }
+    fn backlog_bytes(&self) -> u64 {
+        self.1
+    }
+}
+
+fn below_target(c: &mut Criterion) {
+    c.bench_function("codel_dequeue_below_target", |b| {
+        let mut st = CodelState::new();
+        let params = CodelParams::wifi_default();
+        let mut q = Q(VecDeque::new(), 0);
+        let mut now = Nanos::ZERO;
+        b.iter(|| {
+            now += Nanos::from_micros(100);
+            q.0.push_back(BenchPkt::new(0, now));
+            q.1 += 1500;
+            q.0.push_back(BenchPkt::new(0, now));
+            q.1 += 1500;
+            black_box(st.dequeue(now, &params, &mut q, |_| {}));
+            black_box(st.dequeue(now, &params, &mut q, |_| {}));
+        });
+    });
+}
+
+fn dropping_state(c: &mut Criterion) {
+    c.bench_function("codel_dequeue_dropping", |b| {
+        let mut st = CodelState::new();
+        let params = CodelParams::wifi_default();
+        let mut q = Q(VecDeque::new(), 0);
+        let mut now = Nanos::from_millis(500);
+        b.iter(|| {
+            now += Nanos::from_millis(1);
+            // Refill with packets 200 ms old: persistently above target.
+            while q.0.len() < 8 {
+                q.0.push_back(BenchPkt::new(0, now - Nanos::from_millis(200)));
+                q.1 += 1500;
+            }
+            black_box(st.dequeue(now, &params, &mut q, |_| {}));
+        });
+    });
+}
+
+criterion_group!(benches, below_target, dropping_state);
+criterion_main!(benches);

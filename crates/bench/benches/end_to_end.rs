@@ -1,0 +1,61 @@
+//! End-to-end simulator throughput: wall-clock cost of simulating one
+//! second of the paper's testbed under each scheme, plus the 30-station
+//! configuration. These bound how expensive the experiment suite is.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use wifiq_mac::{NetworkConfig, SchemeKind, StationCfg, WifiNetwork};
+use wifiq_phy::{LegacyRate, PhyRate};
+use wifiq_sim::Nanos;
+use wifiq_traffic::{AppMsg, TrafficApp};
+
+fn simulate_one_second(scheme: SchemeKind) {
+    let cfg = NetworkConfig::paper_testbed(scheme);
+    let mut net: WifiNetwork<AppMsg> = WifiNetwork::new(cfg);
+    let mut app = TrafficApp::new();
+    for sta in 0..3 {
+        app.add_udp_down(sta, 50_000_000, Nanos::ZERO);
+    }
+    app.add_ping(0, Nanos::ZERO);
+    app.install(&mut net);
+    net.run(Nanos::from_secs(1), &mut app);
+}
+
+fn testbed_second(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_1s_testbed");
+    g.sample_size(10);
+    for scheme in SchemeKind::ALL {
+        g.bench_function(scheme.label(), |b| {
+            b.iter(|| simulate_one_second(scheme));
+        });
+    }
+    g.finish();
+}
+
+fn thirty_station_second(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_1s_30sta");
+    g.sample_size(10);
+    g.bench_function("airtime_tcp", |b| {
+        b.iter_batched(
+            || {
+                let mut stations = vec![StationCfg::clean(PhyRate::Legacy(LegacyRate::Dsss1))];
+                for _ in 0..29 {
+                    stations.push(StationCfg::clean(PhyRate::fast_station()));
+                }
+                let cfg = NetworkConfig::new(stations, SchemeKind::AirtimeFair);
+                let mut net: WifiNetwork<AppMsg> = WifiNetwork::new(cfg);
+                let mut app = TrafficApp::new();
+                for sta in 0..29 {
+                    app.add_tcp_down(sta, Nanos::ZERO);
+                }
+                app.install(&mut net);
+                (net, app)
+            },
+            |(mut net, mut app)| net.run(Nanos::from_secs(1), &mut app),
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, testbed_second, thirty_station_second);
+criterion_main!(benches);

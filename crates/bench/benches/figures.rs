@@ -1,0 +1,69 @@
+//! One bench per paper table/figure: times a scaled-down run of each
+//! experiment harness. Besides performance tracking, this doubles as a
+//! regression check that every harness still executes end to end.
+//!
+//! (The full-scale regeneration lives in the `wifiq-experiments`
+//! binaries; see DESIGN.md §4.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wifiq_experiments::runner::RunCfg;
+use wifiq_experiments::tcp_fair::TcpPattern;
+use wifiq_experiments::{latency, sparse, table1, tcp_fair, thirty, udp_sat, voip, web};
+use wifiq_mac::SchemeKind;
+use wifiq_sim::Nanos;
+
+fn tiny() -> RunCfg {
+    RunCfg {
+        reps: 1,
+        duration: Nanos::from_secs(3),
+        warmup: Nanos::from_secs(1),
+        base_seed: 1,
+    }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    let cfg = tiny();
+
+    g.bench_function("fig04_latency", |b| {
+        b.iter(|| latency::run_scheme(SchemeKind::Fifo, &cfg, false))
+    });
+    g.bench_function("table1_model", |b| b.iter(|| table1::run(&cfg)));
+    g.bench_function("fig05_airtime_udp", |b| {
+        b.iter(|| udp_sat::run_scheme(SchemeKind::AirtimeFair, &cfg))
+    });
+    g.bench_function("fig06_07_tcp", |b| {
+        b.iter(|| tcp_fair::run_scheme(SchemeKind::AirtimeFair, TcpPattern::Download, &cfg))
+    });
+    g.bench_function("fig08_sparse", |b| {
+        b.iter(|| sparse::run_cell(sparse::BulkKind::Udp, true, &cfg))
+    });
+    g.bench_function("fig09_10_thirty", |b| {
+        b.iter(|| thirty::run_scheme(SchemeKind::AirtimeFair, &cfg))
+    });
+    g.bench_function("table2_voip", |b| {
+        b.iter(|| {
+            voip::run_cell(
+                SchemeKind::FqMac,
+                wifiq_phy::AccessCategory::Be,
+                Nanos::from_millis(5),
+                &cfg,
+            )
+        })
+    });
+    g.bench_function("fig11_web", |b| {
+        b.iter(|| {
+            web::run_cell(
+                SchemeKind::FqMac,
+                &wifiq_traffic::WebPage::small(),
+                web::Fetcher::Fast,
+                &cfg,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Hot-path microbenchmarks for the MAC FQ structure (Algorithms 1–2):
+//! the per-packet costs a driver would pay on every enqueue/dequeue.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wifiq_bench::BenchPkt;
+use wifiq_codel::CodelParams;
+use wifiq_core::fq::{FqParams, MacFq};
+use wifiq_sim::Nanos;
+
+fn enqueue_dequeue_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fq_hotpath");
+    for flows in [16u64, 256, 4096] {
+        g.bench_function(format!("enqueue_dequeue_{flows}_flows"), |b| {
+            let mut fq: MacFq<BenchPkt> = MacFq::new(FqParams::default());
+            let tid = fq.register_tid();
+            let params = CodelParams::wifi_default();
+            let mut now = Nanos::ZERO;
+            let mut i = 0u64;
+            b.iter(|| {
+                now += Nanos::from_micros(10);
+                i += 1;
+                fq.enqueue(BenchPkt::new(i % flows, now), tid, now);
+                black_box(fq.dequeue(tid, now, &params));
+            });
+        });
+    }
+    g.finish();
+}
+
+fn overlimit_drop_path(c: &mut Criterion) {
+    c.bench_function("fq_overlimit_enqueue", |b| {
+        // A full structure: every enqueue takes the drop-from-longest path.
+        let mut fq: MacFq<BenchPkt> = MacFq::new(FqParams {
+            flows: 1024,
+            limit: 2048,
+            quantum: 300,
+            ..FqParams::default()
+        });
+        let tid = fq.register_tid();
+        let now = Nanos::ZERO;
+        for i in 0..2048 {
+            fq.enqueue(BenchPkt::new(i % 64, now), tid, now);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(fq.enqueue(BenchPkt::new(i % 64, now), tid, now));
+        });
+    });
+}
+
+fn many_tids(c: &mut Criterion) {
+    c.bench_function("fq_30_stations_round", |b| {
+        // 30 stations × BE: enqueue one packet each, dequeue one each —
+        // the per-round cost in the 30-station experiment.
+        let mut fq: MacFq<BenchPkt> = MacFq::new(FqParams::default());
+        let tids: Vec<_> = (0..30).map(|_| fq.register_tid()).collect();
+        let params = CodelParams::wifi_default();
+        let mut now = Nanos::ZERO;
+        b.iter(|| {
+            now += Nanos::from_micros(100);
+            for (i, &tid) in tids.iter().enumerate() {
+                fq.enqueue(BenchPkt::new(i as u64, now), tid, now);
+            }
+            for &tid in &tids {
+                black_box(fq.dequeue(tid, now, &params));
+            }
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    enqueue_dequeue_cycle,
+    overlimit_drop_path,
+    many_tids
+);
+criterion_main!(benches);

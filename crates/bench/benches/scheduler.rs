@@ -1,0 +1,42 @@
+//! Airtime-scheduler microbenchmarks: the per-aggregate decision cost
+//! (Algorithm 3's loop body) at different network sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wifiq_core::scheduler::{AirtimeParams, AirtimeScheduler};
+use wifiq_sim::Nanos;
+
+fn schedule_decision(c: &mut Criterion) {
+    let mut g = c.benchmark_group("airtime_scheduler");
+    for stations in [3usize, 30, 100] {
+        g.bench_function(format!("next_and_charge_{stations}_stations"), |b| {
+            let mut s = AirtimeScheduler::new(AirtimeParams::default());
+            let handles: Vec<_> = (0..stations).map(|_| s.register_station()).collect();
+            for &h in &handles {
+                s.notify_active(h, 2);
+            }
+            b.iter(|| {
+                let st = s.next_station(2, |_| true).expect("stations active");
+                s.charge(st, 2, Nanos::from_micros(500));
+                black_box(st);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn activation_path(c: &mut Criterion) {
+    c.bench_function("notify_active_idle_station", |b| {
+        let mut s = AirtimeScheduler::new(AirtimeParams::default());
+        let h = s.register_station();
+        b.iter(|| {
+            s.notify_active(h, 2);
+            // Drain it back to idle so every iteration takes the
+            // activation path.
+            let _ = s.next_station(2, |_| false);
+            black_box(&s);
+        });
+    });
+}
+
+criterion_group!(benches, schedule_decision, activation_path);
+criterion_main!(benches);

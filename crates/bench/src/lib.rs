@@ -1,0 +1,39 @@
+//! Benchmark support crate. The benches live in `benches/`; this library
+//! hosts shared helpers.
+
+use wifiq_codel::QueuedPacket;
+use wifiq_core::packet::FqPacket;
+use wifiq_sim::Nanos;
+
+/// Minimal benchmark packet.
+#[derive(Debug, Clone)]
+pub struct BenchPkt {
+    /// Flow identifier (hash input).
+    pub flow: u64,
+    /// Enqueue timestamp.
+    pub t: Nanos,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl BenchPkt {
+    /// A 1500-byte packet on `flow` enqueued at `t`.
+    pub fn new(flow: u64, t: Nanos) -> BenchPkt {
+        BenchPkt { flow, t, len: 1500 }
+    }
+}
+
+impl QueuedPacket for BenchPkt {
+    fn enqueue_time(&self) -> Nanos {
+        self.t
+    }
+    fn wire_len(&self) -> u64 {
+        self.len
+    }
+}
+
+impl FqPacket for BenchPkt {
+    fn flow_hash(&self) -> u64 {
+        self.flow
+    }
+}

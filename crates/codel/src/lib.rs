@@ -1,0 +1,17 @@
+//! CoDel active queue management, adapted for WiFi.
+//!
+//! Implements the CoDel control law (RFC 8289) the way the Linux kernel
+//! structures it, plus the paper's WiFi-specific refinement (§3.1.1):
+//! parameters are kept *per station* and switch to a gentler
+//! (target 50 ms, interval 300 ms) setting when the station's rate estimate
+//! falls below 12 Mbps, with 2 s hysteresis.
+//!
+//! The state machine is queue-agnostic: anything implementing
+//! [`state::CodelQueue`] (the MAC-layer flow queues in `wifiq-core`, the
+//! qdisc flow queues in `wifiq-qdisc`) can be managed by a [`CodelState`].
+
+pub mod params;
+pub mod state;
+
+pub use params::{CodelParams, StationCodelParams};
+pub use state::{CodelQueue, CodelState, QueuedPacket};

@@ -1,0 +1,137 @@
+//! Property tests for the CoDel control law.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+use wifiq_codel::{CodelParams, CodelQueue, CodelState, QueuedPacket};
+use wifiq_sim::Nanos;
+
+#[derive(Debug, Clone)]
+struct Pkt {
+    t: Nanos,
+    len: u64,
+}
+
+impl QueuedPacket for Pkt {
+    fn enqueue_time(&self) -> Nanos {
+        self.t
+    }
+    fn wire_len(&self) -> u64 {
+        self.len
+    }
+}
+
+struct Q(VecDeque<Pkt>, u64);
+
+impl Q {
+    fn push(&mut self, p: Pkt) {
+        self.1 += p.len;
+        self.0.push_back(p);
+    }
+}
+
+impl CodelQueue for Q {
+    type Packet = Pkt;
+    fn pop_head(&mut self) -> Option<Pkt> {
+        let p = self.0.pop_front()?;
+        self.1 -= p.len;
+        Some(p)
+    }
+    fn backlog_bytes(&self) -> u64 {
+        self.1
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the arrival pattern, CoDel never drops while every
+    /// sojourn time stays below the target.
+    #[test]
+    fn no_drops_below_target(
+        arrivals in proptest::collection::vec((1u64..5, 64u64..1500), 1..200),
+        step_us in 10u64..1000,
+    ) {
+        let params = CodelParams::wifi_default();
+        let mut st = CodelState::new();
+        let mut q = Q(VecDeque::new(), 0);
+        let mut now = Nanos::ZERO;
+        for (n, len) in arrivals {
+            for _ in 0..n {
+                q.push(Pkt { t: now, len });
+            }
+            now += Nanos::from_micros(step_us);
+            // Drain aggressively so sojourn stays far below 20 ms (the
+            // step is at most 1 ms and we pop more than we push).
+            for _ in 0..(n + 1) {
+                let _ = st.dequeue(now, &params, &mut q, |_| panic!("dropped below target"));
+            }
+        }
+        prop_assert_eq!(st.drops, 0);
+    }
+
+    /// Conservation: every packet offered is either delivered or dropped,
+    /// regardless of timing.
+    #[test]
+    fn conservation(
+        arrivals in proptest::collection::vec((0u64..8, 0u64..200_000), 1..200)
+    ) {
+        let params = CodelParams::wifi_default();
+        let mut st = CodelState::new();
+        let mut q = Q(VecDeque::new(), 0);
+        let mut now = Nanos::ZERO;
+        let mut offered = 0u64;
+        let mut delivered = 0u64;
+        let mut dropped = 0u64;
+        for (n, advance_us) in arrivals {
+            for _ in 0..n {
+                q.push(Pkt { t: now, len: 1500 });
+                offered += 1;
+            }
+            now += Nanos::from_micros(advance_us);
+            if st.dequeue(now, &params, &mut q, |_| dropped += 1).is_some() {
+                delivered += 1;
+            }
+        }
+        // Drain the rest far in the future.
+        now += Nanos::from_secs(10);
+        loop {
+            let got = st.dequeue(now, &params, &mut q, |_| dropped += 1);
+            if got.is_some() {
+                delivered += 1;
+            } else if q.0.is_empty() {
+                break;
+            }
+            now += Nanos::from_millis(1);
+        }
+        prop_assert_eq!(offered, delivered + dropped);
+    }
+
+    /// The slow-station parameters are strictly more permissive: for any
+    /// workload, they never drop more than the defaults.
+    #[test]
+    fn slow_params_drop_no_more(
+        sojourn_ms in 1u64..120,
+        steps in 10u64..300,
+    ) {
+        let run = |params: CodelParams| -> u64 {
+            let mut st = CodelState::new();
+            let mut q = Q(VecDeque::new(), 0);
+            let mut dropped = 0;
+            let mut now = Nanos::from_millis(sojourn_ms);
+            for _ in 0..steps {
+                q.0.clear();
+                q.1 = 0;
+                for _ in 0..20 {
+                    q.push(Pkt { t: now - Nanos::from_millis(sojourn_ms), len: 1500 });
+                }
+                let _ = st.dequeue(now, &params, &mut q, |_| dropped += 1);
+                now += Nanos::from_millis(1);
+            }
+            dropped
+        };
+        let default_drops = run(CodelParams::wifi_default());
+        let slow_drops = run(CodelParams::slow_station());
+        prop_assert!(slow_drops <= default_drops);
+    }
+}

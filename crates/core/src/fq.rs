@@ -1,0 +1,763 @@
+//! The 802.11 MAC-layer fairness-queueing structure — Algorithms 1 and 2
+//! of the paper.
+//!
+//! A fixed pool of flow queues is shared by *all* TIDs: a packet is hashed
+//! to a queue, and the queue is dynamically assigned to the packet's TID.
+//! If the hash lands on a queue already owned by a different TID, the
+//! packet goes to the TID's dedicated overflow queue instead. A global
+//! packet limit is enforced by dropping from the globally longest queue,
+//! which is what shares the buffer space fairly between stations on
+//! overload — the fix for the aggregation starvation described in §4.1.2.
+//!
+//! Dequeue (per TID) is the FQ-CoDel scheduler: deficit round-robin over
+//! the TID's active queues with new-queue (sparse flow) priority, CoDel
+//! applied per queue.
+
+use std::collections::VecDeque;
+
+use wifiq_codel::{CodelParams, CodelQueue, CodelState, QueuedPacket};
+use wifiq_sim::Nanos;
+
+use crate::packet::{FqPacket, TidHandle};
+
+/// What to do when the global packet limit is hit (Algorithm 1
+/// lines 2–4 vs the naive alternative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DropPolicy {
+    /// Drop from the head of the globally longest queue — the paper's
+    /// choice, which "prevents a single flow from locking out other
+    /// flows on overload".
+    #[default]
+    DropLongest,
+    /// Reject the arriving packet (plain tail drop) — the ablation
+    /// baseline, under which one unresponsive flow can monopolise the
+    /// entire packet budget.
+    TailDrop,
+}
+
+/// Configuration for the MAC FQ structure.
+#[derive(Debug, Clone, Copy)]
+pub struct FqParams {
+    /// Number of shared hash-target flow queues (not counting the per-TID
+    /// overflow queues).
+    pub flows: usize,
+    /// Global packet limit across all queues (the "8192 (global limit)" in
+    /// the paper's Figure 3).
+    pub limit: usize,
+    /// DRR quantum in bytes; controls the granularity of inter-flow
+    /// fairness (one MTU-sized packet per round at the default).
+    pub quantum: u32,
+    /// Overlimit behaviour.
+    pub drop_policy: DropPolicy,
+}
+
+impl Default for FqParams {
+    fn default() -> Self {
+        FqParams {
+            flows: 1024,
+            limit: 8192,
+            quantum: 300,
+            drop_policy: DropPolicy::DropLongest,
+        }
+    }
+}
+
+/// Which scheduling list a flow queue currently sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Membership {
+    /// Not scheduled (empty / unassigned).
+    Idle,
+    /// On its TID's new-queues list (sparse-flow priority).
+    New,
+    /// On its TID's old-queues list.
+    Old,
+}
+
+#[derive(Debug)]
+struct Flow<P> {
+    queue: VecDeque<P>,
+    backlog_bytes: u64,
+    deficit: i64,
+    codel: CodelState,
+    /// The TID this queue is currently assigned to, if any.
+    tid: Option<usize>,
+    membership: Membership,
+}
+
+impl<P> Flow<P> {
+    fn new() -> Flow<P> {
+        Flow {
+            queue: VecDeque::new(),
+            backlog_bytes: 0,
+            deficit: 0,
+            codel: CodelState::new(),
+            tid: None,
+            membership: Membership::Idle,
+        }
+    }
+}
+
+/// Adapter giving CoDel a head-droppable view of one flow queue.
+struct FlowQueueRef<'a, P> {
+    queue: &'a mut VecDeque<P>,
+    backlog_bytes: &'a mut u64,
+}
+
+impl<P: QueuedPacket> CodelQueue for FlowQueueRef<'_, P> {
+    type Packet = P;
+
+    fn pop_head(&mut self) -> Option<P> {
+        let pkt = self.queue.pop_front()?;
+        *self.backlog_bytes -= pkt.wire_len();
+        Some(pkt)
+    }
+
+    fn backlog_bytes(&self) -> u64 {
+        *self.backlog_bytes
+    }
+}
+
+#[derive(Debug, Default)]
+struct TidState {
+    new_flows: VecDeque<usize>,
+    old_flows: VecDeque<usize>,
+    /// Index of this TID's dedicated overflow queue in the flow pool.
+    overflow_flow: usize,
+    backlog_packets: usize,
+    backlog_bytes: u64,
+}
+
+/// Counters exposed for tests and experiment telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FqStats {
+    /// Packets accepted by [`MacFq::enqueue`].
+    pub enqueued: u64,
+    /// Packets delivered by [`MacFq::dequeue`].
+    pub dequeued: u64,
+    /// Packets dropped because the global limit was reached.
+    pub drops_overlimit: u64,
+    /// Packets dropped by CoDel at dequeue.
+    pub drops_codel: u64,
+    /// Packets redirected to an overflow queue by a cross-TID hash
+    /// collision.
+    pub collisions: u64,
+}
+
+/// The MAC-layer FQ-CoDel structure (paper Algorithms 1 and 2).
+///
+/// Generic over the packet type so the same structure serves the simulator
+/// and unit tests. The caller supplies the clock (`now`) and the CoDel
+/// parameters to use per dequeue — parameters are per *station* (paper
+/// §3.1.1) and the station is known to the caller, not to this structure.
+///
+/// # Examples
+///
+/// ```
+/// use wifiq_core::fq::{FqParams, MacFq};
+/// use wifiq_core::packet::{FqPacket, QueuedPacket};
+/// use wifiq_codel::CodelParams;
+/// use wifiq_sim::Nanos;
+///
+/// #[derive(Debug)]
+/// struct Pkt { flow: u64, t: Nanos }
+/// impl QueuedPacket for Pkt {
+///     fn enqueue_time(&self) -> Nanos { self.t }
+///     fn wire_len(&self) -> u64 { 1500 }
+/// }
+/// impl FqPacket for Pkt {
+///     fn flow_hash(&self) -> u64 { self.flow }
+/// }
+///
+/// let mut fq = MacFq::new(FqParams::default());
+/// let tid = fq.register_tid();
+/// let now = Nanos::ZERO;
+/// fq.enqueue(Pkt { flow: 1, t: now }, tid, now);
+/// let pkt = fq.dequeue(tid, now, &CodelParams::wifi_default());
+/// assert!(pkt.is_some());
+/// ```
+#[derive(Debug)]
+pub struct MacFq<P> {
+    params: FqParams,
+    flows: Vec<Flow<P>>,
+    tids: Vec<TidState>,
+    /// Indices of flows that currently hold packets (for the
+    /// longest-queue search without scanning the whole pool).
+    nonempty: Vec<usize>,
+    total_packets: usize,
+    /// Telemetry counters.
+    pub stats: FqStats,
+}
+
+impl<P: FqPacket> MacFq<P> {
+    /// Creates the structure with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows` or `limit` is zero.
+    pub fn new(params: FqParams) -> MacFq<P> {
+        assert!(params.flows > 0, "flow pool must be non-empty");
+        assert!(params.limit > 0, "global limit must be positive");
+        MacFq {
+            params,
+            flows: (0..params.flows).map(|_| Flow::new()).collect(),
+            tids: Vec::new(),
+            nonempty: Vec::new(),
+            total_packets: 0,
+            stats: FqStats::default(),
+        }
+    }
+
+    /// Registers a TID (one station × traffic-identifier pair), allocating
+    /// its dedicated overflow queue.
+    pub fn register_tid(&mut self) -> TidHandle {
+        let overflow = self.flows.len();
+        self.flows.push(Flow::new());
+        let idx = self.tids.len();
+        self.tids.push(TidState {
+            overflow_flow: overflow,
+            ..TidState::default()
+        });
+        TidHandle(idx)
+    }
+
+    /// Total packets queued across all TIDs.
+    pub fn total_packets(&self) -> usize {
+        self.total_packets
+    }
+
+    /// Packets queued for one TID.
+    pub fn tid_backlog_packets(&self, tid: TidHandle) -> usize {
+        self.tids[tid.0].backlog_packets
+    }
+
+    /// Bytes queued for one TID.
+    pub fn tid_backlog_bytes(&self, tid: TidHandle) -> u64 {
+        self.tids[tid.0].backlog_bytes
+    }
+
+    /// True if the TID has at least one queued packet.
+    pub fn tid_has_data(&self, tid: TidHandle) -> bool {
+        self.tids[tid.0].backlog_packets > 0
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> FqParams {
+        self.params
+    }
+
+    fn mark_nonempty(&mut self, fi: usize) {
+        if self.flows[fi].queue.len() == 1 {
+            self.nonempty.push(fi);
+        }
+    }
+
+    fn unmark_if_empty(&mut self, fi: usize) {
+        if self.flows[fi].queue.is_empty() {
+            if let Some(pos) = self.nonempty.iter().position(|&x| x == fi) {
+                self.nonempty.swap_remove(pos);
+            }
+        }
+    }
+
+    /// Finds the flow with the largest byte backlog (Algorithm 1 line 3).
+    fn find_longest_queue(&self) -> Option<usize> {
+        self.nonempty
+            .iter()
+            .copied()
+            .max_by_key(|&fi| self.flows[fi].backlog_bytes)
+    }
+
+    /// Drops the head packet of the globally longest queue, returning it.
+    ///
+    /// "A global queue size limit is kept, and when this is exceeded,
+    /// packets are dropped from the globally longest queue, which prevents
+    /// a single flow from locking out other flows on overload."
+    fn drop_from_longest(&mut self) -> Option<P> {
+        let fi = self.find_longest_queue()?;
+        let flow = &mut self.flows[fi];
+        let pkt = flow.queue.pop_front()?;
+        flow.backlog_bytes -= pkt.wire_len();
+        self.total_packets -= 1;
+        self.stats.drops_overlimit += 1;
+        if let Some(ti) = flow.tid {
+            self.tids[ti].backlog_packets -= 1;
+            self.tids[ti].backlog_bytes -= pkt.wire_len();
+        }
+        self.unmark_if_empty(fi);
+        Some(pkt)
+    }
+
+    /// Enqueues a packet for a TID — Algorithm 1.
+    ///
+    /// Returns the packet dropped to make room, if the global limit was
+    /// reached (the caller may want to count it against a flow).
+    ///
+    /// The packet must already carry its enqueue timestamp
+    /// ([`QueuedPacket::enqueue_time`] is read by CoDel at dequeue).
+    pub fn enqueue(&mut self, pkt: P, tid: TidHandle, _now: Nanos) -> Option<P> {
+        let ti = tid.0;
+        assert!(ti < self.tids.len(), "unregistered TID handle");
+
+        // Global limit (Algorithm 1 lines 2–4).
+        let dropped = if self.total_packets >= self.params.limit {
+            match self.params.drop_policy {
+                DropPolicy::DropLongest => self.drop_from_longest(),
+                DropPolicy::TailDrop => {
+                    self.stats.drops_overlimit += 1;
+                    return Some(pkt);
+                }
+            }
+        } else {
+            None
+        };
+
+        // Hash to a queue; on cross-TID collision use the overflow queue
+        // (lines 5–8).
+        let mut fi = (pkt.flow_hash() % self.params.flows as u64) as usize;
+        if self.flows[fi].tid.is_some_and(|t| t != ti) {
+            fi = self.tids[ti].overflow_flow;
+            self.stats.collisions += 1;
+        }
+        self.flows[fi].tid = Some(ti);
+
+        // Append and activate (lines 9–12).
+        let len = pkt.wire_len();
+        let flow = &mut self.flows[fi];
+        flow.queue.push_back(pkt);
+        flow.backlog_bytes += len;
+        self.total_packets += 1;
+        self.stats.enqueued += 1;
+        let tid_state = &mut self.tids[ti];
+        tid_state.backlog_packets += 1;
+        tid_state.backlog_bytes += len;
+        if self.flows[fi].membership == Membership::Idle {
+            self.flows[fi].membership = Membership::New;
+            // A freshly activated flow starts with a full quantum, exactly
+            // as fq_codel does — without this, the first deficit check
+            // would rotate it to the old list and void its new-flow
+            // (sparse) priority.
+            self.flows[fi].deficit = self.params.quantum as i64;
+            self.tids[ti].new_flows.push_back(fi);
+        }
+        self.mark_nonempty(fi);
+
+        dropped
+    }
+
+    /// Dequeues the next packet for a TID — Algorithm 2.
+    ///
+    /// `codel_params` are the parameters for the *station* owning this TID
+    /// (paper §3.1.1). Returns `None` when the TID has no eligible packet.
+    pub fn dequeue(&mut self, tid: TidHandle, now: Nanos, codel_params: &CodelParams) -> Option<P> {
+        let ti = tid.0;
+        assert!(ti < self.tids.len(), "unregistered TID handle");
+
+        loop {
+            // Pick the head of new_flows, else old_flows (lines 2–7).
+            let (fi, from_new) = {
+                let t = &self.tids[ti];
+                if let Some(&fi) = t.new_flows.front() {
+                    (fi, true)
+                } else if let Some(&fi) = t.old_flows.front() {
+                    (fi, false)
+                } else {
+                    return None;
+                }
+            };
+
+            // Deficit check (lines 8–11): replenish and rotate to old.
+            if self.flows[fi].deficit <= 0 {
+                self.flows[fi].deficit += self.params.quantum as i64;
+                let t = &mut self.tids[ti];
+                if from_new {
+                    t.new_flows.pop_front();
+                } else {
+                    t.old_flows.pop_front();
+                }
+                t.old_flows.push_back(fi);
+                self.flows[fi].membership = Membership::Old;
+                continue;
+            }
+
+            // CoDel dequeue (line 12); drops are charged to this TID.
+            let mut codel_drops = 0usize;
+            let mut codel_drop_bytes = 0u64;
+            let pkt = {
+                let flow = &mut self.flows[fi];
+                let mut qref = FlowQueueRef {
+                    queue: &mut flow.queue,
+                    backlog_bytes: &mut flow.backlog_bytes,
+                };
+                flow.codel.dequeue(now, codel_params, &mut qref, |p| {
+                    codel_drops += 1;
+                    codel_drop_bytes += p.wire_len();
+                })
+            };
+            self.total_packets -= codel_drops;
+            self.stats.drops_codel += codel_drops as u64;
+            {
+                let t = &mut self.tids[ti];
+                t.backlog_packets -= codel_drops;
+                t.backlog_bytes -= codel_drop_bytes;
+            }
+
+            match pkt {
+                None => {
+                    // Queue empty (lines 13–19): new flows get demoted to
+                    // old (the anti-gaming rule); old flows are released.
+                    self.unmark_if_empty(fi);
+                    let t = &mut self.tids[ti];
+                    if from_new {
+                        t.new_flows.pop_front();
+                        t.old_flows.push_back(fi);
+                        self.flows[fi].membership = Membership::Old;
+                    } else {
+                        t.old_flows.pop_front();
+                        self.flows[fi].membership = Membership::Idle;
+                        self.flows[fi].tid = None;
+                    }
+                    continue;
+                }
+                Some(pkt) => {
+                    // Charge the deficit and hand the packet out
+                    // (lines 20–21).
+                    let len = pkt.wire_len();
+                    self.flows[fi].deficit -= len as i64;
+                    self.total_packets -= 1;
+                    self.stats.dequeued += 1;
+                    let t = &mut self.tids[ti];
+                    t.backlog_packets -= 1;
+                    t.backlog_bytes -= len;
+                    self.unmark_if_empty(fi);
+                    return Some(pkt);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Pkt {
+        flow: u64,
+        t: Nanos,
+        len: u64,
+        seq: u32,
+    }
+
+    impl QueuedPacket for Pkt {
+        fn enqueue_time(&self) -> Nanos {
+            self.t
+        }
+        fn wire_len(&self) -> u64 {
+            self.len
+        }
+    }
+
+    impl FqPacket for Pkt {
+        fn flow_hash(&self) -> u64 {
+            self.flow
+        }
+    }
+
+    fn pkt(flow: u64, t: Nanos, seq: u32) -> Pkt {
+        Pkt {
+            flow,
+            t,
+            len: 1500,
+            seq,
+        }
+    }
+
+    fn params() -> CodelParams {
+        CodelParams::wifi_default()
+    }
+
+    #[test]
+    fn fifo_within_single_flow() {
+        let mut fq = MacFq::new(FqParams::default());
+        let tid = fq.register_tid();
+        let now = Nanos::ZERO;
+        for seq in 0..10 {
+            fq.enqueue(pkt(7, now, seq), tid, now);
+        }
+        for seq in 0..10 {
+            let p = fq.dequeue(tid, now, &params()).unwrap();
+            assert_eq!(p.seq, seq, "reordering within one flow");
+        }
+        assert!(fq.dequeue(tid, now, &params()).is_none());
+    }
+
+    #[test]
+    fn interleaves_two_flows() {
+        let mut fq = MacFq::new(FqParams::default());
+        let tid = fq.register_tid();
+        let now = Nanos::ZERO;
+        // Flow 1 has 10 packets queued first, flow 2 has 10 queued after;
+        // DRR should alternate rather than drain flow 1 first.
+        for seq in 0..10 {
+            fq.enqueue(pkt(1, now, seq), tid, now);
+        }
+        for seq in 0..10 {
+            fq.enqueue(pkt(2, now, seq), tid, now);
+        }
+        let first_8: Vec<u64> = (0..8)
+            .map(|_| fq.dequeue(tid, now, &params()).unwrap().flow)
+            .collect();
+        let flow1 = first_8.iter().filter(|&&f| f == 1).count();
+        let flow2 = first_8.iter().filter(|&&f| f == 2).count();
+        assert_eq!(flow1, 4, "got {first_8:?}");
+        assert_eq!(flow2, 4);
+    }
+
+    #[test]
+    fn global_limit_enforced() {
+        let fqp = FqParams {
+            flows: 64,
+            limit: 100,
+            quantum: 300,
+            ..FqParams::default()
+        };
+        let mut fq = MacFq::new(fqp);
+        let tid = fq.register_tid();
+        let now = Nanos::ZERO;
+        let mut dropped = 0;
+        for seq in 0..500 {
+            if fq
+                .enqueue(pkt(seq as u64 % 3, now, seq), tid, now)
+                .is_some()
+            {
+                dropped += 1;
+            }
+            assert!(fq.total_packets() <= 100);
+        }
+        assert_eq!(dropped, 400);
+        assert_eq!(fq.stats.drops_overlimit, 400);
+    }
+
+    #[test]
+    fn overlimit_drops_from_longest_queue() {
+        let fqp = FqParams {
+            flows: 64,
+            limit: 10,
+            quantum: 300,
+            ..FqParams::default()
+        };
+        let mut fq = MacFq::new(fqp);
+        let tid = fq.register_tid();
+        let now = Nanos::ZERO;
+        // Flow 1: 9 packets. Flow 2: 1 packet. Next enqueue (flow 2) must
+        // drop from flow 1, the longest.
+        for seq in 0..9 {
+            fq.enqueue(pkt(1, now, seq), tid, now);
+        }
+        fq.enqueue(pkt(2, now, 0), tid, now);
+        let victim = fq.enqueue(pkt(2, now, 1), tid, now).unwrap();
+        assert_eq!(victim.flow, 1, "should drop from the longest queue");
+    }
+
+    #[test]
+    fn cross_tid_collision_goes_to_overflow() {
+        let fqp = FqParams {
+            flows: 1, // force every hash onto the same queue
+            limit: 8192,
+            quantum: 300,
+            ..FqParams::default()
+        };
+        let mut fq = MacFq::new(fqp);
+        let tid_a = fq.register_tid();
+        let tid_b = fq.register_tid();
+        let now = Nanos::ZERO;
+        fq.enqueue(pkt(1, now, 0), tid_a, now);
+        // Same hash target, different TID: must be redirected, not mixed.
+        fq.enqueue(pkt(2, now, 0), tid_b, now);
+        assert_eq!(fq.stats.collisions, 1);
+        assert_eq!(fq.tid_backlog_packets(tid_a), 1);
+        assert_eq!(fq.tid_backlog_packets(tid_b), 1);
+        // Each TID dequeues its own packet.
+        assert_eq!(fq.dequeue(tid_a, now, &params()).unwrap().flow, 1);
+        assert_eq!(fq.dequeue(tid_b, now, &params()).unwrap().flow, 2);
+    }
+
+    #[test]
+    fn queue_released_after_drain_can_move_tids() {
+        let fqp = FqParams {
+            flows: 1,
+            limit: 8192,
+            quantum: 300,
+            ..FqParams::default()
+        };
+        let mut fq = MacFq::new(fqp);
+        let tid_a = fq.register_tid();
+        let tid_b = fq.register_tid();
+        let now = Nanos::ZERO;
+        fq.enqueue(pkt(1, now, 0), tid_a, now);
+        assert!(fq.dequeue(tid_a, now, &params()).is_some());
+        // Drain fully: dequeue again returns None and releases the queue.
+        assert!(fq.dequeue(tid_a, now, &params()).is_none());
+        // Now TID B can claim the hash-target queue without a collision.
+        fq.enqueue(pkt(3, now, 0), tid_b, now);
+        assert_eq!(fq.stats.collisions, 0);
+        assert_eq!(fq.dequeue(tid_b, now, &params()).unwrap().flow, 3);
+    }
+
+    #[test]
+    fn sparse_flow_gets_priority() {
+        let mut fq = MacFq::new(FqParams::default());
+        let tid = fq.register_tid();
+        let now = Nanos::ZERO;
+        // Bulk flow queues 50 packets and is pushed through a few rounds so
+        // it lands on the old list.
+        for seq in 0..50 {
+            fq.enqueue(pkt(1, now, seq), tid, now);
+        }
+        for _ in 0..5 {
+            fq.dequeue(tid, now, &params());
+        }
+        // A new sparse flow arrives: its packet must come out next.
+        fq.enqueue(pkt(99, now, 0), tid, now);
+        let p = fq.dequeue(tid, now, &params()).unwrap();
+        assert_eq!(p.flow, 99, "sparse flow should jump the bulk flow");
+    }
+
+    #[test]
+    fn sparse_flow_cannot_game_priority() {
+        // A flow that drains and immediately re-queues must not stay on
+        // the new list forever: after its queue empties it is demoted to
+        // the old list and the bulk flow gets service.
+        let mut fq = MacFq::new(FqParams::default());
+        let tid = fq.register_tid();
+        let now = Nanos::ZERO;
+        for seq in 0..50 {
+            fq.enqueue(pkt(1, now, seq), tid, now);
+        }
+        let mut bulk_served = 0;
+        for i in 0..20 {
+            fq.enqueue(pkt(99, now, i), tid, now);
+            // Two dequeues per round: the gamer can take at most one.
+            for _ in 0..2 {
+                if fq.dequeue(tid, now, &params()).unwrap().flow == 1 {
+                    bulk_served += 1;
+                }
+            }
+        }
+        assert!(
+            bulk_served >= 19,
+            "bulk flow starved: served {bulk_served}/40 dequeues"
+        );
+    }
+
+    #[test]
+    fn byte_fairness_with_unequal_packet_sizes() {
+        // Flow 1 sends 1500-byte packets, flow 2 sends 300-byte packets.
+        // Over a long run, DRR should give them equal *bytes*, i.e. five
+        // small packets per large one.
+        let mut fq = MacFq::new(FqParams::default());
+        let tid = fq.register_tid();
+        let now = Nanos::ZERO;
+        for seq in 0..200 {
+            fq.enqueue(
+                Pkt {
+                    flow: 1,
+                    t: now,
+                    len: 1500,
+                    seq,
+                },
+                tid,
+                now,
+            );
+            for s in 0..5 {
+                fq.enqueue(
+                    Pkt {
+                        flow: 2,
+                        t: now,
+                        len: 300,
+                        seq: seq * 5 + s,
+                    },
+                    tid,
+                    now,
+                );
+            }
+        }
+        let mut bytes = [0u64; 2];
+        for _ in 0..600 {
+            let p = fq.dequeue(tid, now, &params()).unwrap();
+            bytes[(p.flow - 1) as usize] += p.len;
+        }
+        let ratio = bytes[0] as f64 / bytes[1] as f64;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "byte split not fair: {bytes:?}"
+        );
+    }
+
+    #[test]
+    fn codel_drops_are_accounted() {
+        let mut fq = MacFq::new(FqParams::default());
+        let tid = fq.register_tid();
+        // Enqueue old packets, dequeue far in the future with a deep
+        // backlog: CoDel must engage and counters must stay consistent.
+        let t0 = Nanos::ZERO;
+        for seq in 0..500 {
+            fq.enqueue(pkt(1, t0, seq), tid, t0);
+        }
+        let mut out = 0;
+        let mut now = Nanos::from_millis(500);
+        while fq.tid_has_data(tid) {
+            if fq.dequeue(tid, now, &params()).is_some() {
+                out += 1;
+            }
+            now += Nanos::from_millis(1);
+        }
+        assert!(fq.stats.drops_codel > 0, "CoDel never engaged");
+        assert_eq!(out + fq.stats.drops_codel as usize, 500);
+        assert_eq!(fq.total_packets(), 0);
+        assert_eq!(fq.tid_backlog_bytes(tid), 0);
+    }
+
+    #[test]
+    fn tids_are_isolated() {
+        let mut fq = MacFq::new(FqParams::default());
+        let tid_a = fq.register_tid();
+        let tid_b = fq.register_tid();
+        let now = Nanos::ZERO;
+        for seq in 0..10 {
+            fq.enqueue(pkt(1, now, seq), tid_a, now);
+        }
+        // TID B has nothing: dequeue must not steal TID A's packets.
+        assert!(fq.dequeue(tid_b, now, &params()).is_none());
+        assert_eq!(fq.tid_backlog_packets(tid_a), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered TID")]
+    fn unregistered_tid_panics() {
+        let mut fq: MacFq<Pkt> = MacFq::new(FqParams::default());
+        fq.enqueue(pkt(1, Nanos::ZERO, 0), TidHandle(3), Nanos::ZERO);
+    }
+
+    #[test]
+    fn stats_balance() {
+        let mut fq = MacFq::new(FqParams {
+            flows: 16,
+            limit: 64,
+            quantum: 300,
+            ..FqParams::default()
+        });
+        let tid = fq.register_tid();
+        let now = Nanos::ZERO;
+        for seq in 0..200 {
+            fq.enqueue(pkt(seq as u64 % 7, now, seq), tid, now);
+        }
+        while fq.dequeue(tid, now, &params()).is_some() {}
+        let s = fq.stats;
+        assert_eq!(
+            s.enqueued,
+            s.dequeued + s.drops_overlimit + s.drops_codel,
+            "packet conservation violated: {s:?}"
+        );
+    }
+}

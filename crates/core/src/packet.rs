@@ -1,0 +1,29 @@
+//! Packet requirements for the MAC-layer FQ structure.
+
+pub use wifiq_codel::QueuedPacket;
+
+/// A packet the FQ structure can schedule: CoDel-managed ([`QueuedPacket`])
+/// and hashable to a flow.
+///
+/// The flow hash is the transport 5-tuple hash in a real stack; the
+/// simulator assigns stable per-flow identifiers. The FQ structure only
+/// requires that packets of one flow hash equal and different flows hash
+/// (mostly) differently — hash collisions are legal and handled by the
+/// TID overflow queue.
+pub trait FqPacket: QueuedPacket {
+    /// Stable hash of the packet's transport flow.
+    fn flow_hash(&self) -> u64;
+}
+
+/// Identifies one TID (station × traffic-identifier pair) registered with
+/// the FQ structure.
+///
+/// Handles are dense indices handed out by
+/// [`MacFq::register_tid`](crate::fq::MacFq::register_tid); the MAC layer
+/// owns the mapping from (station, TID number) to handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TidHandle(pub usize);
+
+/// Identifies a station registered with the airtime scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StationHandle(pub usize);

@@ -1,0 +1,212 @@
+//! Behavioural ablations of the paper's design choices.
+//!
+//! Each ablation switches off one mechanism the paper argues for and
+//! measures the metric that mechanism exists to protect:
+//!
+//! 1. **RX airtime charging** (§3.2 item 2) — without it the scheduler
+//!    cannot compensate for upstream usage, and bidirectional fairness
+//!    degrades.
+//! 2. **Per-station CoDel parameters** (§3.1.1) — without the
+//!    50 ms/300 ms slow-station setting, CoDel over-drops at low rates
+//!    and the slow station loses goodput.
+//! 3. **Drop-from-longest-queue** (Algorithm 1) — with plain tail drop, a
+//!    saturating flow to the slow station locks fast stations out of the
+//!    packet budget.
+//! 4. **Airtime quantum** (§3.2) — larger quanta coarsen fairness and
+//!    hurt sparse-station latency.
+
+use serde::Serialize;
+use wifiq_core::fq::DropPolicy;
+use wifiq_mac::{SchemeKind, StationMeter, WifiNetwork};
+use wifiq_sim::Nanos;
+use wifiq_stats::jain_index;
+use wifiq_traffic::TrafficApp;
+
+use crate::runner::{mean, median, meter_delta, shares_of, RunCfg};
+use crate::scenario::{self, EXTRA, SLOW};
+use crate::udp_sat::SAT_RATE_BPS;
+
+/// Result of the RX-charging ablation (bidirectional TCP).
+#[derive(Debug, Clone, Serialize)]
+pub struct RxChargingResult {
+    /// Whether RX airtime was charged.
+    pub charge_rx: bool,
+    /// Median Jain's index over station airtime.
+    pub jain: f64,
+    /// The slow station's airtime share.
+    pub slow_share: f64,
+}
+
+/// Runs bidirectional TCP under the airtime scheme with RX charging
+/// toggled.
+pub fn rx_charging(enabled: bool, cfg: &RunCfg) -> RxChargingResult {
+    let mut jains = Vec::new();
+    let mut slow_shares = Vec::new();
+    for seed in cfg.seeds() {
+        let mut net_cfg = scenario::testbed3(SchemeKind::AirtimeFair, seed);
+        net_cfg.airtime.charge_rx = enabled;
+        let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
+        let mut app = TrafficApp::new();
+        for sta in 0..3 {
+            app.add_tcp_down(sta, Nanos::ZERO);
+            app.add_tcp_up(sta, Nanos::ZERO);
+        }
+        app.install(&mut net);
+        net.run(cfg.warmup, &mut app);
+        let before: Vec<StationMeter> = net.meter().all().to_vec();
+        net.run(cfg.duration, &mut app);
+        let window: Vec<StationMeter> = net
+            .meter()
+            .all()
+            .iter()
+            .zip(&before)
+            .map(|(l, e)| meter_delta(l, e))
+            .collect();
+        let shares = shares_of(&window);
+        jains.push(jain_index(&shares));
+        slow_shares.push(shares[SLOW]);
+    }
+    RxChargingResult {
+        charge_rx: enabled,
+        jain: median(&jains),
+        slow_share: mean(&slow_shares),
+    }
+}
+
+/// Result of the per-station CoDel ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct AdaptiveCodelResult {
+    /// Whether per-station adaptation was enabled.
+    pub adaptive: bool,
+    /// Slow-station TCP goodput, bits/s.
+    pub slow_goodput_bps: f64,
+    /// CoDel drops at the AP over the run.
+    pub codel_drops: f64,
+    /// TCP retransmissions (fast retransmits + timeouts) over the run.
+    pub retransmissions: f64,
+}
+
+/// Bulk TCP to a very slow (1 Mbps legacy) station, with and without the
+/// §3.1.1 parameter adaptation. At 1 Mbps the default 20 ms target allows
+/// under two full-size packets of queue, which is where the
+/// over-aggressive-CoDel starvation bites.
+pub fn adaptive_codel(enabled: bool, cfg: &RunCfg) -> AdaptiveCodelResult {
+    let mut goodput = Vec::new();
+    let mut drops = Vec::new();
+    let mut rtx = Vec::new();
+    for seed in cfg.seeds() {
+        let mut net_cfg = scenario::testbed3(SchemeKind::AirtimeFair, seed);
+        net_cfg.stations[scenario::SLOW].rate =
+            wifiq_phy::PhyRate::Legacy(wifiq_phy::LegacyRate::Dsss1);
+        net_cfg.adaptive_codel = enabled;
+        let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
+        let mut app = TrafficApp::new();
+        let bulk = app.add_tcp_down(SLOW, Nanos::ZERO);
+        app.install(&mut net);
+        net.run(cfg.duration, &mut app);
+        let bytes = app.tcp(bulk).bytes_between(cfg.warmup, cfg.duration);
+        goodput.push(bytes as f64 * 8.0 / cfg.window().as_secs_f64());
+        drops.push(net.ap_codel_drops() as f64);
+        let st = app.tcp(bulk).sender_stats();
+        rtx.push((st.fast_retransmits + st.timeouts) as f64);
+    }
+    AdaptiveCodelResult {
+        adaptive: enabled,
+        slow_goodput_bps: mean(&goodput),
+        codel_drops: mean(&drops),
+        retransmissions: mean(&rtx),
+    }
+}
+
+/// Result of the overlimit drop-policy ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct DropPolicyResult {
+    /// Policy label.
+    pub policy: String,
+    /// Mean fast-station goodput, bits/s.
+    pub fast_goodput_bps: f64,
+    /// Mean fast-station aggregation level.
+    pub fast_aggregation: f64,
+}
+
+/// UDP saturation with a tight global limit, under each overlimit policy.
+///
+/// The limit is reduced so the saturating slow-station flow can actually
+/// fill it within the run; with tail drop it then monopolises the budget.
+pub fn drop_policy(policy: DropPolicy, cfg: &RunCfg) -> DropPolicyResult {
+    let mut goodput = Vec::new();
+    let mut aggr = Vec::new();
+    for seed in cfg.seeds() {
+        let mut net_cfg = scenario::testbed3(SchemeKind::AirtimeFair, seed);
+        net_cfg.fq.drop_policy = policy;
+        net_cfg.fq.limit = 512;
+        let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
+        let mut app = TrafficApp::new();
+        let fast = app.add_udp_down(0, SAT_RATE_BPS, Nanos::ZERO);
+        app.add_udp_down(SLOW, SAT_RATE_BPS, Nanos::ZERO);
+        app.install(&mut net);
+        net.run(cfg.warmup, &mut app);
+        let before = *net.station_meter(0);
+        net.run(cfg.duration, &mut app);
+        let window = meter_delta(net.station_meter(0), &before);
+        let bytes = app.udp(fast).bytes_between(cfg.warmup, cfg.duration);
+        goodput.push(bytes as f64 * 8.0 / cfg.window().as_secs_f64());
+        aggr.push(window.mean_aggregation());
+    }
+    DropPolicyResult {
+        policy: format!("{policy:?}"),
+        fast_goodput_bps: mean(&goodput),
+        fast_aggregation: mean(&aggr),
+    }
+}
+
+/// Result of the quantum-sweep ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct QuantumResult {
+    /// Quantum in microseconds.
+    pub quantum_us: u64,
+    /// Median ping RTT of the sparse station, ms.
+    pub sparse_median_ms: f64,
+    /// Median Jain's index over bulk-station airtime.
+    pub jain: f64,
+}
+
+/// Airtime-quantum sweep: bulk UDP on three stations, ping on a fourth.
+pub fn quantum(quantum_us: u64, cfg: &RunCfg) -> QuantumResult {
+    let mut medians = Vec::new();
+    let mut jains = Vec::new();
+    for seed in cfg.seeds() {
+        let mut net_cfg = scenario::testbed4(SchemeKind::AirtimeFair, seed);
+        net_cfg.airtime.quantum = Nanos::from_micros(quantum_us);
+        let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
+        let mut app = TrafficApp::new();
+        let ping = app.add_ping(EXTRA, Nanos::ZERO);
+        for sta in 0..3 {
+            app.add_udp_down(sta, SAT_RATE_BPS, Nanos::ZERO);
+        }
+        app.install(&mut net);
+        net.run(cfg.warmup, &mut app);
+        let before: Vec<StationMeter> = net.meter().all().to_vec();
+        net.run(cfg.duration, &mut app);
+        let window: Vec<StationMeter> = net
+            .meter()
+            .all()
+            .iter()
+            .zip(&before)
+            .map(|(l, e)| meter_delta(l, e))
+            .collect();
+        jains.push(jain_index(&shares_of(&window[..3])));
+        let ms: Vec<f64> = app
+            .ping(ping)
+            .rtts_after(cfg.warmup)
+            .iter()
+            .map(|r| r.as_millis_f64())
+            .collect();
+        medians.push(median(&ms));
+    }
+    QuantumResult {
+        quantum_us,
+        sparse_median_ms: median(&medians),
+        jain: median(&jains),
+    }
+}

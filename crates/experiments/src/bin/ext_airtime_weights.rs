@@ -1,0 +1,86 @@
+//! Extension experiment: weighted airtime fairness — the per-station
+//! weight knob the mainline implementation grew after the paper.
+//!
+//! Three identical fast stations with weights 1:2:4 (neutral = 256)
+//! under saturating UDP; airtime shares should track the weights.
+
+use wifiq_experiments::report::{pct, write_json, Table};
+use wifiq_experiments::runner::{mean, meter_delta, shares_of};
+use wifiq_experiments::{scenario, RunCfg};
+use wifiq_mac::{SchemeKind, StationMeter, WifiNetwork};
+use wifiq_sim::Nanos;
+use wifiq_traffic::TrafficApp;
+
+fn main() {
+    let cfg = RunCfg::from_env();
+    let weights = [256u32, 512, 1024];
+    println!(
+        "Extension: weighted airtime fairness (weights 1:2:4, {} reps x {}s)\n",
+        cfg.reps,
+        cfg.duration.as_millis() / 1000
+    );
+    let mut share_acc = vec![Vec::new(); 3];
+    for seed in cfg.seeds() {
+        let mut net_cfg = scenario::testbed3(SchemeKind::AirtimeFair, seed);
+        // All three stations fast and identical, so only weights differ.
+        for (station, w) in net_cfg.stations.iter_mut().zip(weights) {
+            station.rate = wifiq_phy::PhyRate::fast_station();
+            station.airtime_weight = w;
+        }
+        let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
+        let mut app = TrafficApp::new();
+        for sta in 0..3 {
+            app.add_udp_down(sta, 100_000_000, Nanos::ZERO);
+        }
+        app.install(&mut net);
+        net.run(cfg.warmup, &mut app);
+        let before: Vec<StationMeter> = net.meter().all().to_vec();
+        net.run(cfg.duration, &mut app);
+        let window: Vec<StationMeter> = net
+            .meter()
+            .all()
+            .iter()
+            .zip(&before)
+            .map(|(l, e)| meter_delta(l, e))
+            .collect();
+        for (sta, s) in shares_of(&window).into_iter().enumerate() {
+            share_acc[sta].push(s);
+        }
+    }
+    #[derive(serde::Serialize)]
+    struct Row {
+        weight: u32,
+        expected_share: f64,
+        measured_share: f64,
+    }
+    let total_w: u32 = weights.iter().sum();
+    let rows: Vec<Row> = weights
+        .iter()
+        .enumerate()
+        .map(|(sta, &w)| Row {
+            weight: w,
+            expected_share: w as f64 / total_w as f64,
+            measured_share: mean(&share_acc[sta]),
+        })
+        .collect();
+    let mut t = Table::new(vec!["Weight", "Expected share", "Measured share"]);
+    for r in &rows {
+        t.row(vec![
+            r.weight.to_string(),
+            pct(r.expected_share),
+            pct(r.measured_share),
+        ]);
+    }
+    t.print();
+    for r in &rows {
+        assert!(
+            (r.measured_share - r.expected_share).abs() < 0.03,
+            "weight {} share {:.3} vs expected {:.3}",
+            r.weight,
+            r.measured_share,
+            r.expected_share
+        );
+    }
+    println!("\nAirtime tracks weights: the DRR quantum scales per station.");
+    write_json("ext_airtime_weights", &rows);
+}

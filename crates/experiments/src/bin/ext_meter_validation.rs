@@ -1,0 +1,91 @@
+//! Extension experiment reproducing the paper's meter cross-validation
+//! (§4.1.5): the in-kernel airtime measurement was checked against a
+//! monitor-mode capture tool and agreed "to within 1.5%, on average".
+//!
+//! Here the network's airtime meter (the scheduler's accounting input)
+//! is compared against an independently accumulating monitor-mode
+//! capture over a busy bidirectional workload.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use wifiq_experiments::report::{write_json, Table};
+use wifiq_experiments::{scenario, RunCfg};
+use wifiq_mac::{AirtimeCapture, SchemeKind, WifiNetwork};
+use wifiq_sim::Nanos;
+use wifiq_traffic::TrafficApp;
+
+#[derive(serde::Serialize)]
+struct Row {
+    seed: u64,
+    station: usize,
+    meter_ms: f64,
+    capture_ms: f64,
+    error_pct: f64,
+}
+
+fn main() {
+    let cfg = RunCfg::from_env();
+    println!(
+        "Extension: airtime meter vs monitor-mode capture \
+         ({} reps x {}s; paper: agreement within 1.5%)\n",
+        cfg.reps,
+        cfg.duration.as_millis() / 1000
+    );
+    let mut rows: Vec<Row> = Vec::new();
+    for seed in cfg.seeds() {
+        let net_cfg = scenario::testbed3(SchemeKind::AirtimeFair, seed);
+        let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
+        let capture = Rc::new(RefCell::new(AirtimeCapture::new(3)));
+        net.attach_monitor(Box::new(capture.clone()));
+        let mut app = TrafficApp::new();
+        for sta in 0..3 {
+            app.add_tcp_down(sta, Nanos::ZERO);
+            app.add_tcp_up(sta, Nanos::ZERO);
+        }
+        app.add_ping(2, Nanos::ZERO);
+        app.install(&mut net);
+        net.run(cfg.duration, &mut app);
+
+        let capture = capture.borrow();
+        for sta in 0..3 {
+            let meter = net.station_meter(sta).total_airtime();
+            let cap = capture.airtime(sta);
+            let err = (meter.as_nanos() as f64 - cap.as_nanos() as f64).abs()
+                / meter.as_nanos().max(1) as f64
+                * 100.0;
+            rows.push(Row {
+                seed,
+                station: sta,
+                meter_ms: meter.as_millis_f64(),
+                capture_ms: cap.as_millis_f64(),
+                error_pct: err,
+            });
+        }
+    }
+    let mut t = Table::new(vec![
+        "Seed",
+        "Station",
+        "Meter (ms)",
+        "Capture (ms)",
+        "Error",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.seed.to_string(),
+            r.station.to_string(),
+            format!("{:.1}", r.meter_ms),
+            format!("{:.1}", r.capture_ms),
+            format!("{:.4}%", r.error_pct),
+        ]);
+    }
+    t.print();
+    let worst = rows.iter().map(|r| r.error_pct).fold(0.0f64, f64::max);
+    println!(
+        "\nWorst-case disagreement: {worst:.4}% (paper: <=1.5% average; the\n\
+         simulator's meter and monitor share exact timing, so agreement\n\
+         here should be bit-exact — any nonzero error is an accounting bug)."
+    );
+    write_json("ext_meter_validation", &rows);
+    assert!(worst < 1.5, "meter and capture diverged by {worst}%");
+}

@@ -1,0 +1,55 @@
+//! Figure 10: latency distributions in the 30-station TCP test.
+
+use wifiq_experiments::report::{ascii_cdf_labeled, write_json, Table};
+use wifiq_experiments::{thirty, RunCfg};
+
+fn main() {
+    let mut cfg = RunCfg::from_env();
+    if std::env::var("WIFIQ_REPS").is_err() {
+        cfg.reps = 3;
+    }
+    println!(
+        "Figure 10: latency for the 30-station TCP test ({} reps x {}s)\n",
+        cfg.reps,
+        cfg.duration.as_millis() / 1000
+    );
+    let results = thirty::run_all(&cfg);
+    let mut t = Table::new(vec![
+        "Scheme",
+        "Station",
+        "median(ms)",
+        "p95(ms)",
+        "mean(ms)",
+    ]);
+    for r in &results {
+        for (label, s) in [("fast", &r.fast_latency), ("slow", &r.slow_latency)] {
+            t.row(vec![
+                r.scheme.clone(),
+                label.to_string(),
+                format!("{:.1}", s.median),
+                format!("{:.1}", s.p95),
+                format!("{:.1}", s.mean),
+            ]);
+        }
+    }
+    t.print();
+
+    println!("\nLatency CDF (ms, log scale):\n");
+    let series: Vec<(String, &[(f64, f64)])> = results
+        .iter()
+        .flat_map(|r| {
+            [
+                (format!("Fast - {}", r.scheme), r.fast_cdf.points.as_slice()),
+                (format!("Slow - {}", r.scheme), r.slow_cdf.points.as_slice()),
+            ]
+        })
+        .collect();
+    print!("{}", ascii_cdf_labeled(&series, 72, 18));
+    wifiq_experiments::report::write_csv_cdf("fig10_30sta_cdf", &series);
+
+    println!(
+        "\nPaper: airtime fairness improves fast-station latency, worsens the \
+         slow station's by an order of magnitude, and halves the average."
+    );
+    write_json("fig10_30sta_latency", &results);
+}

@@ -1,0 +1,42 @@
+//! Runs every experiment in sequence (the full evaluation).
+//!
+//! Honours the same environment knobs as the individual binaries
+//! (`WIFIQ_REPS`, `WIFIQ_SECS`, `WIFIQ_QUICK`).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig04_latency_tcp",
+        "table1_model_validation",
+        "fig05_airtime_udp",
+        "fig06_jain_index",
+        "fig07_tcp_throughput",
+        "fig08_sparse_station",
+        "fig09_30sta_airtime",
+        "fig10_30sta_latency",
+        "table2_voip_mos",
+        "fig11_web_plt",
+        "ablation_design_choices",
+        "ext_rate_control",
+        "ext_meter_validation",
+        "ext_client_fq",
+        "ext_airtime_weights",
+        "ext_80211ac",
+        "ext_aql",
+        "ext_lossy_channel",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n=== {bin} ===\n");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} failed: {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nAll experiments complete; artifacts in results/.");
+}

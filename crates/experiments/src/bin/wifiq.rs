@@ -1,0 +1,438 @@
+//! `wifiq` — a configurable scenario runner for the simulated testbed.
+//!
+//! Build any station mix, pick a queue-management scheme and a traffic
+//! mix, and get airtime/latency/throughput summaries — without writing a
+//! new experiment binary.
+//!
+//! ```text
+//! wifiq --scheme airtime --stations mcs15,mcs15,mcs0 --traffic tcp --secs 30
+//! wifiq --scheme fifo --stations mcs15x5,1mbps --traffic udp:50 --ping 0
+//! wifiq --scheme fqmac --stations vht9x2 --traffic web
+//! ```
+//!
+//! Argument parsing is hand-rolled: the workspace's dependency policy
+//! (DESIGN.md §5) keeps external crates to the approved list, and the
+//! grammar here is small enough that a parser dependency would outweigh
+//! the code it replaces.
+
+use wifiq_experiments::report::{pct, Table};
+use wifiq_experiments::scenario_file::{InstalledTraffic, ScenarioFile};
+use wifiq_mac::{NetworkConfig, SchemeKind, StationCfg, StationMeter, WifiNetwork};
+use wifiq_phy::PhyRate;
+use wifiq_sim::Nanos;
+use wifiq_stats::{jain_index, Summary};
+use wifiq_traffic::{TrafficApp, WebPage};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Traffic {
+    TcpDown,
+    TcpBidir,
+    /// Mbps per station.
+    Udp(u64),
+    Web,
+}
+
+struct Args {
+    scheme: SchemeKind,
+    stations: Vec<PhyRate>,
+    traffic: Traffic,
+    secs: u64,
+    seed: u64,
+    ping: Option<usize>,
+    station_fq: bool,
+    rate_control: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "wifiq — simulate a WiFi network under the paper's queue-management schemes
+
+USAGE:
+    wifiq [OPTIONS]
+
+OPTIONS:
+    --scheme <fifo|fqcodel|fqmac|airtime>   AP scheme (default: airtime)
+    --stations <spec,spec,...>              station rates (default: mcs15,mcs15,mcs0)
+                                            spec: mcsN | mcsNxK (K copies) | 1mbps..54mbps | vhtN | vhtNx2
+    --traffic <tcp|tcp-bidir|udp[:MBPS]|web> workload (default: tcp)
+    --secs <N>                              simulated seconds (default: 20)
+    --seed <N>                              RNG seed (default: 1)
+    --ping <STA>                            add a 10 Hz ping to station STA
+    --station-fq                            FQ-CoDel on client uplinks
+    --rate-control                          Minstrel rate control at the AP
+    --config <FILE.json>                    run a scenario file instead
+                                            (see crates/experiments/src/scenario_file.rs)
+    --help                                  this text
+
+EXAMPLES:
+    wifiq --scheme fifo --stations mcs15,mcs15,mcs0 --traffic udp:100 --ping 0
+    wifiq --scheme airtime --stations mcs15x28,1mbps --traffic tcp --secs 30"
+    );
+    std::process::exit(2);
+}
+
+fn parse_station(spec: &str) -> Result<Vec<PhyRate>, String> {
+    let (base, count) = match spec.split_once('x') {
+        Some((b, k)) => {
+            let k: usize = k.parse().map_err(|_| format!("bad count in '{spec}'"))?;
+            if k == 0 {
+                return Err(format!("station count must be positive in '{spec}'"));
+            }
+            (b, k)
+        }
+        None => (spec, 1),
+    };
+    let rate = wifiq_experiments::scenario_file::parse_rate(base)?;
+    Ok(vec![rate; count])
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scheme: SchemeKind::AirtimeFair,
+        stations: vec![
+            PhyRate::fast_station(),
+            PhyRate::fast_station(),
+            PhyRate::slow_station(),
+        ],
+        traffic: Traffic::TcpDown,
+        secs: 20,
+        seed: 1,
+        ping: None,
+        station_fq: false,
+        rate_control: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--help" | "-h" => usage(),
+            "--scheme" => {
+                args.scheme = match value(&mut i)?.as_str() {
+                    "fifo" => SchemeKind::Fifo,
+                    "fqcodel" => SchemeKind::FqCodelQdisc,
+                    "fqmac" => SchemeKind::FqMac,
+                    "airtime" => SchemeKind::AirtimeFair,
+                    s => return Err(format!("unknown scheme '{s}'")),
+                }
+            }
+            "--stations" => {
+                args.stations = value(&mut i)?
+                    .split(',')
+                    .map(parse_station)
+                    .collect::<Result<Vec<_>, _>>()?
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                if args.stations.is_empty() {
+                    return Err("need at least one station".into());
+                }
+            }
+            "--traffic" => {
+                let v = value(&mut i)?;
+                args.traffic = if v == "tcp" {
+                    Traffic::TcpDown
+                } else if v == "tcp-bidir" {
+                    Traffic::TcpBidir
+                } else if v == "web" {
+                    Traffic::Web
+                } else if let Some(rest) = v.strip_prefix("udp") {
+                    let mbps = match rest.strip_prefix(':') {
+                        Some(m) => m.parse().map_err(|_| format!("bad UDP rate '{m}'"))?,
+                        None => 100,
+                    };
+                    Traffic::Udp(mbps)
+                } else {
+                    return Err(format!("unknown traffic '{v}'"));
+                };
+            }
+            "--secs" => args.secs = value(&mut i)?.parse().map_err(|_| "bad --secs")?,
+            "--seed" => args.seed = value(&mut i)?.parse().map_err(|_| "bad --seed")?,
+            "--ping" => args.ping = Some(value(&mut i)?.parse().map_err(|_| "bad --ping")?),
+            "--station-fq" => args.station_fq = true,
+            "--rate-control" => args.rate_control = true,
+            other => return Err(format!("unknown option '{other}' (try --help)")),
+        }
+        i += 1;
+    }
+    if let Some(p) = args.ping {
+        if p >= args.stations.len() {
+            return Err(format!("--ping {p}: no such station"));
+        }
+    }
+    Ok(args)
+}
+
+/// Runs a scenario file and prints per-component results.
+fn run_config(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let scenario = ScenarioFile::from_json(&text)?;
+    let mut built = scenario.build()?;
+    let duration = built.duration;
+    let warmup = duration / 6;
+    built.net.run(warmup, &mut built.app);
+    let before: Vec<StationMeter> = built.net.meter().all().to_vec();
+    built.net.run(duration, &mut built.app);
+
+    println!(
+        "wifiq: scenario {path} | {} | {} stations | {} s
+",
+        built.net.scheme(),
+        built.net.config().num_stations(),
+        duration.as_millis() / 1000
+    );
+    let n = built.net.config().num_stations();
+    let deltas: Vec<StationMeter> = built
+        .net
+        .meter()
+        .all()
+        .iter()
+        .zip(&before)
+        .map(|(l, e)| wifiq_experiments::runner::meter_delta(l, e))
+        .collect();
+    let total_air: f64 = deltas
+        .iter()
+        .map(|m| m.total_airtime().as_nanos() as f64)
+        .sum();
+    let mut t = Table::new(vec!["Station", "Airtime share", "Mean aggr"]);
+    let mut shares = Vec::new();
+    for (sta, d) in deltas.iter().enumerate().take(n) {
+        let share = if total_air > 0.0 {
+            d.total_airtime().as_nanos() as f64 / total_air
+        } else {
+            0.0
+        };
+        shares.push(share);
+        t.row(vec![
+            sta.to_string(),
+            pct(share),
+            format!("{:.1}", d.mean_aggregation()),
+        ]);
+    }
+    t.print();
+    println!(
+        "
+Jain's airtime fairness index: {:.3}
+",
+        jain_index(&shares)
+    );
+
+    let secs = (duration - warmup).as_secs_f64();
+    for (i, traffic) in built.traffic.iter().enumerate() {
+        match traffic {
+            InstalledTraffic::Tcp(h) => {
+                let b = built.app.tcp(*h).bytes_between(warmup, duration);
+                println!(
+                    "traffic[{i}] tcp: {:.1} Mbps (station {})",
+                    b as f64 * 8.0 / secs / 1e6,
+                    built.app.tcp(*h).station
+                );
+            }
+            InstalledTraffic::Udp(h) => {
+                let b = built.app.udp(*h).bytes_between(warmup, duration);
+                println!(
+                    "traffic[{i}] udp: {:.1} Mbps delivered (station {})",
+                    b as f64 * 8.0 / secs / 1e6,
+                    built.app.udp(*h).station
+                );
+            }
+            InstalledTraffic::Ping(h) => {
+                let rtts: Vec<f64> = built
+                    .app
+                    .ping(*h)
+                    .rtts_after(warmup)
+                    .iter()
+                    .map(|r| r.as_millis_f64())
+                    .collect();
+                let s = Summary::of(&rtts);
+                println!(
+                    "traffic[{i}] ping: median {:.1} ms, p95 {:.1} ms (station {})",
+                    s.median,
+                    s.p95,
+                    built.app.ping(*h).station
+                );
+            }
+            InstalledTraffic::Voip(h) => {
+                let delays = built.app.voip(*h).delays_after(warmup);
+                let sent = ((duration - warmup).as_millis() / 20) as usize;
+                let m = wifiq_stats::VoipMetrics::from_delays(&delays, sent.max(delays.len()));
+                println!(
+                    "traffic[{i}] voip: MOS {:.2} (delay {:.1} ms, loss {:.1}%) (station {})",
+                    m.mos(),
+                    m.mean_delay_ms,
+                    m.loss * 100.0,
+                    built.app.voip(*h).station
+                );
+            }
+            InstalledTraffic::Web(h) => match built.app.web(*h).plt {
+                Some(plt) => println!(
+                    "traffic[{i}] web: PLT {:.3} s (station {})",
+                    plt.as_secs_f64(),
+                    built.app.web(*h).station
+                ),
+                None => println!("traffic[{i}] web: did not complete"),
+            },
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    // Scenario-file mode takes over entirely.
+    let argv: Vec<String> = std::env::args().collect();
+    if let Some(pos) = argv.iter().position(|a| a == "--config") {
+        let Some(path) = argv.get(pos + 1) else {
+            eprintln!("error: --config needs a file");
+            std::process::exit(2);
+        };
+        if argv.len() != 3 {
+            eprintln!(
+                "error: --config replaces all other options (the scenario \
+                 file carries the full configuration)"
+            );
+            std::process::exit(2);
+        }
+        if let Err(e) = run_config(path) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        return;
+    }
+
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n(run with --help for usage)");
+            std::process::exit(2);
+        }
+    };
+
+    let mut cfg = NetworkConfig::new(
+        args.stations
+            .iter()
+            .map(|&r| StationCfg::clean(r))
+            .collect(),
+        args.scheme,
+    );
+    cfg.seed = args.seed;
+    cfg.station_fq = args.station_fq;
+    cfg.rate_control = args.rate_control;
+    let n = cfg.num_stations();
+
+    let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(cfg);
+    let mut app = TrafficApp::with_seed(args.seed);
+    let mut tcps = Vec::new();
+    let mut udps = Vec::new();
+    let mut webs = Vec::new();
+    for sta in 0..n {
+        match args.traffic {
+            Traffic::TcpDown => tcps.push(app.add_tcp_down(sta, Nanos::ZERO)),
+            Traffic::TcpBidir => {
+                tcps.push(app.add_tcp_down(sta, Nanos::ZERO));
+                tcps.push(app.add_tcp_up(sta, Nanos::ZERO));
+            }
+            Traffic::Udp(mbps) => udps.push(app.add_udp_down(sta, mbps * 1_000_000, Nanos::ZERO)),
+            Traffic::Web => webs.push(app.add_web(sta, WebPage::small(), Nanos::ZERO)),
+        }
+    }
+    let ping = args.ping.map(|sta| app.add_ping(sta, Nanos::ZERO));
+    app.install(&mut net);
+
+    let duration = Nanos::from_secs(args.secs);
+    let warmup = duration / 6;
+    net.run(warmup, &mut app);
+    let before: Vec<StationMeter> = net.meter().all().to_vec();
+    net.run(duration, &mut app);
+
+    println!(
+        "wifiq: {} | {} stations | {:?} | {} s (seed {})\n",
+        args.scheme, n, args.traffic, args.secs, args.seed
+    );
+    let window_secs = (duration - warmup).as_secs_f64();
+    let deltas: Vec<StationMeter> = net
+        .meter()
+        .all()
+        .iter()
+        .zip(&before)
+        .map(|(l, e)| wifiq_experiments::runner::meter_delta(l, e))
+        .collect();
+    let total_air: f64 = deltas
+        .iter()
+        .map(|m| m.total_airtime().as_nanos() as f64)
+        .sum();
+
+    let mut t = Table::new(vec![
+        "Station",
+        "Rate",
+        "Airtime",
+        "Goodput (Mbps)",
+        "Mean aggr",
+    ]);
+    let mut shares = Vec::new();
+    for sta in 0..n {
+        let share = if total_air > 0.0 {
+            deltas[sta].total_airtime().as_nanos() as f64 / total_air
+        } else {
+            0.0
+        };
+        shares.push(share);
+        let goodput = match args.traffic {
+            Traffic::TcpDown => {
+                app.tcp(tcps[sta]).bytes_between(warmup, duration) as f64 * 8.0 / window_secs
+            }
+            Traffic::TcpBidir => {
+                (app.tcp(tcps[2 * sta]).bytes_between(warmup, duration)
+                    + app.tcp(tcps[2 * sta + 1]).bytes_between(warmup, duration))
+                    as f64
+                    * 8.0
+                    / window_secs
+            }
+            Traffic::Udp(_) => {
+                app.udp(udps[sta]).bytes_between(warmup, duration) as f64 * 8.0 / window_secs
+            }
+            Traffic::Web => 0.0,
+        };
+        t.row(vec![
+            sta.to_string(),
+            args.stations[sta].to_string(),
+            pct(share),
+            format!("{:.1}", goodput / 1e6),
+            format!("{:.1}", deltas[sta].mean_aggregation()),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nJain's airtime fairness index: {:.3}",
+        jain_index(&shares)
+    );
+
+    if let Some(ping) = ping {
+        let rtts: Vec<f64> = app
+            .ping(ping)
+            .rtts_after(warmup)
+            .iter()
+            .map(|r| r.as_millis_f64())
+            .collect();
+        let s = Summary::of(&rtts);
+        println!(
+            "Ping (station {}): median {:.1} ms, p95 {:.1} ms, n={}",
+            args.ping.expect("checked"),
+            s.median,
+            s.p95,
+            s.count
+        );
+    }
+    if args.traffic == Traffic::Web {
+        for (sta, w) in webs.iter().enumerate() {
+            match app.web(*w).plt {
+                Some(plt) => println!("Web PLT (station {sta}): {:.3} s", plt.as_secs_f64()),
+                None => println!("Web PLT (station {sta}): did not complete"),
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Latency under load (Figures 1 and 4): ICMP ping with simultaneous bulk
+//! TCP traffic, per scheme, for a fast and the slow station.
+
+use serde::Serialize;
+use wifiq_mac::{SchemeKind, WifiNetwork};
+use wifiq_stats::{Cdf, Summary};
+use wifiq_traffic::TrafficApp;
+
+use crate::runner::RunCfg;
+use crate::scenario::{self, FAST1, SLOW};
+
+/// Latency distribution for one station class under one scheme.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencyDist {
+    /// Summary statistics in milliseconds.
+    pub summary: Summary,
+    /// Empirical CDF (ms, probability), downsampled.
+    pub cdf: Cdf,
+}
+
+impl LatencyDist {
+    fn of(samples_ms: &[f64]) -> LatencyDist {
+        LatencyDist {
+            summary: Summary::of(samples_ms),
+            cdf: Cdf::of(samples_ms, 200),
+        }
+    }
+}
+
+/// One scheme's latency result.
+#[derive(Debug, Clone, Serialize)]
+pub struct SchemeLatency {
+    /// Scheme label.
+    pub scheme: String,
+    /// Fast-station ping RTT distribution.
+    pub fast: LatencyDist,
+    /// Slow-station ping RTT distribution.
+    pub slow: LatencyDist,
+}
+
+/// Runs the Figure 4 workload (ping + TCP download to every station)
+/// under one scheme; `bidir` adds simultaneous uploads (the online
+/// appendix variant mentioned in §4.1.1).
+pub fn run_scheme(scheme: SchemeKind, cfg: &RunCfg, bidir: bool) -> SchemeLatency {
+    let mut fast_ms = Vec::new();
+    let mut slow_ms = Vec::new();
+    for seed in cfg.seeds() {
+        let net_cfg = scenario::testbed3(scheme, seed);
+        let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
+        let mut app = TrafficApp::new();
+        let ping_fast = app.add_ping(FAST1, wifiq_sim::Nanos::ZERO);
+        let ping_slow = app.add_ping(SLOW, wifiq_sim::Nanos::ZERO);
+        for sta in 0..3 {
+            app.add_tcp_down(sta, wifiq_sim::Nanos::ZERO);
+            if bidir {
+                app.add_tcp_up(sta, wifiq_sim::Nanos::ZERO);
+            }
+        }
+        app.install(&mut net);
+        net.run(cfg.duration, &mut app);
+        fast_ms.extend(
+            app.ping(ping_fast)
+                .rtts_after(cfg.warmup)
+                .iter()
+                .map(|r| r.as_millis_f64()),
+        );
+        slow_ms.extend(
+            app.ping(ping_slow)
+                .rtts_after(cfg.warmup)
+                .iter()
+                .map(|r| r.as_millis_f64()),
+        );
+    }
+    SchemeLatency {
+        scheme: scheme.label().to_string(),
+        fast: LatencyDist::of(&fast_ms),
+        slow: LatencyDist::of(&slow_ms),
+    }
+}
+
+/// Runs all four schemes (Figure 4; Figure 1 is the FIFO-vs-modified
+/// subset of the same data).
+pub fn run_all(cfg: &RunCfg, bidir: bool) -> Vec<SchemeLatency> {
+    SchemeKind::ALL
+        .into_iter()
+        .map(|s| run_scheme(s, cfg, bidir))
+        .collect()
+}

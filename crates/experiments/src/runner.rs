@@ -1,0 +1,181 @@
+//! Shared experiment-running machinery: repetition/warm-up configuration
+//! and meter arithmetic.
+
+use wifiq_mac::StationMeter;
+use wifiq_sim::Nanos;
+
+/// Repetition and duration settings for an experiment.
+///
+/// The paper uses 30 × 30 s for the testbed experiments and 5 × 300 s for
+/// the 30-station test; those take a while in a discrete-event simulator,
+/// so the defaults here are scaled down and can be overridden through the
+/// environment:
+///
+/// - `WIFIQ_REPS` — repetitions (seed sweep),
+/// - `WIFIQ_SECS` — seconds of simulated time per repetition,
+/// - `WIFIQ_QUICK=1` — 1 × 10 s smoke settings.
+#[derive(Debug, Clone, Copy)]
+pub struct RunCfg {
+    /// Number of repetitions; repetition `i` uses seed `base_seed + i`.
+    pub reps: u64,
+    /// Simulated duration of each repetition.
+    pub duration: Nanos,
+    /// Samples before this offset are discarded (TCP ramp-up etc.).
+    pub warmup: Nanos,
+    /// Seed of the first repetition.
+    pub base_seed: u64,
+}
+
+impl RunCfg {
+    /// Default: 5 repetitions × 30 s with a 5 s warm-up.
+    pub fn new() -> RunCfg {
+        RunCfg {
+            reps: 5,
+            duration: Nanos::from_secs(30),
+            warmup: Nanos::from_secs(5),
+            base_seed: 1,
+        }
+    }
+
+    /// Reads overrides from the environment (see type docs).
+    pub fn from_env() -> RunCfg {
+        let mut cfg = RunCfg::new();
+        if std::env::var("WIFIQ_QUICK").is_ok_and(|v| v == "1") {
+            cfg.reps = 1;
+            cfg.duration = Nanos::from_secs(10);
+            cfg.warmup = Nanos::from_secs(2);
+        }
+        if let Ok(r) = std::env::var("WIFIQ_REPS") {
+            if let Ok(r) = r.parse::<u64>() {
+                cfg.reps = r.max(1);
+            }
+        }
+        if let Ok(s) = std::env::var("WIFIQ_SECS") {
+            if let Ok(s) = s.parse::<u64>() {
+                cfg.duration = Nanos::from_secs(s.max(2));
+                cfg.warmup = Nanos::from_secs((s / 6).max(1));
+            }
+        }
+        cfg
+    }
+
+    /// Seeds for each repetition.
+    pub fn seeds(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.reps).map(|i| self.base_seed + i)
+    }
+
+    /// The measurement window length (duration − warmup).
+    pub fn window(&self) -> Nanos {
+        self.duration - self.warmup
+    }
+}
+
+impl Default for RunCfg {
+    fn default() -> Self {
+        RunCfg::new()
+    }
+}
+
+/// Difference of two meter snapshots (`later − earlier`), for measuring a
+/// window that excludes warm-up.
+pub fn meter_delta(later: &StationMeter, earlier: &StationMeter) -> StationMeter {
+    StationMeter {
+        tx_airtime: later.tx_airtime - earlier.tx_airtime,
+        rx_airtime: later.rx_airtime - earlier.rx_airtime,
+        tx_frames: later.tx_frames - earlier.tx_frames,
+        tx_bytes: later.tx_bytes - earlier.tx_bytes,
+        rx_frames: later.rx_frames - earlier.rx_frames,
+        rx_bytes: later.rx_bytes - earlier.rx_bytes,
+        tx_aggregates: later.tx_aggregates - earlier.tx_aggregates,
+        tx_aggregate_frames: later.tx_aggregate_frames - earlier.tx_aggregate_frames,
+        failures: later.failures - earlier.failures,
+        retry_drops: later.retry_drops - earlier.retry_drops,
+    }
+}
+
+/// Airtime shares over a set of meter windows.
+pub fn shares_of(meters: &[StationMeter]) -> Vec<f64> {
+    let total: f64 = meters
+        .iter()
+        .map(|m| m.total_airtime().as_nanos() as f64)
+        .sum();
+    if total == 0.0 {
+        return vec![0.0; meters.len()];
+    }
+    meters
+        .iter()
+        .map(|m| m.total_airtime().as_nanos() as f64 / total)
+        .collect()
+}
+
+/// Median of a slice (empty → 0).
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+    v[v.len() / 2]
+}
+
+/// Mean of a slice (empty → 0).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_consecutive() {
+        let cfg = RunCfg {
+            reps: 3,
+            base_seed: 10,
+            ..RunCfg::new()
+        };
+        assert_eq!(cfg.seeds().collect::<Vec<_>>(), vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn meter_delta_subtracts() {
+        let a = StationMeter {
+            tx_bytes: 100,
+            tx_airtime: Nanos::from_millis(5),
+            ..StationMeter::default()
+        };
+        let b = StationMeter {
+            tx_bytes: 250,
+            tx_airtime: Nanos::from_millis(9),
+            ..a
+        };
+        let d = meter_delta(&b, &a);
+        assert_eq!(d.tx_bytes, 150);
+        assert_eq!(d.tx_airtime, Nanos::from_millis(4));
+    }
+
+    #[test]
+    fn shares_normalise() {
+        let a = StationMeter {
+            tx_airtime: Nanos::from_millis(1),
+            ..StationMeter::default()
+        };
+        let b = StationMeter {
+            tx_airtime: Nanos::from_millis(3),
+            ..StationMeter::default()
+        };
+        let s = shares_of(&[a, b]);
+        assert!((s[0] - 0.25).abs() < 1e-12);
+        assert!((s[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_and_mean() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+}

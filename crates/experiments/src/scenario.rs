@@ -1,0 +1,94 @@
+//! Scenario builders matching the paper's testbeds.
+
+use wifiq_mac::{NetworkConfig, SchemeKind, StationCfg};
+use wifiq_phy::{LegacyRate, PhyRate};
+use wifiq_sim::Nanos;
+
+/// Index of the first fast station in the 3/4-station testbeds.
+pub const FAST1: usize = 0;
+/// Index of the second fast station.
+pub const FAST2: usize = 1;
+/// Index of the slow (MCS0) station.
+pub const SLOW: usize = 2;
+/// Index of the extra (virtual) fast station in 4-station scenarios.
+pub const EXTRA: usize = 3;
+
+/// The paper's main testbed: two fast stations (144.4 Mbps) and one slow
+/// station (7.2 Mbps).
+pub fn testbed3(scheme: SchemeKind, seed: u64) -> NetworkConfig {
+    let mut cfg = NetworkConfig::paper_testbed(scheme);
+    cfg.seed = seed;
+    cfg
+}
+
+/// The 4-station variant: testbed plus one additional (virtual) fast
+/// station, used for the sparse-station and VoIP experiments (§4.1.4,
+/// §4.2.1).
+pub fn testbed4(scheme: SchemeKind, seed: u64) -> NetworkConfig {
+    let mut cfg = testbed3(scheme, seed);
+    cfg.stations
+        .push(StationCfg::clean(PhyRate::fast_station()));
+    cfg
+}
+
+/// Disables the sparse-station optimisation (Figure 8's "Disabled" case).
+pub fn without_sparse(mut cfg: NetworkConfig) -> NetworkConfig {
+    cfg.airtime.sparse_stations = false;
+    cfg
+}
+
+/// Sets the wired baseline one-way delay (the VoIP experiments use 5 ms
+/// and 50 ms).
+pub fn with_wire_delay(mut cfg: NetworkConfig, owd: Nanos) -> NetworkConfig {
+    cfg.wire_delay = owd;
+    cfg
+}
+
+/// In the 30-station testbed: index of the 1 Mbps legacy client.
+pub const SLOW30: usize = 0;
+/// In the 30-station testbed: index of the ping-only fast client.
+pub const PINGONLY30: usize = 29;
+/// Indices of the 28 bulk fast clients in the 30-station testbed.
+pub fn bulk30() -> impl Iterator<Item = usize> {
+    1..29
+}
+
+/// The third-party 30-station testbed (§4.1.5): 29 fast clients plus one
+/// artificially limited to 1 Mbps (HT disabled — no aggregation), on a
+/// 2.4 GHz HT20 channel.
+pub fn testbed30(scheme: SchemeKind, seed: u64) -> NetworkConfig {
+    let mut stations = vec![StationCfg::clean(PhyRate::Legacy(LegacyRate::Dsss1))];
+    for _ in 0..29 {
+        stations.push(StationCfg::clean(PhyRate::fast_station()));
+    }
+    let mut cfg = NetworkConfig::new(stations, scheme);
+    cfg.seed = seed;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_shapes() {
+        let t3 = testbed3(SchemeKind::Fifo, 7);
+        assert_eq!(t3.num_stations(), 3);
+        assert_eq!(t3.seed, 7);
+        let t4 = testbed4(SchemeKind::Fifo, 7);
+        assert_eq!(t4.num_stations(), 4);
+        assert_eq!(t4.stations[EXTRA].rate, PhyRate::fast_station());
+        let t30 = testbed30(SchemeKind::AirtimeFair, 9);
+        assert_eq!(t30.num_stations(), 30);
+        assert!(!t30.stations[SLOW30].rate.supports_aggregation());
+        assert_eq!(bulk30().count(), 28);
+    }
+
+    #[test]
+    fn modifiers() {
+        let cfg = without_sparse(testbed4(SchemeKind::AirtimeFair, 1));
+        assert!(!cfg.airtime.sparse_stations);
+        let cfg = with_wire_delay(cfg, Nanos::from_millis(50));
+        assert_eq!(cfg.wire_delay, Nanos::from_millis(50));
+    }
+}

@@ -1,0 +1,411 @@
+//! JSON scenario files: declarative network + traffic descriptions for
+//! the `wifiq` runner.
+//!
+//! ```json
+//! {
+//!   "scheme": "airtime",
+//!   "secs": 30,
+//!   "stations": [
+//!     { "rate": "mcs15" },
+//!     { "rate": "mcs15", "weight": 512 },
+//!     { "rate": "1mbps", "error": 0.1 }
+//!   ],
+//!   "traffic": [
+//!     { "kind": "tcp_down", "station": 0 },
+//!     { "kind": "udp_down", "station": 2, "mbps": 10, "poisson": true },
+//!     { "kind": "ping", "station": 0 },
+//!     { "kind": "voip", "station": 2, "qos": "vo" },
+//!     { "kind": "web", "station": 1, "page": "large" }
+//!   ]
+//! }
+//! ```
+
+use serde::Deserialize;
+use wifiq_mac::{ErrorModel, NetworkConfig, SchemeKind, StationCfg, WifiNetwork};
+use wifiq_phy::{AccessCategory, ChannelWidth, LegacyRate, PhyRate, VhtWidth};
+use wifiq_sim::Nanos;
+use wifiq_traffic::{AppMsg, FlowHandle, TrafficApp, WebPage};
+
+/// One station in a scenario file.
+#[derive(Debug, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct StationSpec {
+    /// Rate spec: `mcsN`, `vhtN` (2 streams, 80 MHz), or `<x>mbps`.
+    pub rate: String,
+    /// Per-exchange error probability (default 0).
+    #[serde(default)]
+    pub error: f64,
+    /// MCS cliff for rate-control scenarios (overrides `error`).
+    #[serde(default)]
+    pub mcs_cliff: Option<u8>,
+    /// Airtime weight (default 256 = neutral).
+    #[serde(default)]
+    pub weight: Option<u32>,
+}
+
+/// One traffic component in a scenario file.
+#[derive(Debug, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case", deny_unknown_fields)]
+pub enum TrafficSpec {
+    /// Bulk TCP download to `station`.
+    TcpDown {
+        /// Target station.
+        station: usize,
+    },
+    /// Bulk TCP upload from `station`.
+    TcpUp {
+        /// Source station.
+        station: usize,
+    },
+    /// Downstream UDP at `mbps`, optionally Poisson.
+    UdpDown {
+        /// Target station.
+        station: usize,
+        /// Mean offered rate in Mbps.
+        mbps: u64,
+        /// Exponential interarrivals instead of CBR.
+        #[serde(default)]
+        poisson: bool,
+    },
+    /// 10 Hz ping to `station`.
+    Ping {
+        /// Target station.
+        station: usize,
+    },
+    /// G.711 VoIP stream to `station`.
+    Voip {
+        /// Target station.
+        station: usize,
+        /// QoS marking: "vo", "vi", "be", "bk" (default "be").
+        #[serde(default)]
+        qos: Option<String>,
+    },
+    /// Web page load from `station`.
+    Web {
+        /// Fetching station.
+        station: usize,
+        /// "small" (56 KB / 3 req) or "large" (3 MB / 110 req).
+        #[serde(default)]
+        page: Option<String>,
+    },
+}
+
+/// A complete scenario file.
+#[derive(Debug, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ScenarioFile {
+    /// Scheme: "fifo", "fqcodel", "fqmac", "airtime" (default "airtime").
+    #[serde(default)]
+    pub scheme: Option<String>,
+    /// Simulated seconds (default 20).
+    #[serde(default)]
+    pub secs: Option<u64>,
+    /// RNG seed (default 1).
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// FQ-CoDel on client uplinks.
+    #[serde(default)]
+    pub station_fq: bool,
+    /// Minstrel rate control at the AP.
+    #[serde(default)]
+    pub rate_control: bool,
+    /// Airtime queue limit in ms (absent = off).
+    #[serde(default)]
+    pub aql_ms: Option<u64>,
+    /// The stations.
+    pub stations: Vec<StationSpec>,
+    /// The traffic mix.
+    pub traffic: Vec<TrafficSpec>,
+}
+
+/// A parsed rate spec (shared with the CLI's `--stations` grammar).
+pub fn parse_rate(spec: &str) -> Result<PhyRate, String> {
+    if let Some(mcs) = spec.strip_prefix("vht") {
+        let mcs: u8 = mcs.parse().map_err(|_| format!("bad VHT MCS '{spec}'"))?;
+        if mcs > 9 {
+            return Err(format!("VHT MCS out of range: '{spec}'"));
+        }
+        Ok(PhyRate::vht(mcs, 2, VhtWidth::Mhz80, true))
+    } else if let Some(mcs) = spec.strip_prefix("mcs") {
+        let mcs: u8 = mcs.parse().map_err(|_| format!("bad MCS '{spec}'"))?;
+        if mcs > 15 {
+            return Err(format!("HT MCS out of range: '{spec}'"));
+        }
+        Ok(PhyRate::ht(mcs, ChannelWidth::Ht20, true))
+    } else if let Some(m) = spec.strip_suffix("mbps") {
+        let r = match m {
+            "1" => LegacyRate::Dsss1,
+            "2" => LegacyRate::Dsss2,
+            "5.5" => LegacyRate::Dsss5_5,
+            "11" => LegacyRate::Dsss11,
+            "6" => LegacyRate::Ofdm6,
+            "9" => LegacyRate::Ofdm9,
+            "12" => LegacyRate::Ofdm12,
+            "18" => LegacyRate::Ofdm18,
+            "24" => LegacyRate::Ofdm24,
+            "36" => LegacyRate::Ofdm36,
+            "48" => LegacyRate::Ofdm48,
+            "54" => LegacyRate::Ofdm54,
+            other => return Err(format!("unsupported legacy rate '{other}mbps'")),
+        };
+        Ok(PhyRate::Legacy(r))
+    } else {
+        Err(format!("unrecognised rate spec '{spec}'"))
+    }
+}
+
+fn parse_qos(s: Option<&str>) -> Result<AccessCategory, String> {
+    Ok(match s.unwrap_or("be") {
+        "vo" => AccessCategory::Vo,
+        "vi" => AccessCategory::Vi,
+        "be" => AccessCategory::Be,
+        "bk" => AccessCategory::Bk,
+        other => return Err(format!("unknown QoS '{other}'")),
+    })
+}
+
+/// A traffic handle paired with what it is, for result reporting.
+#[derive(Debug)]
+pub enum InstalledTraffic {
+    /// TCP transfer.
+    Tcp(FlowHandle),
+    /// UDP flood.
+    Udp(FlowHandle),
+    /// Ping flow.
+    Ping(FlowHandle),
+    /// VoIP stream.
+    Voip(FlowHandle),
+    /// Web session.
+    Web(FlowHandle),
+}
+
+/// A scenario ready to run.
+pub struct BuiltScenario {
+    /// The simulated network.
+    pub net: WifiNetwork<AppMsg>,
+    /// The traffic application.
+    pub app: TrafficApp,
+    /// Handles in file order.
+    pub traffic: Vec<InstalledTraffic>,
+    /// Simulated duration.
+    pub duration: Nanos,
+}
+
+impl ScenarioFile {
+    /// Parses a scenario from JSON text.
+    pub fn from_json(text: &str) -> Result<ScenarioFile, String> {
+        serde_json::from_str(text).map_err(|e| format!("scenario parse error: {e}"))
+    }
+
+    /// Validates and builds the network + traffic application.
+    pub fn build(&self) -> Result<BuiltScenario, String> {
+        if self.stations.is_empty() {
+            return Err("scenario needs at least one station".into());
+        }
+        let scheme = match self.scheme.as_deref().unwrap_or("airtime") {
+            "fifo" => SchemeKind::Fifo,
+            "fqcodel" => SchemeKind::FqCodelQdisc,
+            "fqmac" => SchemeKind::FqMac,
+            "airtime" => SchemeKind::AirtimeFair,
+            s => return Err(format!("unknown scheme '{s}'")),
+        };
+        let mut stations = Vec::new();
+        for spec in &self.stations {
+            let rate = parse_rate(&spec.rate)?;
+            let mut cfg = StationCfg::clean(rate);
+            cfg.errors = match spec.mcs_cliff {
+                Some(best_mcs) => ErrorModel::McsCliff {
+                    best_mcs,
+                    residual: 0.03,
+                },
+                None => ErrorModel::Fixed(spec.error),
+            };
+            if let Some(w) = spec.weight {
+                if w == 0 {
+                    return Err("station weight must be positive".into());
+                }
+                cfg.airtime_weight = w;
+            }
+            stations.push(cfg);
+        }
+        let n = stations.len();
+        let mut cfg = NetworkConfig::new(stations, scheme);
+        cfg.seed = self.seed.unwrap_or(1);
+        cfg.station_fq = self.station_fq;
+        cfg.rate_control = self.rate_control;
+        if self.aql_ms == Some(0) {
+            // A zero budget would make every station permanently
+            // ineligible and silently starve all traffic.
+            return Err("aql_ms must be positive (omit it to disable AQL)".into());
+        }
+        cfg.aql = self.aql_ms.map(Nanos::from_millis);
+
+        let mut app = TrafficApp::with_seed(cfg.seed);
+        let mut traffic = Vec::new();
+        for t in &self.traffic {
+            let sta = match t {
+                TrafficSpec::TcpDown { station }
+                | TrafficSpec::TcpUp { station }
+                | TrafficSpec::UdpDown { station, .. }
+                | TrafficSpec::Ping { station }
+                | TrafficSpec::Voip { station, .. }
+                | TrafficSpec::Web { station, .. } => *station,
+            };
+            if sta >= n {
+                return Err(format!(
+                    "traffic references station {sta}, but there are only {n}"
+                ));
+            }
+            let installed = match t {
+                TrafficSpec::TcpDown { station } => {
+                    InstalledTraffic::Tcp(app.add_tcp_down(*station, Nanos::ZERO))
+                }
+                TrafficSpec::TcpUp { station } => {
+                    InstalledTraffic::Tcp(app.add_tcp_up(*station, Nanos::ZERO))
+                }
+                TrafficSpec::UdpDown {
+                    station,
+                    mbps,
+                    poisson,
+                } => {
+                    let h = if *poisson {
+                        app.add_udp_down_poisson(*station, mbps * 1_000_000, Nanos::ZERO)
+                    } else {
+                        app.add_udp_down(*station, mbps * 1_000_000, Nanos::ZERO)
+                    };
+                    InstalledTraffic::Udp(h)
+                }
+                TrafficSpec::Ping { station } => {
+                    InstalledTraffic::Ping(app.add_ping(*station, Nanos::ZERO))
+                }
+                TrafficSpec::Voip { station, qos } => InstalledTraffic::Voip(app.add_voip(
+                    *station,
+                    parse_qos(qos.as_deref())?,
+                    Nanos::ZERO,
+                )),
+                TrafficSpec::Web { station, page } => {
+                    let page = match page.as_deref().unwrap_or("small") {
+                        "small" => WebPage::small(),
+                        "large" => WebPage::large(),
+                        other => return Err(format!("unknown page '{other}'")),
+                    };
+                    InstalledTraffic::Web(app.add_web(*station, page, Nanos::ZERO))
+                }
+            };
+            traffic.push(installed);
+        }
+
+        let mut net = WifiNetwork::new(cfg);
+        app.install(&mut net);
+        Ok(BuiltScenario {
+            net,
+            app,
+            traffic,
+            duration: Nanos::from_secs(self.secs.unwrap_or(20)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{
+        "scheme": "airtime",
+        "secs": 2,
+        "stations": [
+            { "rate": "mcs15" },
+            { "rate": "mcs0", "weight": 512 },
+            { "rate": "1mbps", "error": 0.1 }
+        ],
+        "traffic": [
+            { "kind": "tcp_down", "station": 0 },
+            { "kind": "udp_down", "station": 1, "mbps": 5, "poisson": true },
+            { "kind": "ping", "station": 2 },
+            { "kind": "voip", "station": 1, "qos": "vo" },
+            { "kind": "web", "station": 0, "page": "small" }
+        ]
+    }"#;
+
+    #[test]
+    fn good_scenario_parses_builds_and_runs() {
+        let sc = ScenarioFile::from_json(GOOD).unwrap();
+        let mut built = sc.build().unwrap();
+        assert_eq!(built.traffic.len(), 5);
+        let duration = built.duration;
+        built.net.run(duration, &mut built.app);
+        // Every component produced something.
+        for t in &built.traffic {
+            match t {
+                InstalledTraffic::Tcp(h) => assert!(built.app.tcp(*h).delivered_bytes() > 0),
+                InstalledTraffic::Udp(h) => assert!(built.app.udp(*h).delivered > 0),
+                InstalledTraffic::Ping(h) => assert!(!built.app.ping(*h).rtts.is_empty()),
+                InstalledTraffic::Voip(h) => assert!(!built.app.voip(*h).delays.is_empty()),
+                InstalledTraffic::Web(h) => assert!(built.app.web(*h).plt.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_station_reference_rejected() {
+        let sc = ScenarioFile::from_json(
+            r#"{ "stations": [{ "rate": "mcs15" }],
+                 "traffic": [{ "kind": "ping", "station": 3 }] }"#,
+        )
+        .unwrap();
+        let err = match sc.build() {
+            Err(e) => e,
+            Ok(_) => panic!("bad reference accepted"),
+        };
+        assert!(err.contains("station 3"), "{err}");
+    }
+
+    #[test]
+    fn unknown_fields_rejected() {
+        let err = ScenarioFile::from_json(
+            r#"{ "stations": [{ "rate": "mcs15", "typo_field": 1 }], "traffic": [] }"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("typo_field"), "{err}");
+    }
+
+    #[test]
+    fn bad_rate_and_qos_rejected() {
+        assert!(parse_rate("warp9").is_err());
+        assert!(parse_rate("mcs16").is_err());
+        assert!(parse_rate("vht10").is_err());
+        assert!(parse_qos(Some("turbo")).is_err());
+        assert_eq!(parse_qos(None).unwrap(), AccessCategory::Be);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let sc = ScenarioFile::from_json(r#"{ "stations": [{ "rate": "mcs7" }], "traffic": [] }"#)
+            .unwrap();
+        let built = sc.build().unwrap();
+        assert_eq!(built.duration, Nanos::from_secs(20));
+        assert_eq!(built.net.scheme(), SchemeKind::AirtimeFair);
+    }
+
+    #[test]
+    fn zero_aql_rejected() {
+        let sc = ScenarioFile::from_json(
+            r#"{ "aql_ms": 0, "stations": [{ "rate": "mcs7" }], "traffic": [] }"#,
+        )
+        .unwrap();
+        let err = match sc.build() {
+            Err(e) => e,
+            Ok(_) => panic!("zero AQL accepted"),
+        };
+        assert!(err.contains("aql_ms"), "{err}");
+    }
+
+    #[test]
+    fn zero_weight_rejected() {
+        let sc = ScenarioFile::from_json(
+            r#"{ "stations": [{ "rate": "mcs7", "weight": 0 }], "traffic": [] }"#,
+        )
+        .unwrap();
+        assert!(sc.build().is_err());
+    }
+}

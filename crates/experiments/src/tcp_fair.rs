@@ -1,0 +1,129 @@
+//! TCP workloads over the 3-station testbed: per-station throughput
+//! (Figure 7) and airtime fairness under TCP (Figure 6's TCP columns).
+
+use serde::Serialize;
+use wifiq_mac::{SchemeKind, StationMeter, WifiNetwork};
+use wifiq_sim::Nanos;
+use wifiq_stats::jain_index;
+use wifiq_traffic::TrafficApp;
+
+use crate::runner::{mean, meter_delta, shares_of, RunCfg};
+use crate::scenario;
+
+/// TCP traffic pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TcpPattern {
+    /// Bulk download to every station.
+    Download,
+    /// Simultaneous bulk upload and download for every station.
+    Bidirectional,
+}
+
+impl TcpPattern {
+    /// Label used in tables ("TCP dl" / "TCP bidir" as in Figure 6).
+    pub fn label(self) -> &'static str {
+        match self {
+            TcpPattern::Download => "TCP dl",
+            TcpPattern::Bidirectional => "TCP bidir",
+        }
+    }
+}
+
+/// Result of one scheme × pattern run.
+#[derive(Debug, Clone, Serialize)]
+pub struct TcpRunResult {
+    /// Scheme label.
+    pub scheme: String,
+    /// Pattern label.
+    pub pattern: String,
+    /// Mean per-station download goodput, bits/s.
+    pub down_bps: Vec<f64>,
+    /// Mean per-station upload goodput, bits/s (zero for Download).
+    pub up_bps: Vec<f64>,
+    /// Mean per-station airtime shares.
+    pub airtime_shares: Vec<f64>,
+    /// Median (across reps) Jain's index over station airtimes.
+    pub jain: f64,
+}
+
+impl TcpRunResult {
+    /// Mean of the per-station download goodputs (the "Average" group of
+    /// Figure 7), bits/s.
+    pub fn average_down(&self) -> f64 {
+        mean(&self.down_bps)
+    }
+
+    /// Total goodput over all stations and directions, bits/s.
+    pub fn total(&self) -> f64 {
+        self.down_bps.iter().sum::<f64>() + self.up_bps.iter().sum::<f64>()
+    }
+}
+
+/// Runs `pattern` under `scheme` on the 3-station testbed.
+pub fn run_scheme(scheme: SchemeKind, pattern: TcpPattern, cfg: &RunCfg) -> TcpRunResult {
+    let n = 3;
+    let mut down_acc = vec![Vec::new(); n];
+    let mut up_acc = vec![Vec::new(); n];
+    let mut share_acc = vec![Vec::new(); n];
+    let mut jain_acc = Vec::new();
+
+    for seed in cfg.seeds() {
+        let net_cfg = scenario::testbed3(scheme, seed);
+        let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
+        let mut app = TrafficApp::new();
+        let downs: Vec<_> = (0..n).map(|s| app.add_tcp_down(s, Nanos::ZERO)).collect();
+        let ups: Vec<_> = if pattern == TcpPattern::Bidirectional {
+            (0..n).map(|s| app.add_tcp_up(s, Nanos::ZERO)).collect()
+        } else {
+            Vec::new()
+        };
+        app.install(&mut net);
+
+        net.run(cfg.warmup, &mut app);
+        let before: Vec<StationMeter> = net.meter().all().to_vec();
+        net.run(cfg.duration, &mut app);
+        let window: Vec<StationMeter> = net
+            .meter()
+            .all()
+            .iter()
+            .zip(&before)
+            .map(|(l, e)| meter_delta(l, e))
+            .collect();
+
+        let secs = cfg.window().as_secs_f64();
+        for sta in 0..n {
+            let b = app.tcp(downs[sta]).bytes_between(cfg.warmup, cfg.duration);
+            down_acc[sta].push(b as f64 * 8.0 / secs);
+            if let Some(up) = ups.get(sta) {
+                let b = app.tcp(*up).bytes_between(cfg.warmup, cfg.duration);
+                up_acc[sta].push(b as f64 * 8.0 / secs);
+            }
+        }
+        let shares = shares_of(&window);
+        for sta in 0..n {
+            share_acc[sta].push(shares[sta]);
+        }
+        jain_acc.push(jain_index(&shares));
+    }
+
+    TcpRunResult {
+        scheme: scheme.label().to_string(),
+        pattern: pattern.label().to_string(),
+        down_bps: down_acc.iter().map(|v| mean(v)).collect(),
+        up_bps: if up_acc[0].is_empty() {
+            vec![0.0; n]
+        } else {
+            up_acc.iter().map(|v| mean(v)).collect()
+        },
+        airtime_shares: share_acc.iter().map(|v| mean(v)).collect(),
+        jain: crate::runner::median(&jain_acc),
+    }
+}
+
+/// Runs a pattern under all four schemes.
+pub fn run_all(pattern: TcpPattern, cfg: &RunCfg) -> Vec<TcpRunResult> {
+    SchemeKind::ALL
+        .into_iter()
+        .map(|s| run_scheme(s, pattern, cfg))
+        .collect()
+}

@@ -1,0 +1,137 @@
+//! The 30-station scaling experiment (§4.1.5, Figures 9 and 10): 28 fast
+//! bulk clients, one ping-only fast client, and one client pinned to
+//! 1 Mbps legacy rate, under FQ-CoDel / FQ-MAC / Airtime.
+
+use serde::Serialize;
+use wifiq_mac::{SchemeKind, StationMeter, WifiNetwork};
+use wifiq_sim::Nanos;
+use wifiq_stats::{jain_index, Cdf, Summary};
+use wifiq_traffic::TrafficApp;
+
+use crate::runner::{mean, meter_delta, shares_of, RunCfg};
+use crate::scenario::{self, PINGONLY30, SLOW30};
+
+/// The schemes the third-party testbed ran (no FIFO case).
+pub const SCHEMES30: [SchemeKind; 3] = [
+    SchemeKind::FqCodelQdisc,
+    SchemeKind::FqMac,
+    SchemeKind::AirtimeFair,
+];
+
+/// One scheme's results in the 30-station test.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThirtyResult {
+    /// Scheme label.
+    pub scheme: String,
+    /// Airtime share of the 1 Mbps station.
+    pub slow_share: f64,
+    /// Mean airtime share of the 28 bulk fast stations.
+    pub fast_share_mean: f64,
+    /// Jain's index over the 29 active stations' airtime.
+    pub jain: f64,
+    /// Total TCP goodput, bits/s.
+    pub total_goodput_bps: f64,
+    /// Ping RTT to the slow station, ms.
+    pub slow_latency: Summary,
+    /// Ping RTT to one of the bulk fast stations, ms.
+    pub fast_latency: Summary,
+    /// Ping RTT to the sparse (ping-only) station, ms.
+    pub sparse_latency: Summary,
+    /// CDFs for the Figure 10 plot.
+    pub slow_cdf: Cdf,
+    /// Fast-station CDF for the Figure 10 plot.
+    pub fast_cdf: Cdf,
+}
+
+/// Runs one scheme of the 30-station experiment.
+pub fn run_scheme(scheme: SchemeKind, cfg: &RunCfg) -> ThirtyResult {
+    let mut slow_share = Vec::new();
+    let mut fast_share = Vec::new();
+    let mut jain = Vec::new();
+    let mut total = Vec::new();
+    let mut slow_ms = Vec::new();
+    let mut fast_ms = Vec::new();
+    let mut sparse_ms = Vec::new();
+
+    for seed in cfg.seeds() {
+        let net_cfg = scenario::testbed30(scheme, seed);
+        let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
+        let mut app = TrafficApp::new();
+        let ping_sparse = app.add_ping(PINGONLY30, Nanos::ZERO);
+        let ping_slow = app.add_ping(SLOW30, Nanos::ZERO);
+        let ping_fast = app.add_ping(1, Nanos::ZERO); // one bulk fast client
+        let mut tcps = vec![app.add_tcp_down(SLOW30, Nanos::ZERO)];
+        for sta in scenario::bulk30() {
+            tcps.push(app.add_tcp_down(sta, Nanos::ZERO));
+        }
+        app.install(&mut net);
+
+        net.run(cfg.warmup, &mut app);
+        let before: Vec<StationMeter> = net.meter().all().to_vec();
+        net.run(cfg.duration, &mut app);
+        let window: Vec<StationMeter> = net
+            .meter()
+            .all()
+            .iter()
+            .zip(&before)
+            .map(|(l, e)| meter_delta(l, e))
+            .collect();
+
+        // Airtime over the 29 stations that carry traffic (the ping-only
+        // client is excluded from the share plot, as in Figure 9).
+        let active: Vec<StationMeter> = window
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != PINGONLY30)
+            .map(|(_, m)| *m)
+            .collect();
+        let shares = shares_of(&active);
+        slow_share.push(shares[SLOW30]);
+        fast_share.push(mean(&shares[1..]));
+        jain.push(jain_index(&shares));
+
+        let secs = cfg.window().as_secs_f64();
+        let goodput: f64 = tcps
+            .iter()
+            .map(|t| app.tcp(*t).bytes_between(cfg.warmup, cfg.duration) as f64 * 8.0 / secs)
+            .sum();
+        total.push(goodput);
+
+        slow_ms.extend(
+            app.ping(ping_slow)
+                .rtts_after(cfg.warmup)
+                .iter()
+                .map(|r| r.as_millis_f64()),
+        );
+        fast_ms.extend(
+            app.ping(ping_fast)
+                .rtts_after(cfg.warmup)
+                .iter()
+                .map(|r| r.as_millis_f64()),
+        );
+        sparse_ms.extend(
+            app.ping(ping_sparse)
+                .rtts_after(cfg.warmup)
+                .iter()
+                .map(|r| r.as_millis_f64()),
+        );
+    }
+
+    ThirtyResult {
+        scheme: scheme.label().to_string(),
+        slow_share: mean(&slow_share),
+        fast_share_mean: mean(&fast_share),
+        jain: crate::runner::median(&jain),
+        total_goodput_bps: mean(&total),
+        slow_latency: Summary::of(&slow_ms),
+        fast_latency: Summary::of(&fast_ms),
+        sparse_latency: Summary::of(&sparse_ms),
+        slow_cdf: Cdf::of(&slow_ms, 150),
+        fast_cdf: Cdf::of(&fast_ms, 150),
+    }
+}
+
+/// Runs all three schemes of the 30-station experiment.
+pub fn run_all(cfg: &RunCfg) -> Vec<ThirtyResult> {
+    SCHEMES30.into_iter().map(|s| run_scheme(s, cfg)).collect()
+}

@@ -1,0 +1,91 @@
+//! The application-layer interface to the network simulator.
+//!
+//! Traffic generators and protocol endpoints live *outside* the MAC
+//! simulator; they receive delivered packets and timer callbacks, and
+//! respond by queueing commands (sends, timers). This inversion keeps the
+//! simulator generic over what is being carried — the same network runs
+//! UDP floods, TCP transfers, VoIP and web traffic.
+
+use crate::packet::{Packet, StationIdx};
+use wifiq_sim::Nanos;
+
+/// Where a packet was delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Arrived at the wired server (uplink traffic).
+    AtServer,
+    /// Arrived at a wireless station (downlink traffic).
+    AtStation(StationIdx),
+}
+
+/// Buffered actions an application wants the network to take.
+///
+/// Commands are applied after the callback returns, which avoids
+/// re-entrancy: an application never mutates the network while the network
+/// is mid-event.
+#[derive(Debug)]
+pub struct Commands<M> {
+    // Kept private so applications must use `send`/`set_timer`; the
+    // network drains them after each callback.
+    pub(crate) sends: Vec<Packet<M>>,
+    pub(crate) timers: Vec<(u64, Nanos)>,
+}
+
+impl<M> Default for Commands<M> {
+    fn default() -> Self {
+        Commands::new()
+    }
+}
+
+impl<M> Commands<M> {
+    /// Creates an empty command buffer.
+    ///
+    /// The network creates these for its callbacks; applications only
+    /// need this directly when unit-testing components outside a
+    /// [`WifiNetwork`](crate::network::WifiNetwork).
+    pub fn new() -> Commands<M> {
+        Commands {
+            sends: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    /// The buffered sends (for tests and inspection).
+    pub fn sends(&self) -> &[Packet<M>] {
+        &self.sends
+    }
+
+    /// The buffered timers as `(token, deadline)` pairs.
+    pub fn timers(&self) -> &[(u64, Nanos)] {
+        &self.timers
+    }
+
+    /// Sends a packet. Its origin is taken from `pkt.src`: packets from
+    /// [`NodeAddr::Server`](crate::packet::NodeAddr::Server) traverse the
+    /// wire to the AP and then the WiFi downlink; packets from a station
+    /// enter that station's uplink queue.
+    pub fn send(&mut self, pkt: Packet<M>) {
+        self.sends.push(pkt);
+    }
+
+    /// Requests a timer callback (`on_timer(token)`) at absolute time
+    /// `at`. Timers are not cancellable; applications that rearm a timer
+    /// must ignore stale firings themselves (compare against their own
+    /// deadline state).
+    pub fn set_timer(&mut self, token: u64, at: Nanos) {
+        self.timers.push((token, at));
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.sends.is_empty() && self.timers.is_empty()
+    }
+}
+
+/// An application driving traffic through the simulated network.
+pub trait App<M> {
+    /// A packet reached its destination endpoint.
+    fn on_packet(&mut self, at: Delivery, pkt: Packet<M>, now: Nanos, cmds: &mut Commands<M>);
+
+    /// A previously set timer fired.
+    fn on_timer(&mut self, token: u64, now: Nanos, cmds: &mut Commands<M>);
+}

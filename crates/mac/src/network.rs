@@ -1,0 +1,983 @@
+//! The discrete-event 802.11n network: channel arbitration, the AP, the
+//! stations, and the event loop.
+//!
+//! # Medium arbitration
+//!
+//! CSMA/CA is simulated at contention-round granularity: whenever the
+//! medium goes idle, every node with a ready transmission draws a backoff
+//! uniformly from its current contention window; the node whose
+//! `AIFS + slots × slot_time` is smallest transmits, and ties collide
+//! (all tied transmissions fail and the losers double their windows).
+//! Backoff counters are redrawn each round rather than frozen — a common,
+//! well-behaved simplification that preserves long-run access fairness
+//! (every contender with the same CW has the same win probability each
+//! round).
+//!
+//! # What is charged as airtime
+//!
+//! Each attempt occupies the medium for `data PPDU + SIFS + (Block)ACK`.
+//! That duration is charged to the involved station's meter and — under
+//! the airtime scheme — its scheduler deficit, for *both* directions and
+//! including retries, exactly as §3.2 specifies.
+
+use wifiq_phy::consts::SLOT_TIME;
+use wifiq_phy::AccessCategory;
+use wifiq_sim::{EventQueue, Nanos, SimRng};
+
+use crate::aggregation::Aggregate;
+use crate::app::{App, Commands, Delivery};
+use crate::config::{NetworkConfig, SchemeKind};
+use crate::meter::{AirtimeMeter, StationMeter};
+use crate::packet::{NodeAddr, Packet, StationIdx};
+use crate::ratectrl::Minstrel;
+use crate::scheme::ApTxPath;
+use crate::station::StationUplink;
+use crate::trace::{TxDirection, TxMonitor, TxRecord};
+
+enum Event<M> {
+    /// A downlink packet reaches the AP from the wired side.
+    WireToAp(Packet<M>),
+    /// An uplink packet reaches the server from the AP.
+    WireToServer(Packet<M>),
+    /// The in-flight exchange (data + ack) completes.
+    TxEnd,
+    /// An application timer fires.
+    AppTimer(u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Participant {
+    Ap { ac: AccessCategory },
+    Station { idx: StationIdx, ac: AccessCategory },
+}
+
+/// The simulated WiFi network under one queue-management scheme.
+///
+/// `M` is the application payload type carried in packets.
+pub struct WifiNetwork<M> {
+    cfg: NetworkConfig,
+    queue: EventQueue<Event<M>>,
+    rng: SimRng,
+    ap: ApTxPath<M>,
+    /// Per-AC hardware queues of built aggregates (depth
+    /// `cfg.hw_queue_depth`, normally 2).
+    hw: [std::collections::VecDeque<Aggregate<M>>; AccessCategory::COUNT],
+    ap_cw: [u32; AccessCategory::COUNT],
+    stations: Vec<StationUplink<M>>,
+    /// Per-station downlink rate controllers (only when
+    /// `cfg.rate_control`; legacy-rate stations never adapt).
+    ratectrl: Vec<Option<Minstrel>>,
+    in_flight: Option<Vec<Participant>>,
+    meter: AirtimeMeter,
+    /// Optional monitor-mode sink receiving every transmission record.
+    monitor: Option<Box<dyn TxMonitor>>,
+    /// Total events processed (telemetry / runaway guard).
+    pub events_processed: u64,
+}
+
+impl<M: std::fmt::Debug> WifiNetwork<M> {
+    /// Builds the network from a configuration.
+    pub fn new(cfg: NetworkConfig) -> WifiNetwork<M> {
+        let mut rng = SimRng::new(cfg.seed);
+        let stations: Vec<StationUplink<M>> = cfg
+            .stations
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut sta = StationUplink::new(i, s.rate, cfg.station_fifo_limit);
+                if cfg.station_fq {
+                    sta.enable_fq();
+                }
+                if cfg.rate_control {
+                    sta.enable_rate_control(rng.fork(i as u64 + 1));
+                }
+                sta
+            })
+            .collect();
+        // Burn one draw so seed 0's first backoff is not the raw seed.
+        let _ = rng.gen_f64();
+        let ratectrl = cfg
+            .stations
+            .iter()
+            .map(|s| {
+                if cfg.rate_control && matches!(s.rate, wifiq_phy::PhyRate::Ht { .. }) {
+                    Some(Minstrel::new(s.rate))
+                } else {
+                    // Legacy and VHT rates keep their configured rate;
+                    // the Minstrel table only spans the HT MCS set.
+                    None
+                }
+            })
+            .collect();
+        WifiNetwork {
+            ap: ApTxPath::new(&cfg),
+            ratectrl,
+            hw: Default::default(),
+            ap_cw: AccessCategory::ALL.map(|ac| ac.edca().cw_min),
+            stations,
+            in_flight: None,
+            meter: AirtimeMeter::new(cfg.num_stations()),
+            monitor: None,
+            queue: EventQueue::new(),
+            rng,
+            cfg,
+            events_processed: 0,
+        }
+    }
+
+    /// Attaches a monitor-mode sink that receives a [`TxRecord`] for
+    /// every transmission attempt (replacing any previous monitor).
+    pub fn attach_monitor(&mut self, monitor: Box<dyn TxMonitor>) {
+        self.monitor = Some(monitor);
+    }
+
+    /// Detaches and returns the monitor, if one was attached.
+    pub fn take_monitor(&mut self) -> Option<Box<dyn TxMonitor>> {
+        self.monitor.take()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.queue.now()
+    }
+
+    /// The scheme under test.
+    pub fn scheme(&self) -> SchemeKind {
+        self.cfg.scheme
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Per-station airtime / throughput meters.
+    pub fn meter(&self) -> &AirtimeMeter {
+        &self.meter
+    }
+
+    /// One station's meter.
+    pub fn station_meter(&self, i: StationIdx) -> &StationMeter {
+        self.meter.station(i)
+    }
+
+    /// Packets queued at the AP (all layers).
+    pub fn ap_backlog(&self) -> usize {
+        self.ap.backlog()
+    }
+
+    /// Packets dropped at AP queueing layers (tail/overlimit drops).
+    pub fn ap_queue_drops(&self) -> u64 {
+        self.ap.queue_drops
+    }
+
+    /// Packets dropped by CoDel in the AP's FQ structure or qdisc.
+    pub fn ap_codel_drops(&self) -> u64 {
+        self.ap.codel_drops()
+    }
+
+    /// Packets queued at one station's uplink (all layers).
+    pub fn station_backlog(&self, sta: StationIdx) -> usize {
+        self.stations[sta].backlog()
+    }
+
+    /// The AP's current throughput estimate for a station, in bits/s:
+    /// the Minstrel estimate under rate control, else the configured
+    /// rate.
+    pub fn rate_estimate(&self, sta: StationIdx) -> u64 {
+        match &self.ratectrl[sta] {
+            Some(rc) => rc.estimated_throughput(),
+            None => self.cfg.stations[sta].rate.bits_per_second(),
+        }
+    }
+
+    /// Seeds an application timer before the run starts.
+    pub fn seed_timer(&mut self, token: u64, at: Nanos) {
+        self.queue.push(at, Event::AppTimer(token));
+    }
+
+    /// Runs the event loop until virtual time `until`, driving `app`.
+    ///
+    /// Returns at the first event time strictly greater than `until` (that
+    /// event remains queued for a later `run` call).
+    pub fn run<A: App<M>>(&mut self, until: Nanos, app: &mut A) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked event vanished");
+            self.events_processed += 1;
+            let mut cmds = Commands::new();
+            match ev {
+                Event::WireToAp(mut pkt) => {
+                    pkt.enqueued = now;
+                    let ac = pkt.ac;
+                    self.ap.enqueue(pkt, now);
+                    self.ap_schedule(ac, now);
+                }
+                Event::WireToServer(pkt) => {
+                    app.on_packet(Delivery::AtServer, pkt, now, &mut cmds);
+                }
+                Event::AppTimer(token) => {
+                    app.on_timer(token, now, &mut cmds);
+                }
+                Event::TxEnd => {
+                    self.handle_tx_end(now, app, &mut cmds);
+                }
+            }
+            self.apply(cmds, now);
+            self.try_contend(now);
+        }
+    }
+
+    /// Applies buffered application commands.
+    fn apply(&mut self, cmds: Commands<M>, now: Nanos) {
+        if cmds.is_empty() {
+            return;
+        }
+        for mut pkt in cmds.sends {
+            match pkt.src {
+                NodeAddr::Server => {
+                    // Wire hop: propagation + 1 Gbps serialisation.
+                    let delay = self.cfg.wire_delay + Nanos::for_bits(pkt.len * 8, 1_000_000_000);
+                    self.queue.push(now + delay, Event::WireToAp(pkt));
+                }
+                NodeAddr::Station(i) => {
+                    assert!(i < self.stations.len(), "send from unknown station {i}");
+                    pkt.enqueued = now;
+                    self.stations[i].enqueue(pkt);
+                }
+            }
+        }
+        for (token, at) in cmds.timers {
+            self.queue.push(at.max(now), Event::AppTimer(token));
+        }
+    }
+
+    /// Refills the hardware queue for `ac` — the paper's `schedule()`
+    /// loop: "while the hardware queue is not full … build_aggregate".
+    ///
+    /// With AQL enabled, a station already holding its airtime budget in
+    /// the hardware is skipped for this refill round (its frames stay in
+    /// the MAC FQ, where CoDel and the scheduler govern them).
+    fn ap_schedule(&mut self, ac: AccessCategory, now: Nanos) {
+        while self.hw[ac.index()].len() < self.cfg.hw_queue_depth {
+            // AQL eligibility: stations at their hardware-airtime budget
+            // are invisible to the scheduler this round.
+            let sta = {
+                let aql = self.cfg.aql;
+                let hw = &self.hw[ac.index()];
+                self.ap.next_tx(ac, now, |sta| match aql {
+                    None => true,
+                    Some(limit) => {
+                        let queued: Nanos = hw
+                            .iter()
+                            .filter(|a| a.station == sta)
+                            .map(|a| a.exchange_airtime())
+                            .sum();
+                        queued < limit
+                    }
+                })
+            };
+            let Some(sta) = sta else { break };
+            if let Some(rc) = self.ratectrl[sta].as_mut() {
+                self.ap.set_rate(sta, rc.rate_for_next(&mut self.rng));
+            }
+            match self.ap.build(sta, ac, now) {
+                Some(agg) => self.hw[ac.index()].push_back(agg),
+                // The TID drained (e.g. CoDel dropped the rest): loop and
+                // ask the scheduler again; it will rotate the station out.
+                None => continue,
+            }
+        }
+    }
+
+    /// Runs one contention round if the medium is idle and anyone has a
+    /// frame ready.
+    fn try_contend(&mut self, now: Nanos) {
+        if self.in_flight.is_some() {
+            return;
+        }
+
+        let mut best: Vec<(Participant, Nanos)> = Vec::new();
+        // The AP contends with its highest-priority non-empty hw queue.
+        if let Some(ac) = AccessCategory::ALL
+            .into_iter()
+            .find(|ac| !self.hw[ac.index()].is_empty())
+        {
+            let e = ac.edca();
+            let t = e.aifs() + SLOT_TIME * self.rng.backoff_slots(self.ap_cw[ac.index()]) as u64;
+            best.push((Participant::Ap { ac }, t));
+        }
+        // Each station contends with its highest-priority ready AC.
+        for i in 0..self.stations.len() {
+            if let Some(ac) = self.stations[i].best_ready_ac(now) {
+                let e = ac.edca();
+                let cw = self.stations[i].cw[ac.index()];
+                let t = e.aifs() + SLOT_TIME * self.rng.backoff_slots(cw) as u64;
+                best.push((Participant::Station { idx: i, ac }, t));
+            }
+        }
+        let Some(&(_, t_min)) = best.iter().min_by_key(|(_, t)| *t) else {
+            return;
+        };
+        let winners: Vec<Participant> = best
+            .into_iter()
+            .filter(|&(_, t)| t == t_min)
+            .map(|(p, _)| p)
+            .collect();
+
+        // The exchange occupies the medium until the slowest tied
+        // transmission (plus its ack slot) completes.
+        let dur = winners
+            .iter()
+            .map(|p| self.participant_airtime(*p))
+            .max()
+            .expect("winners is non-empty");
+        self.in_flight = Some(winners);
+        self.queue.push(now + t_min + dur, Event::TxEnd);
+    }
+
+    fn participant_airtime(&self, p: Participant) -> Nanos {
+        match p {
+            Participant::Ap { ac } => self.hw[ac.index()]
+                .front()
+                .expect("AP contended with empty hw queue")
+                .exchange_airtime(),
+            Participant::Station { idx, ac } => self.stations[idx]
+                .pending(ac)
+                .expect("station contended with no pending aggregate")
+                .exchange_airtime(),
+        }
+    }
+
+    fn handle_tx_end<A: App<M>>(&mut self, now: Nanos, app: &mut A, cmds: &mut Commands<M>) {
+        let participants = self.in_flight.take().expect("TxEnd with nothing in flight");
+        let collision = participants.len() > 1;
+
+        for p in participants {
+            match p {
+                Participant::Ap { ac } => self.finish_ap_attempt(ac, collision, now, app, cmds),
+                Participant::Station { idx, ac } => {
+                    self.finish_station_attempt(idx, ac, collision, now)
+                }
+            }
+        }
+    }
+
+    fn finish_ap_attempt<A: App<M>>(
+        &mut self,
+        ac: AccessCategory,
+        collision: bool,
+        now: Nanos,
+        app: &mut A,
+        cmds: &mut Commands<M>,
+    ) {
+        let aci = ac.index();
+        let sta = self.hw[aci]
+            .front()
+            .expect("AP attempt with empty hw queue")
+            .station;
+        let front = self.hw[aci].front().expect("checked");
+        let airtime = front.exchange_airtime();
+        let tx_rate = front.rate;
+        let failed = collision
+            || self
+                .rng
+                .chance(self.cfg.stations[sta].errors.exchange_error_prob(tx_rate));
+
+        // Airtime is consumed whether or not the exchange succeeded.
+        self.meter.station_mut(sta).tx_airtime += airtime;
+        if let Some(mon) = self.monitor.as_mut() {
+            let front = self.hw[aci].front().expect("checked");
+            mon.on_tx(&TxRecord {
+                at: now,
+                station: sta,
+                direction: TxDirection::Downlink,
+                ac,
+                rate: tx_rate,
+                frames: front.frames.len(),
+                payload_bytes: front.payload_bytes(),
+                airtime,
+                success: !failed,
+                retry: front.retries,
+            });
+        }
+        let rate_estimate = match self.ratectrl[sta].as_mut() {
+            Some(rc) => {
+                rc.report(tx_rate, !failed, now);
+                rc.estimated_throughput()
+            }
+            None => self.cfg.stations[sta].rate.bits_per_second(),
+        };
+        self.ap.on_tx_airtime(sta, ac, airtime, now, rate_estimate);
+
+        if failed {
+            self.meter.station_mut(sta).failures += 1;
+            self.ap_cw[aci] = ac.edca().next_cw(self.ap_cw[aci]);
+            let drop = {
+                let agg = self.hw[aci].front_mut().expect("checked");
+                agg.retries += 1;
+                // Retry chain: under rate control, each retry steps the
+                // rate down the ladder (real drivers' MRR series).
+                if let Some(rc) = self.ratectrl[sta].as_ref() {
+                    let lower = rc.lower_rate(agg.rate);
+                    if lower != agg.rate {
+                        agg.retune(lower);
+                    }
+                }
+                agg.retries > self.cfg.max_retries
+            };
+            if drop {
+                let agg = self.hw[aci].pop_front().expect("checked");
+                self.meter.station_mut(sta).retry_drops += agg.frames.len() as u64;
+                self.ap_cw[aci] = ac.edca().cw_min;
+            }
+        } else {
+            self.ap_cw[aci] = ac.edca().cw_min;
+            let agg = self.hw[aci].pop_front().expect("checked");
+            let m = self.meter.station_mut(sta);
+            m.tx_aggregates += 1;
+            m.tx_aggregate_frames += agg.frames.len() as u64;
+            for pkt in agg.frames {
+                let m = self.meter.station_mut(sta);
+                m.tx_frames += 1;
+                m.tx_bytes += pkt.len;
+                app.on_packet(Delivery::AtStation(sta), pkt, now, cmds);
+            }
+        }
+        // A station vetoed by AQL may have been rotated off the lists
+        // while still holding traffic; now that hardware airtime drained,
+        // re-list it.
+        self.ap.reactivate(sta, ac);
+        self.ap_schedule(ac, now);
+    }
+
+    fn finish_station_attempt(
+        &mut self,
+        idx: StationIdx,
+        ac: AccessCategory,
+        collision: bool,
+        now: Nanos,
+    ) {
+        let airtime = self.stations[idx]
+            .pending(ac)
+            .expect("station attempt with no pending aggregate")
+            .exchange_airtime();
+        let up_rate = self.stations[idx]
+            .pending(ac)
+            .expect("station attempt with no pending aggregate")
+            .rate;
+        let failed = collision
+            || self
+                .rng
+                .chance(self.cfg.stations[idx].errors.exchange_error_prob(up_rate));
+
+        self.meter.station_mut(idx).rx_airtime += airtime;
+        if let Some(mon) = self.monitor.as_mut() {
+            let agg = self.stations[idx]
+                .pending(ac)
+                .expect("station attempt with no pending aggregate");
+            mon.on_tx(&TxRecord {
+                at: now,
+                station: idx,
+                direction: TxDirection::Uplink,
+                ac,
+                rate: up_rate,
+                frames: agg.frames.len(),
+                payload_bytes: agg.payload_bytes(),
+                airtime,
+                success: !failed,
+                retry: agg.retries,
+            });
+        }
+        // RX airtime is charged to the station's scheduler deficit so the
+        // AP can compensate for upstream usage it cannot control (§3.2).
+        self.ap.on_rx_airtime(idx, ac, airtime);
+
+        if failed {
+            self.meter.station_mut(idx).failures += 1;
+            if let Some(agg) = self.stations[idx].on_failure(ac, self.cfg.max_retries, now) {
+                self.meter.station_mut(idx).retry_drops += agg.frames.len() as u64;
+            }
+        } else {
+            let agg = self.stations[idx].take_success(ac, now);
+            let m = self.meter.station_mut(idx);
+            m.rx_frames += agg.frames.len() as u64;
+            for pkt in agg.frames {
+                // Station-to-station forwarding through the AP is not
+                // modelled; every uplink frame terminates at the server.
+                debug_assert!(
+                    pkt.dst == NodeAddr::Server,
+                    "uplink packet addressed to {:?}; peer-to-peer traffic is unsupported",
+                    pkt.dst
+                );
+                self.meter.station_mut(idx).rx_bytes += pkt.len;
+                // Forward across the wire to the server.
+                let delay = self.cfg.wire_delay + Nanos::for_bits(pkt.len * 8, 1_000_000_000);
+                self.queue.push(now + delay, Event::WireToServer(pkt));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal app: the server floods UDP-like packets to each station on
+    /// a timer; stations count deliveries.
+    struct FloodApp {
+        next_id: u64,
+        interval: Nanos,
+        per_station_bytes: Vec<u64>,
+        latencies: Vec<Vec<Nanos>>,
+        stations: usize,
+    }
+
+    impl FloodApp {
+        fn new(stations: usize, interval: Nanos) -> FloodApp {
+            FloodApp {
+                next_id: 0,
+                interval,
+                per_station_bytes: vec![0; stations],
+                latencies: vec![Vec::new(); stations],
+                stations,
+            }
+        }
+    }
+
+    impl App<()> for FloodApp {
+        fn on_packet(
+            &mut self,
+            at: Delivery,
+            pkt: Packet<()>,
+            now: Nanos,
+            _cmds: &mut Commands<()>,
+        ) {
+            if let Delivery::AtStation(i) = at {
+                self.per_station_bytes[i] += pkt.len;
+                self.latencies[i].push(now - pkt.created);
+            }
+        }
+
+        fn on_timer(&mut self, token: u64, now: Nanos, cmds: &mut Commands<()>) {
+            for i in 0..self.stations {
+                self.next_id += 1;
+                cmds.send(Packet {
+                    id: self.next_id,
+                    src: NodeAddr::Server,
+                    dst: NodeAddr::Station(i),
+                    flow: i as u64 + 1,
+                    len: 1500,
+                    ac: AccessCategory::Be,
+                    created: now,
+                    enqueued: now,
+                    payload: (),
+                });
+            }
+            cmds.set_timer(token, now + self.interval);
+        }
+    }
+
+    fn run_flood(scheme: SchemeKind, secs: u64, interval: Nanos) -> (WifiNetwork<()>, FloodApp) {
+        let cfg = NetworkConfig::paper_testbed(scheme);
+        let mut net = WifiNetwork::new(cfg);
+        let mut app = FloodApp::new(3, interval);
+        net.seed_timer(0, Nanos::ZERO);
+        net.run(Nanos::from_secs(secs), &mut app);
+        (net, app)
+    }
+
+    #[test]
+    fn light_traffic_flows_under_all_schemes() {
+        for scheme in SchemeKind::ALL {
+            // 1500 B per station every 10 ms = 1.2 Mbps each: no overload.
+            let (net, app) = run_flood(scheme, 2, Nanos::from_millis(10));
+            for i in 0..3 {
+                let expect = 2_000 / 10 * 1500; // ~200 packets
+                let got = app.per_station_bytes[i];
+                assert!(
+                    got as f64 > expect as f64 * 0.9,
+                    "{scheme} station {i}: {got} of {expect} bytes"
+                );
+            }
+            assert!(
+                net.ap_queue_drops() == 0,
+                "{scheme} dropped under light load"
+            );
+        }
+    }
+
+    #[test]
+    fn light_traffic_latency_is_low() {
+        for scheme in SchemeKind::ALL {
+            let (_, app) = run_flood(scheme, 2, Nanos::from_millis(10));
+            for i in 0..3 {
+                let max = app.latencies[i].iter().max().unwrap();
+                assert!(
+                    *max < Nanos::from_millis(30),
+                    "{scheme} station {i}: worst latency {max}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_reveals_the_anomaly_under_fifo() {
+        // Offered load far above capacity: 1500 B per station every 200 µs
+        // = 60 Mbps each.
+        let (net, _) = run_flood(SchemeKind::Fifo, 4, Nanos::from_micros(200));
+        let shares = net.meter().airtime_shares();
+        // The slow station (index 2) must dominate airtime — the 802.11
+        // performance anomaly (~80% in the paper).
+        assert!(
+            shares[2] > 0.6,
+            "anomaly absent under FIFO: shares {shares:?}"
+        );
+    }
+
+    #[test]
+    fn airtime_scheme_equalises_airtime() {
+        let (net, _) = run_flood(SchemeKind::AirtimeFair, 4, Nanos::from_micros(200));
+        let shares = net.meter().airtime_shares();
+        for (i, s) in shares.iter().enumerate() {
+            assert!(
+                (s - 1.0 / 3.0).abs() < 0.05,
+                "station {i} share {s:.3}: {shares:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn airtime_scheme_beats_fifo_on_total_throughput() {
+        let (fifo, app_fifo) = run_flood(SchemeKind::Fifo, 4, Nanos::from_micros(200));
+        let (air, app_air) = run_flood(SchemeKind::AirtimeFair, 4, Nanos::from_micros(200));
+        let total_fifo: u64 = app_fifo.per_station_bytes.iter().sum();
+        let total_air: u64 = app_air.per_station_bytes.iter().sum();
+        assert!(
+            total_air as f64 > total_fifo as f64 * 2.0,
+            "expected big throughput win: FIFO {total_fifo}, airtime {total_air}"
+        );
+        let _ = (fifo, air);
+    }
+
+    #[test]
+    fn aggregation_starvation_under_fifo() {
+        // Under FIFO saturation, fast stations get only small aggregates
+        // (the slow station hogs the driver buffer); under FQ-MAC they
+        // aggregate well. Paper Table 1: 4.47 vs 18.44 mean frames.
+        let (fifo, _) = run_flood(SchemeKind::Fifo, 4, Nanos::from_micros(200));
+        let (fqmac, _) = run_flood(SchemeKind::FqMac, 4, Nanos::from_micros(200));
+        let fast_fifo = fifo.station_meter(0).mean_aggregation();
+        let fast_fqmac = fqmac.station_meter(0).mean_aggregation();
+        assert!(
+            fast_fqmac > fast_fifo * 2.0,
+            "FQ-MAC should restore aggregation: FIFO {fast_fifo:.2}, FQ-MAC {fast_fqmac:.2}"
+        );
+    }
+
+    #[test]
+    fn hw_queue_depth_knob_works() {
+        // Any depth ≥ 1 must carry traffic; deeper queues may pipeline
+        // slightly better but never break.
+        for depth in [1usize, 2, 8] {
+            let mut cfg = NetworkConfig::paper_testbed(SchemeKind::AirtimeFair);
+            cfg.hw_queue_depth = depth;
+            let mut net = WifiNetwork::new(cfg);
+            let mut app = FloodApp::new(3, Nanos::from_millis(1));
+            net.seed_timer(0, Nanos::ZERO);
+            net.run(Nanos::from_secs(1), &mut app);
+            let total: u64 = app.per_station_bytes.iter().sum();
+            assert!(total > 1_000_000, "depth {depth}: only {total} bytes");
+        }
+    }
+
+    #[test]
+    fn station_fifo_limit_causes_uplink_drops() {
+        struct UpFlood;
+        impl App<()> for UpFlood {
+            fn on_packet(&mut self, _: Delivery, _: Packet<()>, _: Nanos, _: &mut Commands<()>) {}
+            fn on_timer(&mut self, token: u64, now: Nanos, cmds: &mut Commands<()>) {
+                // 50 packets per ms: far beyond a tiny uplink queue.
+                for i in 0..50 {
+                    cmds.send(Packet {
+                        id: i,
+                        src: NodeAddr::Station(0),
+                        dst: NodeAddr::Server,
+                        flow: 1,
+                        len: 1500,
+                        ac: AccessCategory::Be,
+                        created: now,
+                        enqueued: now,
+                        payload: (),
+                    });
+                }
+                if now < Nanos::from_millis(100) {
+                    cmds.set_timer(token, now + Nanos::from_millis(1));
+                }
+            }
+        }
+        let mut cfg = NetworkConfig::paper_testbed(SchemeKind::FqMac);
+        cfg.station_fifo_limit = 4;
+        let mut net = WifiNetwork::new(cfg);
+        net.seed_timer(0, Nanos::ZERO);
+        net.run(Nanos::from_millis(300), &mut UpFlood);
+        assert!(net.station_backlog(0) <= 4 + 64, "backlog unbounded");
+    }
+
+    #[test]
+    fn wire_delay_sets_the_latency_floor() {
+        let mut cfg = NetworkConfig::paper_testbed(SchemeKind::AirtimeFair);
+        cfg.wire_delay = Nanos::from_millis(25);
+        let mut net = WifiNetwork::new(cfg);
+        // One packet; its one-way delay must exceed the wire delay and
+        // stay well under 2× it plus a couple of ms of WiFi time.
+        struct OneShot {
+            delay: Option<Nanos>,
+        }
+        impl App<()> for OneShot {
+            fn on_packet(
+                &mut self,
+                _: Delivery,
+                pkt: Packet<()>,
+                now: Nanos,
+                _: &mut Commands<()>,
+            ) {
+                self.delay = Some(now - pkt.created);
+            }
+            fn on_timer(&mut self, _: u64, now: Nanos, cmds: &mut Commands<()>) {
+                cmds.send(Packet {
+                    id: 0,
+                    src: NodeAddr::Server,
+                    dst: NodeAddr::Station(0),
+                    flow: 1,
+                    len: 1500,
+                    ac: AccessCategory::Be,
+                    created: now,
+                    enqueued: now,
+                    payload: (),
+                });
+            }
+        }
+        let mut app = OneShot { delay: None };
+        net.seed_timer(0, Nanos::ZERO);
+        net.run(Nanos::from_secs(1), &mut app);
+        let d = app.delay.expect("packet delivered");
+        assert!(d >= Nanos::from_millis(25), "{d} below the wire delay");
+        assert!(d < Nanos::from_millis(28), "{d} far above wire + WiFi time");
+    }
+
+    #[test]
+    fn aql_bounds_fast_station_hol_latency() {
+        // One 1 Mbps legacy hog plus a fast station; the hog's 12.5 ms
+        // frames otherwise occupy both hardware slots back to back. With
+        // a 5 ms AQL budget only one can be queued, so the fast station's
+        // frames interleave and its latency tightens. Compare the fast
+        // station's mean delivery latency.
+        let run = |aql: Option<Nanos>| {
+            let mut cfg = NetworkConfig::new(
+                vec![
+                    crate::config::StationCfg::clean(wifiq_phy::PhyRate::fast_station()),
+                    crate::config::StationCfg::clean(wifiq_phy::PhyRate::Legacy(
+                        wifiq_phy::LegacyRate::Dsss1,
+                    )),
+                ],
+                SchemeKind::AirtimeFair,
+            );
+            cfg.aql = aql;
+            let mut net = WifiNetwork::new(cfg);
+            let mut app = FloodApp::new(2, Nanos::from_millis(2));
+            net.seed_timer(0, Nanos::ZERO);
+            net.run(Nanos::from_secs(5), &mut app);
+            let lat: Vec<f64> = app.latencies[0].iter().map(|l| l.as_millis_f64()).collect();
+            assert!(!lat.is_empty(), "fast station starved");
+            (
+                lat.iter().sum::<f64>() / lat.len() as f64,
+                app.per_station_bytes[1],
+            )
+        };
+        let (without, hog_bytes_without) = run(None);
+        let (with, hog_bytes_with) = run(Some(Nanos::from_millis(5)));
+        assert!(
+            with < without,
+            "AQL did not reduce fast-station latency: {with:.2} vs {without:.2} ms"
+        );
+        // The hog must not be starved outright: within 2x.
+        assert!(
+            hog_bytes_with * 2 >= hog_bytes_without,
+            "AQL starved the slow station: {hog_bytes_with} vs {hog_bytes_without}"
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let (a, app_a) = run_flood(SchemeKind::AirtimeFair, 2, Nanos::from_micros(500));
+        let (b, app_b) = run_flood(SchemeKind::AirtimeFair, 2, Nanos::from_micros(500));
+        assert_eq!(app_a.per_station_bytes, app_b.per_station_bytes);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.meter().airtime_shares(), b.meter().airtime_shares());
+    }
+
+    #[test]
+    fn uplink_packets_reach_server() {
+        struct UpApp {
+            received: u64,
+        }
+        impl App<()> for UpApp {
+            fn on_packet(
+                &mut self,
+                at: Delivery,
+                _pkt: Packet<()>,
+                _now: Nanos,
+                _c: &mut Commands<()>,
+            ) {
+                if at == Delivery::AtServer {
+                    self.received += 1;
+                }
+            }
+            fn on_timer(&mut self, token: u64, now: Nanos, cmds: &mut Commands<()>) {
+                cmds.send(Packet {
+                    id: token,
+                    src: NodeAddr::Station(0),
+                    dst: NodeAddr::Server,
+                    flow: 9,
+                    len: 200,
+                    ac: AccessCategory::Be,
+                    created: now,
+                    enqueued: now,
+                    payload: (),
+                });
+                if now < Nanos::from_millis(500) {
+                    cmds.set_timer(token, now + Nanos::from_millis(1));
+                }
+            }
+        }
+        let cfg = NetworkConfig::paper_testbed(SchemeKind::FqMac);
+        let mut net = WifiNetwork::new(cfg);
+        let mut app = UpApp { received: 0 };
+        net.seed_timer(1, Nanos::ZERO);
+        net.run(Nanos::from_secs(1), &mut app);
+        assert!(app.received > 480, "got {}", app.received);
+        assert!(net.station_meter(0).rx_airtime > Nanos::ZERO);
+    }
+
+    #[test]
+    fn channel_errors_cause_retries_but_traffic_still_flows() {
+        let mut cfg = NetworkConfig::paper_testbed(SchemeKind::AirtimeFair);
+        cfg.stations[0].errors = crate::config::ErrorModel::Fixed(0.3);
+        let mut net = WifiNetwork::new(cfg);
+        let mut app = FloodApp::new(3, Nanos::from_millis(5));
+        net.seed_timer(0, Nanos::ZERO);
+        net.run(Nanos::from_secs(2), &mut app);
+        assert!(net.station_meter(0).failures > 0, "no failures injected?");
+        assert!(
+            app.per_station_bytes[0] > 0,
+            "retries should still deliver traffic"
+        );
+        // The lossy station's airtime per delivered byte must exceed the
+        // clean fast station's.
+        let m0 = net.station_meter(0);
+        let m1 = net.station_meter(1);
+        let cost0 = m0.tx_airtime.as_nanos() as f64 / m0.tx_bytes.max(1) as f64;
+        let cost1 = m1.tx_airtime.as_nanos() as f64 / m1.tx_bytes.max(1) as f64;
+        assert!(
+            cost0 > cost1,
+            "retries must cost airtime: {cost0} vs {cost1}"
+        );
+    }
+
+    #[test]
+    fn rate_control_converges_in_situ() {
+        // Stations start at MCS7 but their channels support MCS 12 / 2;
+        // the controller should find the cliffs under live traffic.
+        let mut cfg = NetworkConfig::new(
+            vec![
+                crate::config::StationCfg::with_mcs_cliff(
+                    wifiq_phy::PhyRate::ht(7, wifiq_phy::ChannelWidth::Ht20, true),
+                    12,
+                ),
+                crate::config::StationCfg::with_mcs_cliff(
+                    wifiq_phy::PhyRate::ht(7, wifiq_phy::ChannelWidth::Ht20, true),
+                    2,
+                ),
+            ],
+            SchemeKind::AirtimeFair,
+        );
+        cfg.rate_control = true;
+        let mut net = WifiNetwork::new(cfg);
+        let mut app = FloodApp::new(2, Nanos::from_micros(300));
+        net.seed_timer(0, Nanos::ZERO);
+        net.run(Nanos::from_secs(8), &mut app);
+        let est0 = net.rate_estimate(0);
+        let est1 = net.rate_estimate(1);
+        // MCS12 = 86.7 Mbps, MCS2 = 21.7 Mbps (HT20 SGI).
+        assert!(
+            (60_000_000..95_000_000).contains(&est0),
+            "station 0 estimate {est0}"
+        );
+        assert!(
+            (12_000_000..26_000_000).contains(&est1),
+            "station 1 estimate {est1}"
+        );
+        // Both stations actually received traffic at their channel's pace.
+        assert!(app.per_station_bytes[0] > app.per_station_bytes[1]);
+    }
+
+    #[test]
+    fn bidirectional_contention_works() {
+        // Downlink flood + uplink flood from station 0 simultaneously.
+        struct BiApp {
+            inner: FloodApp,
+            up_received: u64,
+        }
+        impl App<()> for BiApp {
+            fn on_packet(
+                &mut self,
+                at: Delivery,
+                pkt: Packet<()>,
+                now: Nanos,
+                cmds: &mut Commands<()>,
+            ) {
+                if at == Delivery::AtServer {
+                    self.up_received += 1;
+                }
+                self.inner.on_packet(at, pkt, now, cmds);
+            }
+            fn on_timer(&mut self, token: u64, now: Nanos, cmds: &mut Commands<()>) {
+                if token == 0 {
+                    self.inner.on_timer(token, now, cmds);
+                } else {
+                    cmds.send(Packet {
+                        id: 0,
+                        src: NodeAddr::Station(0),
+                        dst: NodeAddr::Server,
+                        flow: 77,
+                        len: 1500,
+                        ac: AccessCategory::Be,
+                        created: now,
+                        enqueued: now,
+                        payload: (),
+                    });
+                    cmds.set_timer(token, now + Nanos::from_millis(1));
+                }
+            }
+        }
+        let cfg = NetworkConfig::paper_testbed(SchemeKind::AirtimeFair);
+        let mut net = WifiNetwork::new(cfg);
+        let mut app = BiApp {
+            inner: FloodApp::new(3, Nanos::from_millis(1)),
+            up_received: 0,
+        };
+        net.seed_timer(0, Nanos::ZERO);
+        net.seed_timer(1, Nanos::ZERO);
+        net.run(Nanos::from_secs(2), &mut app);
+        assert!(
+            app.up_received > 1000,
+            "uplink starved: {}",
+            app.up_received
+        );
+        let down: u64 = app.inner.per_station_bytes.iter().sum();
+        assert!(down > 0);
+    }
+}

@@ -1,0 +1,350 @@
+//! A Minstrel-style rate controller for the AP's downlink.
+//!
+//! The paper pins station rates by placement (§4: the slow station "is
+//! placed further away and configured to only support the MCS0 rate");
+//! mainline Linux runs Minstrel-HT. This module provides a compact
+//! Minstrel: per-rate EWMA success probabilities, periodic best-rate
+//! re-selection by estimated throughput, and occasional sampling of
+//! non-best rates. Besides realism, it supplies the live throughput
+//! estimate that §3.1.1's per-station CoDel adaptation consumes
+//! ("obtained from the rate selection algorithm").
+
+use wifiq_phy::{ChannelWidth, PhyRate};
+use wifiq_sim::{Nanos, SimRng};
+
+/// Number of HT rates managed (MCS 0–15).
+const N_RATES: usize = 16;
+
+/// EWMA weight for old data (Minstrel's 75%).
+const EWMA_OLD: f64 = 0.75;
+
+/// Statistics re-evaluation interval (Minstrel's 100 ms).
+const UPDATE_INTERVAL: Nanos = Nanos::from_millis(100);
+
+/// Every Nth transmission samples a random non-best rate.
+const SAMPLE_PERIOD: u32 = 10;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct RateStats {
+    /// Attempts in the current interval.
+    attempts: u32,
+    /// Successes in the current interval.
+    successes: u32,
+    /// Smoothed success probability; `None` until first measured.
+    ewma: Option<f64>,
+}
+
+impl RateStats {
+    fn fold(&mut self) {
+        if self.attempts > 0 {
+            let p = self.successes as f64 / self.attempts as f64;
+            self.ewma = Some(match self.ewma {
+                Some(old) => old * EWMA_OLD + p * (1.0 - EWMA_OLD),
+                None => p,
+            });
+            self.attempts = 0;
+            self.successes = 0;
+        }
+    }
+
+    /// Probability used for decisions: measured EWMA, or optimistic for
+    /// untried rates (so they get sampled into usefulness).
+    fn prob(&self) -> f64 {
+        self.ewma.unwrap_or(1.0)
+    }
+}
+
+/// Per-station Minstrel state.
+#[derive(Debug)]
+pub struct Minstrel {
+    rates: [RateStats; N_RATES],
+    best: u8,
+    tx_counter: u32,
+    last_fold: Nanos,
+    width: ChannelWidth,
+    short_gi: bool,
+    /// MCS indices sorted by PHY rate ascending — the sampling ladder.
+    /// The raw MCS index is *not* monotonic in rate (MCS8, the first
+    /// two-stream rate, is slower than MCS7), so neighbourhood sampling
+    /// must walk this ladder, not the index space.
+    ladder: [u8; N_RATES],
+}
+
+impl Minstrel {
+    /// Creates a controller starting at `initial` (must be an HT rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is a legacy rate — legacy stations don't rate
+    /// adapt in this model.
+    pub fn new(initial: PhyRate) -> Minstrel {
+        let PhyRate::Ht {
+            mcs,
+            width,
+            short_gi,
+        } = initial
+        else {
+            panic!("rate control requires an HT starting rate")
+        };
+        let mut ladder: Vec<u8> = (0..N_RATES as u8).collect();
+        ladder.sort_by_key(|&m| PhyRate::ht(m, width, short_gi).bits_per_second());
+        Minstrel {
+            rates: [RateStats::default(); N_RATES],
+            best: mcs,
+            tx_counter: 0,
+            last_fold: Nanos::ZERO,
+            width,
+            short_gi,
+            ladder: ladder.try_into().expect("N_RATES entries"),
+        }
+    }
+
+    fn ladder_pos(&self, mcs: u8) -> usize {
+        self.ladder
+            .iter()
+            .position(|&m| m == mcs)
+            .expect("every MCS is on the ladder")
+    }
+
+    fn phy(&self, mcs: u8) -> PhyRate {
+        PhyRate::ht(mcs, self.width, self.short_gi)
+    }
+
+    /// The current best rate.
+    pub fn best_rate(&self) -> PhyRate {
+        self.phy(self.best)
+    }
+
+    /// The next more-robust rate below `rate` (or `rate` itself at the
+    /// bottom) — the retry-chain fallback real drivers use: each
+    /// retransmission of a failing frame steps down. "More robust" means
+    /// strictly lower PHY rate with no more spatial streams: falling from
+    /// the one-stream MCS1 to the equal-rate two-stream MCS8 would step
+    /// *up* in required channel quality.
+    pub fn lower_rate(&self, rate: PhyRate) -> PhyRate {
+        let PhyRate::Ht { mcs, .. } = rate else {
+            return rate;
+        };
+        let bps = rate.bits_per_second();
+        let streams = mcs / 8;
+        let pos = self.ladder_pos(mcs);
+        for &cand in self.ladder[..pos].iter().rev() {
+            if cand / 8 <= streams && self.phy(cand).bits_per_second() < bps {
+                return self.phy(cand);
+            }
+        }
+        rate
+    }
+
+    /// Estimated achievable throughput at the current best rate, in
+    /// bits/s — the input to the CoDel parameter adaptation.
+    pub fn estimated_throughput(&self) -> u64 {
+        let p = self.rates[self.best as usize].prob();
+        (self.best_rate().bits_per_second() as f64 * p) as u64
+    }
+
+    /// Picks the rate for the next transmission: usually the best rate,
+    /// periodically a sample. Two samples in three probe the ladder
+    /// neighbourhood (±3 positions in throughput order) for incremental
+    /// tracking; one in three probes a uniformly random rate so the
+    /// controller can escape a region whose rates all fail.
+    pub fn rate_for_next(&mut self, rng: &mut SimRng) -> PhyRate {
+        self.tx_counter += 1;
+        // Probe mode: when the best rate's measured success has
+        // collapsed, every transmission samples — transmissions are
+        // scarce in that regime and waiting 10 of them to probe would
+        // stall convergence behind the transport's timeouts.
+        let probing = self.rates[self.best as usize].ewma.is_some_and(|p| p < 0.1);
+        if probing || self.tx_counter.is_multiple_of(SAMPLE_PERIOD) {
+            let pick = if rng.chance(1.0 / 3.0) {
+                rng.gen_range_u64(0, N_RATES as u64) as usize
+            } else {
+                let pos = self.ladder_pos(self.best);
+                let lo = pos.saturating_sub(3);
+                let hi = (pos + 3).min(N_RATES - 1);
+                lo + rng.gen_range_u64(0, (hi - lo + 1) as u64) as usize
+            };
+            // Uniform picks index into the ladder too — any permutation
+            // of a uniform choice is uniform, and it keeps one code path.
+            return self.phy(self.ladder[pick]);
+        }
+        self.best_rate()
+    }
+
+    /// Reports the outcome of one transmission exchange at `rate`.
+    pub fn report(&mut self, rate: PhyRate, success: bool, now: Nanos) {
+        if let PhyRate::Ht { mcs, .. } = rate {
+            let st = &mut self.rates[mcs as usize];
+            st.attempts += 1;
+            if success {
+                st.successes += 1;
+            }
+        }
+        if now.saturating_sub(self.last_fold) >= UPDATE_INTERVAL {
+            self.last_fold = now;
+            self.update();
+        }
+    }
+
+    /// Folds interval counters into the EWMAs and re-selects the best
+    /// rate by estimated throughput among usable rates (measured success
+    /// probability ≥ 10%). If nothing is usable — the channel collapsed
+    /// under every measured rate — fall back to the most reliable
+    /// measured rate so the station keeps transmitting at all.
+    fn update(&mut self) {
+        for st in &mut self.rates {
+            st.fold();
+        }
+        let mut best: Option<(u8, f64)> = None;
+        for mcs in 0..N_RATES as u8 {
+            let st = &self.rates[mcs as usize];
+            // Unmeasured rates stay out of best-selection (they'd win
+            // instantly on optimistic probability); sampling is what
+            // brings them into the measured set.
+            if st.ewma.is_none() {
+                continue;
+            }
+            let p = st.prob();
+            if p < 0.1 {
+                continue;
+            }
+            let tput = self.phy(mcs).bits_per_second() as f64 * p;
+            if best.is_none_or(|(_, b)| tput > b) {
+                best = Some((mcs, tput));
+            }
+        }
+        match best {
+            Some((mcs, _)) => self.best = mcs,
+            None => {
+                // Emergency fallback: most reliable measured rate.
+                if let Some((mcs, _)) = (0..N_RATES as u8)
+                    .filter_map(|m| self.rates[m as usize].ewma.map(|p| (m, p)))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("probs are finite"))
+                {
+                    self.best = mcs;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ErrorModel;
+
+    /// Drives the controller against an error model for `n` exchanges.
+    fn drive(rc: &mut Minstrel, model: ErrorModel, n: u32, rng: &mut SimRng) {
+        let mut now = Nanos::ZERO;
+        for _ in 0..n {
+            now += Nanos::from_millis(2);
+            let rate = rc.rate_for_next(rng);
+            let fail = rng.chance(model.exchange_error_prob(rate));
+            rc.report(rate, !fail, now);
+        }
+    }
+
+    #[test]
+    fn converges_up_to_the_cliff() {
+        // Channel supports MCS 12 cleanly; start pessimistically at 2.
+        let mut rc = Minstrel::new(PhyRate::ht(2, ChannelWidth::Ht20, true));
+        let mut rng = SimRng::new(7);
+        let model = ErrorModel::McsCliff {
+            best_mcs: 12,
+            residual: 0.03,
+        };
+        drive(&mut rc, model, 5_000, &mut rng);
+        let PhyRate::Ht { mcs, .. } = rc.best_rate() else {
+            unreachable!()
+        };
+        assert!(
+            (11..=13).contains(&mcs),
+            "converged to MCS{mcs}, expected ~12"
+        );
+    }
+
+    #[test]
+    fn converges_down_from_a_bad_start() {
+        // Start at MCS15 on a channel that only supports MCS 4.
+        let mut rc = Minstrel::new(PhyRate::ht(15, ChannelWidth::Ht20, true));
+        let mut rng = SimRng::new(9);
+        let model = ErrorModel::McsCliff {
+            best_mcs: 4,
+            residual: 0.03,
+        };
+        drive(&mut rc, model, 5_000, &mut rng);
+        let PhyRate::Ht { mcs, .. } = rc.best_rate() else {
+            unreachable!()
+        };
+        assert!((3..=5).contains(&mcs), "converged to MCS{mcs}, expected ~4");
+    }
+
+    #[test]
+    fn estimated_throughput_tracks_channel() {
+        let mut rc = Minstrel::new(PhyRate::ht(7, ChannelWidth::Ht20, true));
+        let mut rng = SimRng::new(4);
+        let model = ErrorModel::McsCliff {
+            best_mcs: 7,
+            residual: 0.03,
+        };
+        drive(&mut rc, model, 3_000, &mut rng);
+        let est = rc.estimated_throughput();
+        // MCS7 HT20 SGI = 72.2 Mbps; estimate should be within ~10%.
+        assert!(
+            (60_000_000..=75_000_000).contains(&est),
+            "estimate {est} bps"
+        );
+    }
+
+    #[test]
+    fn sampling_happens_but_rarely() {
+        let mut rc = Minstrel::new(PhyRate::ht(8, ChannelWidth::Ht20, true));
+        let mut rng = SimRng::new(1);
+        let mut non_best = 0;
+        for _ in 0..1_000 {
+            if rc.rate_for_next(&mut rng) != rc.best_rate() {
+                non_best += 1;
+            }
+        }
+        // Exactly 1-in-SAMPLE_PERIOD transmissions sample, and some
+        // samples coincide with the best rate.
+        assert!(non_best > 30, "sampling never happened");
+        assert!(non_best <= 100, "sampled too often: {non_best}");
+    }
+
+    #[test]
+    fn lower_rate_prefers_fewer_streams() {
+        let rc = Minstrel::new(PhyRate::ht(7, ChannelWidth::Ht20, true));
+        // MCS1 (14.4, 1 stream) must fall to MCS0, not the equal-rate
+        // two-stream MCS8.
+        let below = rc.lower_rate(PhyRate::ht(1, ChannelWidth::Ht20, true));
+        assert_eq!(below, PhyRate::ht(0, ChannelWidth::Ht20, true));
+        // The bottom of the ladder stays put.
+        let bottom = PhyRate::ht(0, ChannelWidth::Ht20, true);
+        assert_eq!(rc.lower_rate(bottom), bottom);
+        // A two-stream rate may fall to a slower one-stream rate.
+        let below = rc.lower_rate(PhyRate::ht(9, ChannelWidth::Ht20, true));
+        assert!(
+            below.bits_per_second() < PhyRate::ht(9, ChannelWidth::Ht20, true).bits_per_second()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "HT starting rate")]
+    fn legacy_rate_rejected() {
+        Minstrel::new(PhyRate::Legacy(wifiq_phy::LegacyRate::Dsss1));
+    }
+
+    #[test]
+    fn clean_channel_rides_the_top() {
+        let mut rc = Minstrel::new(PhyRate::ht(0, ChannelWidth::Ht20, true));
+        let mut rng = SimRng::new(3);
+        drive(&mut rc, ErrorModel::Fixed(0.0), 20_000, &mut rng);
+        let PhyRate::Ht { mcs, .. } = rc.best_rate() else {
+            unreachable!()
+        };
+        // ±2 sampling climbs 2 MCS per interval at best; 20k exchanges
+        // is plenty to reach the top.
+        assert_eq!(mcs, 15, "should reach MCS15 on a clean channel");
+    }
+}

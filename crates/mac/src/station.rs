@@ -1,0 +1,413 @@
+//! Station-side (client) uplink stack.
+//!
+//! Clients are *unmodified* in all schemes — the paper's solution runs
+//! only at the access point. A station therefore keeps simple per-AC
+//! FIFOs (the stock qdisc + driver queueing collapsed into one queue) and
+//! builds aggregates from them with the standard limits.
+
+use std::collections::VecDeque;
+
+use wifiq_codel::CodelParams;
+use wifiq_core::fq::{FqParams, MacFq};
+use wifiq_core::packet::TidHandle;
+use wifiq_phy::{AccessCategory, PhyRate};
+use wifiq_sim::{Nanos, SimRng};
+
+use crate::aggregation::{build_aggregate, Aggregate};
+use crate::packet::{Packet, StationIdx};
+use crate::ratectrl::Minstrel;
+
+/// The client's uplink queueing: the stock per-AC FIFO, or the paper's
+/// FQ-CoDel structure ("WiFi client devices can also benefit from the
+/// proposed queueing structure").
+enum UplinkQueues<M> {
+    Fifo {
+        queues: [VecDeque<Packet<M>>; AccessCategory::COUNT],
+        limit: usize,
+    },
+    Fq {
+        fq: MacFq<Packet<M>>,
+        tids: [TidHandle; AccessCategory::COUNT],
+        codel: CodelParams,
+    },
+}
+
+impl<M: std::fmt::Debug> UplinkQueues<M> {
+    fn enqueue(&mut self, pkt: Packet<M>, now: Nanos) -> bool {
+        match self {
+            UplinkQueues::Fifo { queues, limit } => {
+                let q = &mut queues[pkt.ac.index()];
+                if q.len() >= *limit {
+                    return false;
+                }
+                q.push_back(pkt);
+                true
+            }
+            UplinkQueues::Fq { fq, tids, .. } => {
+                let tid = tids[pkt.ac.index()];
+                // On overlimit the FQ evicts from its longest queue, not
+                // necessarily the offered packet; `false` here means "one
+                // packet was dropped at this uplink", not "this packet
+                // was rejected".
+                fq.enqueue(pkt, tid, now).is_none()
+            }
+        }
+    }
+
+    fn has_data(&self, ac: AccessCategory) -> bool {
+        match self {
+            UplinkQueues::Fifo { queues, .. } => !queues[ac.index()].is_empty(),
+            UplinkQueues::Fq { fq, tids, .. } => fq.tid_has_data(tids[ac.index()]),
+        }
+    }
+
+    fn pop(&mut self, ac: AccessCategory, now: Nanos) -> Option<Packet<M>> {
+        match self {
+            UplinkQueues::Fifo { queues, .. } => queues[ac.index()].pop_front(),
+            UplinkQueues::Fq { fq, tids, codel } => fq.dequeue(tids[ac.index()], now, codel),
+        }
+    }
+
+    fn backlog(&self) -> usize {
+        match self {
+            UplinkQueues::Fifo { queues, .. } => queues.iter().map(|q| q.len()).sum(),
+            UplinkQueues::Fq { fq, .. } => fq.total_packets(),
+        }
+    }
+}
+
+/// One wireless client's transmit state.
+pub struct StationUplink<M> {
+    idx: StationIdx,
+    rate: PhyRate,
+    queues: UplinkQueues<M>,
+    /// A packet pulled for an aggregate that didn't fit, offered first
+    /// next time (per AC).
+    stash: [Option<Packet<M>>; AccessCategory::COUNT],
+    /// A built aggregate awaiting (re)transmission, per AC.
+    pending: [Option<Aggregate<M>>; AccessCategory::COUNT],
+    /// Current contention window per AC (doubles on failure).
+    pub cw: [u32; AccessCategory::COUNT],
+    /// Packets tail-dropped at the uplink FIFO.
+    pub drops: u64,
+    /// The client's own rate controller (clients run Minstrel too;
+    /// "unmodified" in the paper refers to queueing, not rate control).
+    rc: Option<Minstrel>,
+    /// Private RNG stream for rate sampling.
+    rng: SimRng,
+}
+
+impl<M: std::fmt::Debug> StationUplink<M> {
+    /// Creates the uplink stack for station `idx` at `rate` with the
+    /// given per-AC FIFO `limit`.
+    pub fn new(idx: StationIdx, rate: PhyRate, limit: usize) -> StationUplink<M> {
+        StationUplink {
+            idx,
+            rate,
+            queues: UplinkQueues::Fifo {
+                queues: Default::default(),
+                limit,
+            },
+            stash: Default::default(),
+            pending: Default::default(),
+            cw: AccessCategory::ALL.map(|ac| ac.edca().cw_min),
+            drops: 0,
+            rc: None,
+            rng: SimRng::new(idx as u64),
+        }
+    }
+
+    /// Switches the uplink to the paper's MAC FQ structure (one TID per
+    /// access category, WiFi CoDel defaults). Call before any traffic is
+    /// queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if packets are already queued.
+    pub fn enable_fq(&mut self) {
+        assert_eq!(self.backlog(), 0, "enable_fq on a non-empty station");
+        let mut fq = MacFq::new(FqParams::default());
+        let tids = AccessCategory::ALL.map(|_| fq.register_tid());
+        self.queues = UplinkQueues::Fq {
+            fq,
+            tids,
+            codel: CodelParams::wifi_default(),
+        };
+    }
+
+    /// Enables the client-side rate controller (no-op for legacy rates,
+    /// which have nothing to adapt between).
+    pub fn enable_rate_control(&mut self, rng: SimRng) {
+        if matches!(self.rate, PhyRate::Ht { .. }) {
+            self.rc = Some(Minstrel::new(self.rate));
+            self.rng = rng;
+        }
+    }
+
+    /// The station's PHY rate.
+    pub fn rate(&self) -> PhyRate {
+        self.rate
+    }
+
+    /// Queues an uplink packet. The packet's `enqueued` stamp must be
+    /// current (CoDel reads it under the FQ uplink).
+    pub fn enqueue(&mut self, pkt: Packet<M>) {
+        let now = pkt.enqueued;
+        if !self.queues.enqueue(pkt, now) {
+            self.drops += 1;
+        }
+    }
+
+    /// Total packets queued (queues + stash + pending aggregates).
+    pub fn backlog(&self) -> usize {
+        self.queues.backlog()
+            + self.stash.iter().filter(|s| s.is_some()).count()
+            + self
+                .pending
+                .iter()
+                .map(|p| p.as_ref().map_or(0, |a| a.frames.len()))
+                .sum::<usize>()
+    }
+
+    /// The highest-priority access category with traffic ready to
+    /// transmit, building its aggregate if needed.
+    ///
+    /// `now` is needed because the FQ uplink runs CoDel at dequeue.
+    pub fn best_ready_ac(&mut self, now: Nanos) -> Option<AccessCategory> {
+        for ac in AccessCategory::ALL {
+            let aci = ac.index();
+            let has = self.stash[aci].is_some() || self.queues.has_data(ac);
+            if self.pending[aci].is_none() && has {
+                let rate = match self.rc.as_mut() {
+                    Some(rc) => rc.rate_for_next(&mut self.rng),
+                    None => self.rate,
+                };
+                let queues = &mut self.queues;
+                let stash = &mut self.stash[aci];
+                let (agg, leftover) = build_aggregate(self.idx, ac, rate, || {
+                    stash.take().or_else(|| queues.pop(ac, now))
+                });
+                self.stash[aci] = leftover;
+                self.pending[aci] = agg;
+            }
+            if self.pending[aci].is_some() {
+                return Some(ac);
+            }
+        }
+        None
+    }
+
+    /// The pending aggregate for `ac`, if built.
+    pub fn pending(&self, ac: AccessCategory) -> Option<&Aggregate<M>> {
+        self.pending[ac.index()].as_ref()
+    }
+
+    /// Takes the pending aggregate after a successful transmission and
+    /// resets the contention window.
+    pub fn take_success(&mut self, ac: AccessCategory, now: Nanos) -> Aggregate<M> {
+        self.cw[ac.index()] = ac.edca().cw_min;
+        let agg = self.pending[ac.index()]
+            .take()
+            .expect("success reported with no pending aggregate");
+        if let Some(rc) = self.rc.as_mut() {
+            rc.report(agg.rate, true, now);
+        }
+        agg
+    }
+
+    /// Records a failed attempt: doubles the contention window, counts a
+    /// retry, and steps the retry rate down under rate control. Returns
+    /// the dropped aggregate if retries are exhausted.
+    pub fn on_failure(
+        &mut self,
+        ac: AccessCategory,
+        max_retries: u32,
+        now: Nanos,
+    ) -> Option<Aggregate<M>> {
+        let aci = ac.index();
+        self.cw[aci] = ac.edca().next_cw(self.cw[aci]);
+        let agg = self.pending[aci]
+            .as_mut()
+            .expect("failure reported with no pending aggregate");
+        agg.retries += 1;
+        if let Some(rc) = self.rc.as_mut() {
+            rc.report(agg.rate, false, now);
+            let lower = rc.lower_rate(agg.rate);
+            if lower != agg.rate {
+                agg.retune(lower);
+            }
+        }
+        if agg.retries > max_retries {
+            self.cw[aci] = ac.edca().cw_min;
+            self.pending[aci].take()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::NodeAddr;
+    use wifiq_sim::Nanos;
+
+    fn pkt(ac: AccessCategory) -> Packet<()> {
+        Packet {
+            id: 0,
+            src: NodeAddr::Station(0),
+            dst: NodeAddr::Server,
+            flow: 1,
+            len: 1500,
+            ac,
+            created: Nanos::ZERO,
+            enqueued: Nanos::ZERO,
+            payload: (),
+        }
+    }
+
+    fn sta() -> StationUplink<()> {
+        StationUplink::new(0, PhyRate::fast_station(), 100)
+    }
+
+    #[test]
+    fn empty_station_has_nothing_ready() {
+        let mut s = sta();
+        assert_eq!(s.best_ready_ac(Nanos::ZERO), None);
+        assert_eq!(s.backlog(), 0);
+    }
+
+    #[test]
+    fn builds_aggregate_from_fifo() {
+        let mut s = sta();
+        for _ in 0..5 {
+            s.enqueue(pkt(AccessCategory::Be));
+        }
+        assert_eq!(s.best_ready_ac(Nanos::ZERO), Some(AccessCategory::Be));
+        let agg = s.pending(AccessCategory::Be).unwrap();
+        assert_eq!(agg.frames.len(), 5);
+        assert_eq!(s.backlog(), 5, "frames moved to pending, not lost");
+    }
+
+    #[test]
+    fn vo_preempts_be() {
+        let mut s = sta();
+        s.enqueue(pkt(AccessCategory::Be));
+        s.enqueue(pkt(AccessCategory::Vo));
+        assert_eq!(s.best_ready_ac(Nanos::ZERO), Some(AccessCategory::Vo));
+    }
+
+    #[test]
+    fn success_resets_cw_and_clears_pending() {
+        let mut s = sta();
+        s.enqueue(pkt(AccessCategory::Be));
+        s.best_ready_ac(Nanos::ZERO);
+        s.cw[AccessCategory::Be.index()] = 255;
+        let agg = s.take_success(AccessCategory::Be, Nanos::ZERO);
+        assert_eq!(agg.frames.len(), 1);
+        assert_eq!(s.cw[AccessCategory::Be.index()], 15);
+        assert_eq!(s.backlog(), 0);
+    }
+
+    #[test]
+    fn failure_doubles_cw_until_drop() {
+        let mut s = sta();
+        s.enqueue(pkt(AccessCategory::Be));
+        s.best_ready_ac(Nanos::ZERO);
+        assert!(s.on_failure(AccessCategory::Be, 2, Nanos::ZERO).is_none());
+        assert_eq!(s.cw[AccessCategory::Be.index()], 31);
+        assert!(s.on_failure(AccessCategory::Be, 2, Nanos::ZERO).is_none());
+        assert_eq!(s.cw[AccessCategory::Be.index()], 63);
+        // Third failure exceeds max_retries = 2: aggregate dropped.
+        let dropped = s.on_failure(AccessCategory::Be, 2, Nanos::ZERO);
+        assert!(dropped.is_some());
+        assert_eq!(s.cw[AccessCategory::Be.index()], 15, "cw resets on drop");
+        assert_eq!(s.best_ready_ac(Nanos::ZERO), None);
+    }
+
+    #[test]
+    fn fifo_limit_tail_drops() {
+        let mut s = StationUplink::<()>::new(0, PhyRate::fast_station(), 3);
+        for _ in 0..5 {
+            s.enqueue(pkt(AccessCategory::Be));
+        }
+        assert_eq!(s.drops, 2);
+        assert_eq!(s.backlog(), 3);
+    }
+
+    #[test]
+    fn fq_uplink_enqueues_and_builds() {
+        let mut s = StationUplink::<()>::new(0, PhyRate::fast_station(), 100);
+        s.enable_fq();
+        for _ in 0..5 {
+            s.enqueue(pkt(AccessCategory::Be));
+        }
+        assert_eq!(s.backlog(), 5);
+        assert_eq!(s.best_ready_ac(Nanos::ZERO), Some(AccessCategory::Be));
+        assert_eq!(s.pending(AccessCategory::Be).unwrap().frames.len(), 5);
+    }
+
+    #[test]
+    fn fq_uplink_interleaves_flows() {
+        // Two flows; the FQ uplink should interleave them in the
+        // aggregate rather than serving strictly in arrival order.
+        #[derive(Debug)]
+        struct FlowMsg;
+        let _ = FlowMsg;
+        let mut s = StationUplink::<()>::new(0, PhyRate::slow_station(), 100);
+        s.enable_fq();
+        let mk = |flow: u64| Packet {
+            id: 0,
+            src: NodeAddr::Station(0),
+            dst: NodeAddr::Server,
+            flow,
+            len: 1500,
+            ac: AccessCategory::Be,
+            created: Nanos::ZERO,
+            enqueued: Nanos::ZERO,
+            payload: (),
+        };
+        for _ in 0..6 {
+            s.enqueue(mk(1));
+        }
+        s.enqueue(mk(2));
+        // Slow rate: 2-frame aggregates. The sparse flow 2 should appear
+        // in the first aggregate thanks to new-flow priority.
+        s.best_ready_ac(Nanos::ZERO);
+        let flows: Vec<u64> = s
+            .pending(AccessCategory::Be)
+            .unwrap()
+            .frames
+            .iter()
+            .map(|p| p.flow)
+            .collect();
+        assert!(flows.contains(&2), "sparse flow missing from {flows:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "enable_fq on a non-empty station")]
+    fn enable_fq_rejects_queued_traffic() {
+        let mut s = StationUplink::<()>::new(0, PhyRate::fast_station(), 100);
+        s.enqueue(pkt(AccessCategory::Be));
+        s.enable_fq();
+    }
+
+    #[test]
+    fn leftover_goes_back_to_fifo_front() {
+        // Slow rate: 4 ms cap → 2 frames per aggregate; the third pulled
+        // packet must return to the FIFO head.
+        let mut s = StationUplink::<()>::new(0, PhyRate::slow_station(), 100);
+        for _ in 0..5 {
+            s.enqueue(pkt(AccessCategory::Be));
+        }
+        s.best_ready_ac(Nanos::ZERO);
+        assert_eq!(s.pending(AccessCategory::Be).unwrap().frames.len(), 2);
+        assert_eq!(s.backlog(), 5);
+        // Draining: 2 + 2 + 1.
+        let mut total = s.take_success(AccessCategory::Be, Nanos::ZERO).frames.len();
+        while s.best_ready_ac(Nanos::ZERO).is_some() {
+            total += s.take_success(AccessCategory::Be, Nanos::ZERO).frames.len();
+        }
+        assert_eq!(total, 5);
+    }
+}

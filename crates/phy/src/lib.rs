@@ -1,0 +1,21 @@
+//! 802.11n PHY-layer model: rates, framing constants, and airtime math.
+//!
+//! This crate is the single source of truth for "how long does a
+//! transmission take" — the quantity that both the paper's analytical model
+//! (Section 2.2.1) and the discrete-event MAC simulator are built on.
+//!
+//! - [`rates`] — the HT MCS table and legacy rates, with exact
+//!   bits-per-symbol arithmetic,
+//! - [`consts`] — framing constants (eq. 1 of the paper) and protocol
+//!   timing (SIFS/DIFS/slot, BlockAck size, aggregation caps),
+//! - [`timing`] — exchange durations (eqs. 2–3) and aggregate size limits,
+//! - [`edca`] — 802.11e access categories (VO/VI/BE/BK) and their
+//!   channel-access parameters.
+
+pub mod consts;
+pub mod edca;
+pub mod rates;
+pub mod timing;
+
+pub use edca::AccessCategory;
+pub use rates::{ChannelWidth, LegacyRate, PhyRate, VhtWidth};

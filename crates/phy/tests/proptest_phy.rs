@@ -1,0 +1,92 @@
+//! Property tests for the PHY timing math.
+
+use proptest::prelude::*;
+use wifiq_phy::consts;
+use wifiq_phy::timing;
+use wifiq_phy::{ChannelWidth, LegacyRate, PhyRate};
+
+fn any_ht() -> impl Strategy<Value = PhyRate> {
+    (0u8..16, proptest::bool::ANY, proptest::bool::ANY).prop_map(|(mcs, wide, sgi)| {
+        PhyRate::ht(
+            mcs,
+            if wide {
+                ChannelWidth::Ht40
+            } else {
+                ChannelWidth::Ht20
+            },
+            sgi,
+        )
+    })
+}
+
+fn any_rate() -> impl Strategy<Value = PhyRate> {
+    prop_oneof![
+        any_ht(),
+        proptest::sample::select(vec![
+            PhyRate::Legacy(LegacyRate::Dsss1),
+            PhyRate::Legacy(LegacyRate::Dsss11),
+            PhyRate::Legacy(LegacyRate::Ofdm6),
+            PhyRate::Legacy(LegacyRate::Ofdm54),
+        ]),
+    ]
+}
+
+proptest! {
+    /// Durations are monotone in payload size and never shorter than the
+    /// preamble.
+    #[test]
+    fn duration_monotone_in_bytes(rate in any_rate(), a in 0u64..10_000, b in 0u64..10_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let d_lo = rate.data_duration(lo);
+        let d_hi = rate.data_duration(hi);
+        prop_assert!(d_lo <= d_hi);
+        prop_assert!(d_lo >= rate.preamble());
+    }
+
+    /// A faster rate never takes longer for the same bytes (within the
+    /// same modulation family, where preambles match).
+    #[test]
+    fn faster_ht_rate_is_never_slower(
+        mcs_a in 0u8..16, mcs_b in 0u8..16, sgi in proptest::bool::ANY, bytes in 1u64..65_535
+    ) {
+        let a = PhyRate::ht(mcs_a, ChannelWidth::Ht20, sgi);
+        let b = PhyRate::ht(mcs_b, ChannelWidth::Ht20, sgi);
+        if a.bits_per_second() >= b.bits_per_second() {
+            prop_assert!(a.data_duration(bytes) <= b.data_duration(bytes));
+        }
+    }
+
+    /// Symbol quantization rounds up by strictly less than one symbol
+    /// relative to the ideal-rate duration.
+    #[test]
+    fn quantization_error_bounded(rate in any_ht(), bytes in 1u64..65_535) {
+        let ideal = wifiq_sim::Nanos::for_bits(bytes * 8, rate.bits_per_second());
+        let actual = rate.payload_duration(bytes);
+        // `bits_per_second()` truncates fractional bps (e.g. MCS0 SGI is
+        // 7 222 222.2), so the "ideal" here is a hair pessimistic; allow
+        // a few ns of slack below it.
+        prop_assert!(actual + wifiq_sim::Nanos::from_nanos(100) >= ideal);
+        // One symbol is at most 4 µs.
+        prop_assert!(actual <= ideal + wifiq_sim::Nanos::from_micros(4));
+    }
+
+    /// Aggregate framing overhead (eq. 1) is linear: per-subframe length
+    /// times n, and every subframe is 4-byte aligned.
+    #[test]
+    fn ampdu_len_linear_and_aligned(n in 1u64..64, l in 1u64..3000) {
+        let total = consts::ampdu_len(n, l);
+        prop_assert_eq!(total, n * consts::subframe_len(l));
+        prop_assert_eq!(consts::subframe_len(l) % 4, 0);
+        prop_assert!(consts::subframe_len(l) >= l + consts::MPDU_OVERHEAD);
+        prop_assert!(consts::subframe_len(l) < l + consts::MPDU_OVERHEAD + 4);
+    }
+
+    /// The exchange airtime dominates its parts and grows with n.
+    #[test]
+    fn exchange_duration_composition(rate in any_ht(), n in 1u64..42, l in 64u64..1500) {
+        let one = timing::exchange_duration(n, l, rate);
+        let more = timing::exchange_duration(n + 1, l, rate);
+        prop_assert!(more > one);
+        prop_assert!(one > timing::ampdu_duration(n, l, rate));
+    }
+}

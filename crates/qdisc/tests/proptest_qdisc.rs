@@ -1,0 +1,104 @@
+//! Property tests for the qdisc baselines.
+
+use proptest::prelude::*;
+use wifiq_codel::QueuedPacket;
+use wifiq_core::packet::FqPacket;
+use wifiq_qdisc::{FqCodelQdisc, PfifoFastQdisc, PfifoQdisc, Qdisc};
+use wifiq_sim::Nanos;
+
+#[derive(Debug, Clone)]
+struct Pkt {
+    flow: u64,
+    band: usize,
+    t: Nanos,
+}
+
+impl QueuedPacket for Pkt {
+    fn enqueue_time(&self) -> Nanos {
+        self.t
+    }
+    fn wire_len(&self) -> u64 {
+        1000
+    }
+}
+
+impl FqPacket for Pkt {
+    fn flow_hash(&self) -> u64 {
+        self.flow
+    }
+}
+
+proptest! {
+    /// pfifo never exceeds its limit and preserves FIFO order.
+    #[test]
+    fn pfifo_invariants(
+        limit in 1usize..64,
+        arrivals in proptest::collection::vec(0u64..100, 1..200)
+    ) {
+        let mut q = PfifoQdisc::new(limit);
+        let mut accepted = Vec::new();
+        for (i, flow) in arrivals.iter().enumerate() {
+            let pkt = Pkt { flow: *flow, band: 0, t: Nanos::from_nanos(i as u64) };
+            if q.enqueue(pkt, Nanos::ZERO).is_none() {
+                accepted.push(i as u64);
+            }
+            prop_assert!(q.len() <= limit);
+        }
+        let mut popped = Vec::new();
+        while let Some(p) = q.dequeue(Nanos::ZERO) {
+            popped.push(p.t.as_nanos());
+        }
+        prop_assert_eq!(popped, accepted, "FIFO order violated");
+    }
+
+    /// pfifo_fast: a higher-priority band always drains before a lower
+    /// one, regardless of arrival order.
+    #[test]
+    fn pfifo_fast_strict_priority(
+        arrivals in proptest::collection::vec((0usize..3, 0u64..50), 1..150)
+    ) {
+        let mut q = PfifoFastQdisc::new(3, 1000, |p: &Pkt| p.band);
+        for (i, (band, flow)) in arrivals.iter().enumerate() {
+            q.enqueue(
+                Pkt { flow: *flow, band: *band, t: Nanos::from_nanos(i as u64) },
+                Nanos::ZERO,
+            );
+        }
+        let mut last_band = 0usize;
+        while let Some(p) = q.dequeue(Nanos::ZERO) {
+            // Bands may only increase across the drain (strict priority
+            // with no concurrent arrivals).
+            prop_assert!(p.band >= last_band, "band {} after {}", p.band, last_band);
+            last_band = p.band;
+        }
+    }
+
+    /// FQ-CoDel qdisc conserves packets under arbitrary interleavings.
+    #[test]
+    fn fq_codel_conserves(
+        ops in proptest::collection::vec((0u64..16, proptest::bool::ANY), 1..300)
+    ) {
+        let mut q: FqCodelQdisc<Pkt> = FqCodelQdisc::with_defaults();
+        let mut now = Nanos::ZERO;
+        let mut accepted = 0u64;
+        let mut delivered = 0u64;
+        for (flow, deq) in ops {
+            now += Nanos::from_micros(200);
+            if deq {
+                if q.dequeue(now).is_some() {
+                    delivered += 1;
+                }
+            } else if q.enqueue(Pkt { flow, band: 0, t: now }, now).is_none() {
+                accepted += 1;
+            }
+        }
+        while q.dequeue(now).is_some() {
+            delivered += 1;
+        }
+        prop_assert_eq!(
+            accepted,
+            delivered + q.codel_drops(),
+            "packets lost or duplicated"
+        );
+    }
+}

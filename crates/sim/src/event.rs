@@ -1,0 +1,288 @@
+//! Time-ordered event queue with cancellation.
+//!
+//! The queue is the heart of the discrete-event engine: events are pushed
+//! with an absolute firing time and popped in time order. Ties are broken by
+//! insertion order (FIFO), which keeps runs deterministic regardless of heap
+//! internals.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::Nanos;
+
+/// Opaque handle identifying a scheduled event, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    time: Nanos,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic, cancellable priority queue of simulation events.
+///
+/// # Examples
+///
+/// ```
+/// use wifiq_sim::event::EventQueue;
+/// use wifiq_sim::time::Nanos;
+///
+/// let mut q = EventQueue::new();
+/// q.push(Nanos::from_micros(20), "b");
+/// q.push(Nanos::from_micros(10), "a");
+/// let id = q.push(Nanos::from_micros(15), "cancelled");
+/// q.cancel(id);
+///
+/// assert_eq!(q.pop(), Some((Nanos::from_micros(10), "a")));
+/// assert_eq!(q.pop(), Some((Nanos::from_micros(20), "b")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    /// Sequence numbers currently in the heap; guards `cancel` against
+    /// tombstoning an event that already fired (which would corrupt
+    /// `len()` forever).
+    pending: HashSet<u64>,
+    next_seq: u64,
+    now: Nanos,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            pending: HashSet::new(),
+            next_seq: 0,
+            now: Nanos::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event (the current virtual time).
+    #[inline]
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — a scheduled event must never rewind
+    /// the clock; doing so would silently corrupt causality.
+    pub fn push(&mut self, at: Nanos, payload: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(seq);
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            payload,
+        });
+        EventId(seq)
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn push_after(&mut self, delay: Nanos, payload: E) -> EventId {
+        let at = self.now + delay;
+        self.push(at, payload)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet fired (or been cancelled).
+    /// Cancellation is lazy: the entry is skipped when it reaches the top of
+    /// the heap.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if !self.pending.contains(&id.0) {
+            // Unknown, already fired, or already cancelled: refuse, so a
+            // stale handle can never tombstone a future event's counters.
+            return false;
+        }
+        self.pending.remove(&id.0);
+        self.cancelled.insert(id.0)
+    }
+
+    /// Pops the next pending event, advancing the virtual clock to its time.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.pending.remove(&entry.seq);
+            debug_assert!(entry.time >= self.now, "event queue went backwards");
+            self.now = entry.time;
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// The firing time of the next live event, if any, without popping it.
+    pub fn peek_time(&mut self) -> Option<Nanos> {
+        // Drop cancelled entries so the peek reflects a live event.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Number of scheduled events, including not-yet-skipped cancelled ones.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Nanos(30), 3);
+        q.push(Nanos(10), 1);
+        q.push(Nanos(20), 2);
+        assert_eq!(q.pop(), Some((Nanos(10), 1)));
+        assert_eq!(q.pop(), Some((Nanos(20), 2)));
+        assert_eq!(q.pop(), Some((Nanos(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Nanos(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Nanos(5), i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.push(Nanos(100), ());
+        assert_eq!(q.now(), Nanos::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Nanos(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn push_in_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(Nanos(100), ());
+        q.pop();
+        q.push(Nanos(50), ());
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.push(Nanos(10), "a");
+        q.push(Nanos(20), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel reports false");
+        assert_eq!(q.pop(), Some((Nanos(20), "b")));
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false_and_harmless() {
+        let mut q = EventQueue::new();
+        let a = q.push(Nanos(10), 1);
+        assert_eq!(q.pop(), Some((Nanos(10), 1)));
+        // The event already fired: cancelling must refuse and must not
+        // corrupt the live-event count.
+        assert!(!q.cancel(a));
+        q.push(Nanos(20), 2);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Nanos(20), 2)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.push(Nanos(100), 1);
+        q.pop();
+        q.push_after(Nanos(50), 2);
+        assert_eq!(q.pop(), Some((Nanos(150), 2)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(Nanos(10), 1);
+        q.push(Nanos(20), 2);
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(Nanos(20)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn len_accounts_for_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(Nanos(10), 1);
+        q.push(Nanos(20), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

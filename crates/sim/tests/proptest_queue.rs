@@ -1,0 +1,127 @@
+//! Property tests for the event queue's core guarantees: time ordering,
+//! FIFO tie-breaking, and cancellation consistency.
+
+use proptest::prelude::*;
+use wifiq_sim::{EventQueue, Nanos};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push an event `delta` ns after the current virtual time.
+    Push(u64),
+    /// Pop one event.
+    Pop,
+    /// Cancel the i-th still-remembered handle.
+    Cancel(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..1_000_000).prop_map(Op::Push),
+        Just(Op::Pop),
+        (0usize..64).prop_map(Op::Cancel),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Under any interleaving of pushes, pops and cancels:
+    /// - popped times never decrease,
+    /// - equal-time events pop in insertion order,
+    /// - cancelled events never pop,
+    /// - `len()` matches the number of live events.
+    #[test]
+    fn queue_invariants(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut handles = Vec::new();
+        let mut next_payload = 0u64;
+        let mut cancelled_payloads = Vec::new();
+        let mut live = 0usize;
+        let mut last = (Nanos::ZERO, 0u64);
+
+        for op in ops {
+            match op {
+                Op::Push(delta) => {
+                    let at = q.now() + Nanos::from_nanos(delta);
+                    next_payload += 1;
+                    let id = q.push(at, next_payload);
+                    handles.push((id, next_payload));
+                    live += 1;
+                }
+                Op::Pop => {
+                    let before = q.len();
+                    if let Some((t, payload)) = q.pop() {
+                        // Time order with FIFO tie-break: (time, payload)
+                        // pairs are strictly increasing lexicographically
+                        // because payloads are insertion-ordered.
+                        prop_assert!(
+                            (t, payload) > last,
+                            "out of order: {:?} after {:?}", (t, payload), last
+                        );
+                        last = (t, payload);
+                        prop_assert!(
+                            !cancelled_payloads.contains(&payload),
+                            "cancelled event {payload} popped"
+                        );
+                        live -= 1;
+                        prop_assert_eq!(q.len(), before - 1);
+                        handles.retain(|&(_, p)| p != payload);
+                    } else {
+                        prop_assert_eq!(before, 0);
+                    }
+                }
+                Op::Cancel(i) => {
+                    if !handles.is_empty() {
+                        let (id, payload) = handles[i % handles.len()];
+                        if q.cancel(id) {
+                            cancelled_payloads.push(payload);
+                            live -= 1;
+                            handles.retain(|&(h, _)| h != id);
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), live, "len() diverged from live count");
+        }
+
+        // Drain: everything still live pops, nothing cancelled does.
+        while let Some((_, payload)) = q.pop() {
+            prop_assert!(!cancelled_payloads.contains(&payload));
+            live -= 1;
+        }
+        prop_assert_eq!(live, 0);
+    }
+
+    /// Double-cancel and cancel-after-fire always report false and never
+    /// disturb other events.
+    #[test]
+    fn cancel_is_idempotent(times in proptest::collection::vec(0u64..1000, 2..40)) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.push(Nanos::from_nanos(t), i))
+            .collect();
+        // Cancel every other event, twice.
+        for (i, id) in ids.iter().enumerate() {
+            if i % 2 == 0 {
+                prop_assert!(q.cancel(*id));
+                prop_assert!(!q.cancel(*id), "double cancel must be false");
+            }
+        }
+        let mut popped = Vec::new();
+        while let Some((_, p)) = q.pop() {
+            popped.push(p);
+        }
+        // Exactly the odd-indexed events survive.
+        let expect: Vec<usize> = (0..times.len()).filter(|i| i % 2 == 1).collect();
+        let mut sorted = popped.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, expect);
+        // Cancelling after the fact is refused.
+        for id in &ids {
+            prop_assert!(!q.cancel(*id));
+        }
+        prop_assert_eq!(q.len(), 0);
+    }
+}

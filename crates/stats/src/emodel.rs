@@ -1,0 +1,221 @@
+//! ITU-T G.107 E-model MOS estimation for VoIP quality (paper §4.2.1).
+//!
+//! The paper fixes all audio/codec parameters to their defaults and
+//! computes the MOS estimate from the measured delay, jitter and packet
+//! loss. With default parameters the E-model reduces to
+//!
+//! `R = 94.2 − Id(d) − Ie_eff(Ppl)`
+//!
+//! where `Id` is the delay impairment, `Ie_eff` the (G.711) loss
+//! impairment, and `d` the effective one-way mouth-to-ear delay. The MOS
+//! is then obtained from `R` by the standard cubic mapping, clamped to
+//! the model's 1–4.5 range (the paper: "The model gives MOS values in the
+//! range from 1 − 4.5").
+
+use serde::Serialize;
+use wifiq_sim::Nanos;
+
+/// Default R-factor with all G.107 parameters at their defaults
+/// (`Ro − Is` for the standard transmission rating).
+const R_DEFAULT: f64 = 94.2;
+
+/// G.711 packet-loss robustness factor `Bpl` (random loss).
+const BPL_G711: f64 = 25.1;
+
+/// Delay impairment `Id` as a function of one-way delay in milliseconds.
+///
+/// Uses the widely applied simplification of G.107's `Idd` curve:
+/// `Id = 0.024·d + 0.11·(d − 177.3)` for `d > 177.3 ms` (second term
+/// omitted below the knee).
+pub fn delay_impairment(delay_ms: f64) -> f64 {
+    let mut id = 0.024 * delay_ms;
+    if delay_ms > 177.3 {
+        id += 0.11 * (delay_ms - 177.3);
+    }
+    id
+}
+
+/// Effective equipment impairment `Ie_eff` for G.711 under random loss.
+///
+/// `Ie_eff = Ie + (95 − Ie) · Ppl / (Ppl + Bpl)` with `Ie = 0` for G.711.
+/// `loss` is the fraction of packets lost (0–1).
+pub fn loss_impairment(loss: f64) -> f64 {
+    let ppl = (loss * 100.0).clamp(0.0, 100.0);
+    95.0 * ppl / (ppl + BPL_G711)
+}
+
+/// Maps an R-factor to a MOS (ITU-T G.107 Annex B), clamped to [1, 4.5].
+pub fn r_to_mos(r: f64) -> f64 {
+    if r <= 0.0 {
+        return 1.0;
+    }
+    if r >= 100.0 {
+        return 4.5;
+    }
+    let mos = 1.0 + 0.035 * r + r * (r - 60.0) * (100.0 - r) * 7e-6;
+    mos.clamp(1.0, 4.5)
+}
+
+/// Inputs measured from a VoIP flow.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct VoipMetrics {
+    /// Mean one-way network delay.
+    pub mean_delay_ms: f64,
+    /// Mean absolute delay variation between consecutive packets.
+    pub mean_jitter_ms: f64,
+    /// Fraction of packets lost (0–1).
+    pub loss: f64,
+}
+
+impl VoipMetrics {
+    /// Computes the metrics from per-packet one-way delays (in arrival
+    /// order) and the number of packets sent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more packets were received than sent.
+    pub fn from_delays(delays: &[Nanos], sent: usize) -> VoipMetrics {
+        assert!(delays.len() <= sent, "received more than sent");
+        if delays.is_empty() {
+            return VoipMetrics {
+                mean_delay_ms: 0.0,
+                mean_jitter_ms: 0.0,
+                loss: if sent == 0 { 0.0 } else { 1.0 },
+            };
+        }
+        let ms: Vec<f64> = delays.iter().map(|d| d.as_millis_f64()).collect();
+        let mean = ms.iter().sum::<f64>() / ms.len() as f64;
+        let jitter = if ms.len() < 2 {
+            0.0
+        } else {
+            ms.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (ms.len() - 1) as f64
+        };
+        VoipMetrics {
+            mean_delay_ms: mean,
+            mean_jitter_ms: jitter,
+            loss: 1.0 - delays.len() as f64 / sent as f64,
+        }
+    }
+
+    /// The effective mouth-to-ear delay fed to the delay impairment: the
+    /// network delay plus a jitter buffer sized at twice the mean jitter
+    /// (a common de-jitter provisioning rule).
+    pub fn effective_delay_ms(&self) -> f64 {
+        self.mean_delay_ms + 2.0 * self.mean_jitter_ms
+    }
+
+    /// The E-model R-factor for these metrics.
+    pub fn r_factor(&self) -> f64 {
+        R_DEFAULT - delay_impairment(self.effective_delay_ms()) - loss_impairment(self.loss)
+    }
+
+    /// The estimated mean opinion score (1–4.5).
+    pub fn mos(&self) -> f64 {
+        if self.loss >= 1.0 {
+            // Total loss: no audio at all. The Ie_eff curve only
+            // asymptotes towards 95, so clamp explicitly.
+            return 1.0;
+        }
+        r_to_mos(self.r_factor())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pristine_conditions_give_top_mos() {
+        let m = VoipMetrics {
+            mean_delay_ms: 5.0,
+            mean_jitter_ms: 0.5,
+            loss: 0.0,
+        };
+        let mos = m.mos();
+        assert!(mos > 4.35, "{mos}");
+        assert!(mos <= 4.5);
+    }
+
+    #[test]
+    fn bufferbloat_delay_destroys_mos() {
+        // The paper's FIFO/BE case: hundreds of ms of delay plus loss at
+        // the shared FIFO → MOS 1.00.
+        let m = VoipMetrics {
+            mean_delay_ms: 600.0,
+            mean_jitter_ms: 50.0,
+            loss: 0.15,
+        };
+        assert_eq!(m.mos(), 1.0);
+    }
+
+    #[test]
+    fn moderate_delay_moderate_mos() {
+        let m = VoipMetrics {
+            mean_delay_ms: 150.0,
+            mean_jitter_ms: 5.0,
+            loss: 0.0,
+        };
+        let mos = m.mos();
+        assert!((3.8..4.4).contains(&mos), "{mos}");
+    }
+
+    #[test]
+    fn loss_alone_degrades() {
+        let clean = VoipMetrics {
+            mean_delay_ms: 20.0,
+            mean_jitter_ms: 1.0,
+            loss: 0.0,
+        };
+        let lossy = VoipMetrics {
+            loss: 0.05,
+            ..clean
+        };
+        // 5% loss costs ~0.45 MOS under G.711 (Ie_eff ≈ 15.8).
+        assert!(lossy.mos() < clean.mos() - 0.4);
+    }
+
+    #[test]
+    fn r_to_mos_shape() {
+        assert_eq!(r_to_mos(-5.0), 1.0);
+        assert_eq!(r_to_mos(150.0), 4.5);
+        assert!(r_to_mos(93.2) > 4.3);
+        // Monotone over the usable range.
+        let mut last = 0.0;
+        for r in 0..=100 {
+            let m = r_to_mos(r as f64);
+            assert!(m >= last, "MOS must be monotone in R");
+            last = m;
+        }
+    }
+
+    #[test]
+    fn metrics_from_delays() {
+        let delays = [
+            Nanos::from_millis(10),
+            Nanos::from_millis(12),
+            Nanos::from_millis(8),
+        ];
+        let m = VoipMetrics::from_delays(&delays, 4);
+        assert!((m.mean_delay_ms - 10.0).abs() < 1e-9);
+        assert!((m.mean_jitter_ms - 3.0).abs() < 1e-9); // |2| + |−4| over 2
+        assert!((m.loss - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_delays() {
+        let m = VoipMetrics::from_delays(&[], 100);
+        assert_eq!(m.loss, 1.0);
+        assert_eq!(m.mos(), 1.0);
+        let m = VoipMetrics::from_delays(&[], 0);
+        assert_eq!(m.loss, 0.0);
+    }
+
+    #[test]
+    fn delay_impairment_knee_at_177ms() {
+        let below = delay_impairment(170.0);
+        let above = delay_impairment(185.0);
+        // Slope jumps by 0.11/ms past the knee.
+        assert!((below - 0.024 * 170.0).abs() < 1e-12);
+        assert!(above > 0.024 * 185.0);
+    }
+}

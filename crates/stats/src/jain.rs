@@ -1,0 +1,67 @@
+//! Jain's fairness index.
+
+/// Computes Jain's fairness index `(Σx)² / (n · Σx²)` over the samples.
+///
+/// The index is 1 for perfectly equal allocations and `1/n` when one
+/// participant takes everything. Used over per-station airtime in the
+/// paper's Figure 6.
+///
+/// # Examples
+///
+/// ```
+/// use wifiq_stats::jain::jain_index;
+///
+/// assert!((jain_index(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+/// assert!((jain_index(&[1.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn jain_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if sum_sq == 0.0 {
+        return 1.0; // all-zero allocation is vacuously fair
+    }
+    (sum * sum) / (values.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_allocation_is_one() {
+        assert!((jain_index(&[5.0; 30]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_hog_is_one_over_n() {
+        let mut v = vec![0.0; 10];
+        v[3] = 42.0;
+        assert!((jain_index(&v) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anomaly_example() {
+        // The paper's FIFO case: roughly 10/11/79% airtime.
+        let idx = jain_index(&[0.10, 0.11, 0.79]);
+        assert!(idx < 0.55, "{idx}");
+        // The airtime-fair case: near-equal shares.
+        let idx = jain_index(&[0.333, 0.334, 0.333]);
+        assert!(idx > 0.999, "{idx}");
+    }
+
+    #[test]
+    fn scale_invariant() {
+        let a = jain_index(&[1.0, 2.0, 3.0]);
+        let b = jain_index(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+}

@@ -1,0 +1,10 @@
+//! Statistics for the evaluation: Jain's fairness index, sample
+//! summaries/CDFs, and the ITU-T G.107 E-model for VoIP MOS.
+
+pub mod emodel;
+pub mod jain;
+pub mod summary;
+
+pub use emodel::{r_to_mos, VoipMetrics};
+pub use jain::jain_index;
+pub use summary::{percentile_sorted, Cdf, Summary};

@@ -1,0 +1,60 @@
+//! Shared helpers for traffic components: namespaced packet and timer
+//! construction.
+
+use wifiq_mac::{Commands, NodeAddr, Packet};
+use wifiq_phy::AccessCategory;
+use wifiq_sim::{Nanos, SimRng};
+
+use crate::msg::AppMsg;
+
+/// Sub-identifiers per component: each traffic component owns 16 flow ids
+/// and 16 timer tokens, namespaced by its index.
+pub const SUBS_PER_FLOW: u64 = 16;
+
+/// Context handed to a traffic component during a callback.
+pub struct FlowCtx<'a> {
+    /// The component's index (namespace base).
+    pub base: usize,
+    /// Command buffer to emit sends/timers into.
+    pub cmds: &'a mut Commands<AppMsg>,
+    /// Shared packet-id counter.
+    pub next_pkt_id: &'a mut u64,
+    /// Shared randomness for stochastic workloads (Poisson arrivals).
+    pub rng: &'a mut SimRng,
+}
+
+impl FlowCtx<'_> {
+    /// Builds and sends a packet under this component's flow namespace.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send(
+        &mut self,
+        src: NodeAddr,
+        dst: NodeAddr,
+        sub_flow: u64,
+        len: u64,
+        ac: AccessCategory,
+        created: Nanos,
+        payload: AppMsg,
+    ) {
+        debug_assert!(sub_flow < SUBS_PER_FLOW);
+        *self.next_pkt_id += 1;
+        self.cmds.send(Packet {
+            id: *self.next_pkt_id,
+            src,
+            dst,
+            flow: self.base as u64 * SUBS_PER_FLOW + sub_flow,
+            len,
+            ac,
+            created,
+            enqueued: created,
+            payload,
+        });
+    }
+
+    /// Arms a timer under this component's token namespace.
+    pub fn timer(&mut self, sub: u64, at: Nanos) {
+        debug_assert!(sub < SUBS_PER_FLOW);
+        self.cmds
+            .set_timer(self.base as u64 * SUBS_PER_FLOW + sub, at);
+    }
+}

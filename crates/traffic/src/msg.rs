@@ -1,0 +1,51 @@
+//! Application payload carried in simulated packets.
+
+use wifiq_sim::Nanos;
+use wifiq_transport::TcpSegment;
+
+/// The payload enum for all traffic types in the testbed.
+#[derive(Debug, Clone)]
+pub enum AppMsg {
+    /// CBR UDP payload (iperf-style).
+    Udp,
+    /// ICMP echo request.
+    PingReq {
+        /// Sequence number of the echo.
+        seq: u64,
+    },
+    /// ICMP echo reply.
+    PingRep {
+        /// Echoed sequence number.
+        seq: u64,
+        /// Creation time of the original request (for RTT computation).
+        orig_created: Nanos,
+    },
+    /// One VoIP (RTP) frame.
+    Voip {
+        /// RTP sequence number.
+        seq: u64,
+    },
+    /// A TCP segment (data or ACK).
+    Tcp(TcpSegment),
+    /// A TCP segment belonging to web request number `req` — the request
+    /// id guards against stale retransmissions from a previous response
+    /// on the same (reused) connection being mistaken for current data.
+    WebTcp {
+        /// Request index within the page.
+        req: usize,
+        /// The segment.
+        seg: TcpSegment,
+    },
+    /// An HTTP request asking the server to send `size` response bytes on
+    /// connection `conn`.
+    WebReq {
+        /// Connection index within the web session (0–3).
+        conn: usize,
+        /// Response body size in bytes.
+        size: u64,
+    },
+    /// A DNS query (start of a page load).
+    DnsQuery,
+    /// The DNS response.
+    DnsResponse,
+}

@@ -1,0 +1,253 @@
+//! TCP receiver: cumulative ACK generation with delayed ACKs and
+//! out-of-order buffering.
+
+use std::collections::BTreeMap;
+
+use wifiq_sim::Nanos;
+
+use crate::segment::TcpSegment;
+
+/// Linux's delayed-ACK timeout (40 ms).
+pub const DELACK_TIMEOUT: Nanos = Nanos::from_millis(40);
+
+/// Output of feeding a data segment to the receiver.
+#[derive(Debug, Default)]
+pub struct RecvOutcome {
+    /// An ACK to send immediately, if any.
+    pub ack: Option<TcpSegment>,
+    /// Absolute deadline to arm the delayed-ACK timer at (cancel any
+    /// previous delack timer if `ack` was produced).
+    pub arm_delack: Option<Nanos>,
+}
+
+/// A TCP receiver for a single unidirectional transfer.
+///
+/// Implements the standard ACK policy: every second in-order full segment
+/// is acknowledged immediately, a lone segment is acknowledged after the
+/// 40 ms delayed-ACK timeout, and out-of-order data triggers an immediate
+/// duplicate ACK (feeding the sender's fast retransmit).
+#[derive(Debug)]
+pub struct TcpReceiver {
+    rcv_nxt: u64,
+    /// Out-of-order ranges: start → end (exclusive), non-overlapping.
+    ooo: BTreeMap<u64, u64>,
+    delack_pending: bool,
+    /// Timestamp to echo on the next ACK.
+    pending_echo: Nanos,
+    /// Total in-order bytes delivered to the application.
+    pub delivered_bytes: u64,
+    /// Count of ACKs generated (telemetry).
+    pub acks_sent: u64,
+}
+
+impl TcpReceiver {
+    /// Creates a receiver expecting a stream starting at sequence 0.
+    pub fn new() -> TcpReceiver {
+        TcpReceiver {
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            delack_pending: false,
+            pending_echo: Nanos::ZERO,
+            delivered_bytes: 0,
+            acks_sent: 0,
+        }
+    }
+
+    /// Next expected sequence number (== in-order bytes received).
+    pub fn rcv_nxt(&self) -> u64 {
+        self.rcv_nxt
+    }
+
+    fn make_ack(&mut self, now: Nanos) -> TcpSegment {
+        self.acks_sent += 1;
+        self.delack_pending = false;
+        // Report up to three out-of-order ranges as SACK blocks.
+        let mut sack = [(0u64, 0u64); 3];
+        for (slot, (&s, &e)) in sack.iter_mut().zip(self.ooo.iter()) {
+            *slot = (s, e);
+        }
+        TcpSegment {
+            seq: 0,
+            len: 0,
+            ack: self.rcv_nxt,
+            sent_at: now,
+            echo: self.pending_echo,
+            retransmit: false,
+            sack,
+        }
+    }
+
+    /// Merges `[seq, end)` into the out-of-order store and advances
+    /// `rcv_nxt` over any ranges it now covers.
+    fn absorb(&mut self, seq: u64, end: u64) {
+        if end <= self.rcv_nxt {
+            return; // wholly duplicate
+        }
+        let seq = seq.max(self.rcv_nxt);
+        if seq == self.rcv_nxt {
+            self.rcv_nxt = end;
+            // Pull any now-contiguous buffered ranges.
+            while let Some((&s, &e)) = self.ooo.first_key_value() {
+                if s > self.rcv_nxt {
+                    break;
+                }
+                self.ooo.remove(&s);
+                self.rcv_nxt = self.rcv_nxt.max(e);
+            }
+        } else {
+            // Buffer, merging overlaps conservatively (exact merging is
+            // unnecessary: ranges come from MSS-aligned segments).
+            let e = self.ooo.entry(seq).or_insert(end);
+            *e = (*e).max(end);
+        }
+    }
+
+    /// Processes a data segment, possibly producing an ACK.
+    pub fn on_data(&mut self, seg: &TcpSegment, now: Nanos) -> RecvOutcome {
+        let before = self.rcv_nxt;
+        let had_gap = !self.ooo.is_empty();
+        self.absorb(seg.seq, seg.end_seq());
+        let advanced = self.rcv_nxt > before;
+        if advanced {
+            self.delivered_bytes += self.rcv_nxt - before;
+        }
+        self.pending_echo = seg.sent_at;
+
+        let mut out = RecvOutcome::default();
+        // RFC 5681: ACK immediately for out-of-order data (dupACKs) and
+        // for segments that fill a gap.
+        let out_of_order = !advanced || had_gap || !self.ooo.is_empty();
+        if out_of_order {
+            // Duplicate/gap-filling data: ACK immediately so the sender
+            // sees dupACKs (or recovers promptly).
+            out.ack = Some(self.make_ack(now));
+        } else if self.delack_pending {
+            // Second in-order segment: ACK now.
+            out.ack = Some(self.make_ack(now));
+        } else {
+            // First in-order segment: delay the ACK.
+            self.delack_pending = true;
+            out.arm_delack = Some(now + DELACK_TIMEOUT);
+        }
+        out
+    }
+
+    /// Fires the delayed-ACK timer; returns the ACK if one was pending.
+    pub fn on_delack_timer(&mut self, now: Nanos) -> Option<TcpSegment> {
+        if self.delack_pending {
+            Some(self.make_ack(now))
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for TcpReceiver {
+    fn default() -> Self {
+        TcpReceiver::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::MSS;
+
+    fn data(seq: u64, len: u64, sent_at: Nanos) -> TcpSegment {
+        TcpSegment {
+            seq,
+            len,
+            ack: 0,
+            sent_at,
+            echo: Nanos::ZERO,
+            retransmit: false,
+            sack: [(0, 0); 3],
+        }
+    }
+
+    #[test]
+    fn acks_every_second_segment() {
+        let mut rx = TcpReceiver::new();
+        let t = Nanos::from_millis(1);
+        let o1 = rx.on_data(&data(0, MSS, t), t);
+        assert!(o1.ack.is_none(), "first segment: delayed");
+        assert!(o1.arm_delack.is_some());
+        let o2 = rx.on_data(&data(MSS, MSS, t), t);
+        let ack = o2.ack.expect("second segment acks immediately");
+        assert_eq!(ack.ack, 2 * MSS);
+    }
+
+    #[test]
+    fn delack_timer_flushes_pending_ack() {
+        let mut rx = TcpReceiver::new();
+        let t = Nanos::from_millis(1);
+        let o = rx.on_data(&data(0, MSS, t), t);
+        let deadline = o.arm_delack.unwrap();
+        assert_eq!(deadline, t + DELACK_TIMEOUT);
+        let ack = rx.on_delack_timer(deadline).expect("pending ack");
+        assert_eq!(ack.ack, MSS);
+        // No double ack.
+        assert!(rx.on_delack_timer(deadline).is_none());
+    }
+
+    #[test]
+    fn out_of_order_triggers_immediate_dupack() {
+        let mut rx = TcpReceiver::new();
+        let t = Nanos::from_millis(1);
+        // Segment 0 lost; segments 1, 2, 3 arrive.
+        for i in 1..4 {
+            let o = rx.on_data(&data(i * MSS, MSS, t), t);
+            let ack = o.ack.expect("OOO data must ack immediately");
+            assert_eq!(ack.ack, 0, "dupack at the hole");
+        }
+        assert_eq!(rx.acks_sent, 3);
+    }
+
+    #[test]
+    fn hole_fill_advances_over_buffered_data() {
+        let mut rx = TcpReceiver::new();
+        let t = Nanos::from_millis(1);
+        rx.on_data(&data(MSS, MSS, t), t);
+        rx.on_data(&data(2 * MSS, MSS, t), t);
+        // The retransmission arrives: cumulative ack jumps to 3 segments.
+        let o = rx.on_data(&data(0, MSS, t), t);
+        assert_eq!(o.ack.unwrap().ack, 3 * MSS);
+        assert_eq!(rx.delivered_bytes, 3 * MSS);
+    }
+
+    #[test]
+    fn duplicate_data_is_ignored_but_acked() {
+        let mut rx = TcpReceiver::new();
+        let t = Nanos::from_millis(1);
+        rx.on_data(&data(0, MSS, t), t);
+        rx.on_data(&data(MSS, MSS, t), t);
+        assert_eq!(rx.delivered_bytes, 2 * MSS);
+        // Spurious retransmission of segment 0.
+        let o = rx.on_data(&data(0, MSS, t), t);
+        assert_eq!(rx.delivered_bytes, 2 * MSS, "no double delivery");
+        assert_eq!(o.ack.unwrap().ack, 2 * MSS);
+    }
+
+    #[test]
+    fn echo_carries_latest_segment_timestamp() {
+        let mut rx = TcpReceiver::new();
+        let t1 = Nanos::from_millis(10);
+        let t2 = Nanos::from_millis(20);
+        rx.on_data(&data(0, MSS, t1), t1);
+        let o = rx.on_data(&data(MSS, MSS, t2), Nanos::from_millis(21));
+        assert_eq!(o.ack.unwrap().echo, t2);
+    }
+
+    #[test]
+    fn interleaved_ooo_ranges_merge() {
+        let mut rx = TcpReceiver::new();
+        let t = Nanos::ZERO;
+        rx.on_data(&data(2 * MSS, MSS, t), t);
+        rx.on_data(&data(4 * MSS, MSS, t), t);
+        rx.on_data(&data(MSS, MSS, t), t);
+        rx.on_data(&data(3 * MSS, MSS, t), t);
+        // Fill the first hole: everything should flush.
+        let o = rx.on_data(&data(0, MSS, t), t);
+        assert_eq!(o.ack.unwrap().ack, 5 * MSS);
+    }
+}

@@ -1,0 +1,145 @@
+//! RTO estimation per RFC 6298, with Linux's 200 ms minimum.
+
+use wifiq_sim::Nanos;
+
+/// Smoothed RTT estimator and retransmission-timeout calculator.
+#[derive(Debug, Clone)]
+pub struct RtoEstimator {
+    srtt: Option<Nanos>,
+    rttvar: Nanos,
+    rto: Nanos,
+}
+
+/// Linux's minimum RTO (200 ms). The RFC says 1 s; Linux's value shapes
+/// real-world behaviour on WiFi paths, so we follow Linux.
+pub const MIN_RTO: Nanos = Nanos::from_millis(200);
+
+/// Upper bound on the RTO (60 s).
+pub const MAX_RTO: Nanos = Nanos::from_secs(60);
+
+/// Initial RTO before any RTT sample (1 s per RFC 6298).
+pub const INITIAL_RTO: Nanos = Nanos::from_secs(1);
+
+impl RtoEstimator {
+    /// Creates an estimator with no samples yet.
+    pub fn new() -> RtoEstimator {
+        RtoEstimator {
+            srtt: None,
+            rttvar: Nanos::ZERO,
+            rto: INITIAL_RTO,
+        }
+    }
+
+    /// Feeds one RTT sample (RFC 6298 §2.2–2.3).
+    pub fn sample(&mut self, rtt: Nanos) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                let diff = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                // rttvar = 3/4 rttvar + 1/4 |srtt - rtt|
+                self.rttvar = (self.rttvar * 3 + diff) / 4;
+                // srtt = 7/8 srtt + 1/8 rtt
+                self.srtt = Some((srtt * 7 + rtt) / 8);
+            }
+        }
+        let srtt = self.srtt.expect("just set");
+        let candidate = srtt + self.rttvar * 4;
+        self.rto = candidate.max(MIN_RTO).min(MAX_RTO);
+    }
+
+    /// The current retransmission timeout.
+    pub fn rto(&self) -> Nanos {
+        self.rto
+    }
+
+    /// The smoothed RTT, if at least one sample has been taken.
+    pub fn srtt(&self) -> Option<Nanos> {
+        self.srtt
+    }
+
+    /// Exponential backoff after a retransmission timeout (RFC 6298 §5.5).
+    pub fn backoff(&mut self) {
+        self.rto = (self.rto * 2).min(MAX_RTO);
+    }
+}
+
+impl Default for RtoEstimator {
+    fn default() -> Self {
+        RtoEstimator::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_rto_is_one_second() {
+        let e = RtoEstimator::new();
+        assert_eq!(e.rto(), INITIAL_RTO);
+        assert_eq!(e.srtt(), None);
+    }
+
+    #[test]
+    fn first_sample_seeds_srtt() {
+        let mut e = RtoEstimator::new();
+        e.sample(Nanos::from_millis(50));
+        assert_eq!(e.srtt(), Some(Nanos::from_millis(50)));
+        // rto = srtt + 4 * (srtt/2) = 150 ms < 200 ms floor.
+        assert_eq!(e.rto(), MIN_RTO);
+    }
+
+    #[test]
+    fn converges_to_stable_rtt() {
+        let mut e = RtoEstimator::new();
+        for _ in 0..100 {
+            e.sample(Nanos::from_millis(30));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!(
+            (srtt.as_millis_f64() - 30.0).abs() < 0.5,
+            "srtt {srtt} should converge to 30 ms"
+        );
+        assert_eq!(e.rto(), MIN_RTO);
+    }
+
+    #[test]
+    fn large_rtt_raises_rto_above_floor() {
+        let mut e = RtoEstimator::new();
+        for _ in 0..20 {
+            e.sample(Nanos::from_millis(400));
+        }
+        assert!(e.rto() > Nanos::from_millis(400));
+    }
+
+    #[test]
+    fn jitter_inflates_rto() {
+        let mut stable = RtoEstimator::new();
+        let mut jittery = RtoEstimator::new();
+        for i in 0..100 {
+            stable.sample(Nanos::from_millis(300));
+            let jitter = if i % 2 == 0 { 100 } else { 500 };
+            jittery.sample(Nanos::from_millis(jitter));
+        }
+        assert!(
+            jittery.rto() > stable.rto(),
+            "jittery {} vs stable {}",
+            jittery.rto(),
+            stable.rto()
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut e = RtoEstimator::new();
+        e.backoff();
+        assert_eq!(e.rto(), Nanos::from_secs(2));
+        for _ in 0..10 {
+            e.backoff();
+        }
+        assert_eq!(e.rto(), MAX_RTO);
+    }
+}

@@ -1,0 +1,95 @@
+//! TCP segment representation used by the simulated endpoints.
+
+use wifiq_sim::Nanos;
+
+/// Maximum segment size used throughout the testbed (1448 payload bytes in
+/// a 1500-byte IP packet, as on an Ethernet path with TCP timestamps).
+pub const MSS: u64 = 1448;
+
+/// TCP/IP header overhead added to the payload to get the on-wire length.
+pub const TCP_HEADER: u64 = 52;
+
+/// A simulated TCP segment.
+///
+/// Sequence and acknowledgement numbers are byte offsets from 0 (the
+/// connection is modelled as already established). The `sent_at` /
+/// `echo` pair models the TCP timestamp option, giving the sender safe RTT
+/// samples even across retransmissions (Karn's problem).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpSegment {
+    /// Sequence number of the first payload byte.
+    pub seq: u64,
+    /// Payload length in bytes (0 for a pure ACK).
+    pub len: u64,
+    /// Cumulative acknowledgement number (next expected byte).
+    pub ack: u64,
+    /// Sender's clock when the segment was (re)transmitted.
+    pub sent_at: Nanos,
+    /// Echoed `sent_at` of the segment being acknowledged (TS echo reply).
+    pub echo: Nanos,
+    /// True if this segment is a retransmission (telemetry only).
+    pub retransmit: bool,
+    /// SACK blocks `[start, end)` carried on ACKs (the TCP SACK option,
+    /// up to three blocks). Unused entries are `(0, 0)`.
+    pub sack: [(u64, u64); 3],
+}
+
+impl TcpSegment {
+    /// The valid SACK blocks on this segment.
+    pub fn sack_blocks(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.sack.iter().copied().filter(|&(s, e)| e > s)
+    }
+}
+
+impl TcpSegment {
+    /// The segment's on-wire length in bytes (payload + TCP/IP headers).
+    pub fn wire_len(&self) -> u64 {
+        self.len + TCP_HEADER
+    }
+
+    /// True if this is a pure acknowledgement (no payload).
+    pub fn is_pure_ack(&self) -> bool {
+        self.len == 0
+    }
+
+    /// End of the payload range (`seq + len`).
+    pub fn end_seq(&self) -> u64 {
+        self.seq + self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_len_includes_headers() {
+        let seg = TcpSegment {
+            seq: 0,
+            len: MSS,
+            ack: 0,
+            sent_at: Nanos::ZERO,
+            echo: Nanos::ZERO,
+            retransmit: false,
+            sack: [(0, 0); 3],
+        };
+        assert_eq!(seg.wire_len(), 1500);
+        assert!(!seg.is_pure_ack());
+        assert_eq!(seg.end_seq(), MSS);
+    }
+
+    #[test]
+    fn pure_ack() {
+        let seg = TcpSegment {
+            seq: 0,
+            len: 0,
+            ack: 100,
+            sent_at: Nanos::ZERO,
+            echo: Nanos::ZERO,
+            retransmit: false,
+            sack: [(0, 0); 3],
+        };
+        assert!(seg.is_pure_ack());
+        assert_eq!(seg.wire_len(), TCP_HEADER);
+    }
+}

@@ -1,0 +1,66 @@
+//! A cafe scenario: one customer on a weak link makes a VoIP call while
+//! three others stream bulk downloads.
+//!
+//! Demonstrates the paper's Table 2 claim: with the MAC-layer FQ
+//! structure, best-effort VoIP works as well as 802.11e VO-marked
+//! VoIP — applications no longer need control of DiffServ markings.
+//!
+//! Run with: `cargo run --release --example voip_cafe`
+
+use ending_anomaly::mac::{NetworkConfig, SchemeKind, StationCfg, WifiNetwork};
+use ending_anomaly::phy::{AccessCategory, PhyRate};
+use ending_anomaly::sim::Nanos;
+use ending_anomaly::stats::VoipMetrics;
+use ending_anomaly::traffic::TrafficApp;
+
+fn run(scheme: SchemeKind, ac: AccessCategory) -> VoipMetrics {
+    // Three fast laptops and one phone far from the AP.
+    let stations = vec![
+        StationCfg::clean(PhyRate::fast_station()),
+        StationCfg::clean(PhyRate::fast_station()),
+        StationCfg::clean(PhyRate::fast_station()),
+        StationCfg::clean(PhyRate::slow_station()), // the caller
+    ];
+    let mut cfg = NetworkConfig::new(stations, scheme);
+    cfg.wire_delay = Nanos::from_millis(5);
+    let mut net = WifiNetwork::new(cfg);
+
+    let mut app = TrafficApp::new();
+    let call = app.add_voip(3, ac, Nanos::ZERO);
+    for sta in 0..4 {
+        app.add_tcp_down(sta, Nanos::ZERO);
+    }
+    app.install(&mut net);
+    net.run(Nanos::from_secs(20), &mut app);
+
+    let warm = Nanos::from_secs(4);
+    let delays = app.voip(call).delays_after(warm);
+    let sent = ((Nanos::from_secs(20) - warm).as_millis() / 20) as usize;
+    VoipMetrics::from_delays(&delays, sent.max(delays.len()))
+}
+
+fn main() {
+    println!("VoIP call quality from the far corner of a busy cafe\n");
+    println!(
+        "{:<18} {:>10} {:>12} {:>8} {:>6}",
+        "scheme", "marking", "delay(ms)", "loss", "MOS"
+    );
+    for scheme in SchemeKind::ALL {
+        for ac in [AccessCategory::Vo, AccessCategory::Be] {
+            let m = run(scheme, ac);
+            println!(
+                "{:<18} {:>10} {:>12.1} {:>7.1}% {:>6.2}",
+                scheme.label(),
+                ac.label(),
+                m.mean_delay_ms,
+                m.loss * 100.0,
+                m.mos()
+            );
+        }
+    }
+    println!(
+        "\nWith FQ-MAC / airtime fairness the BE call matches the VO call —\n\
+         the paper's 'applications can rely on excellent real-time\n\
+         performance even when not in control of the DiffServ markings'."
+    );
+}

@@ -1,0 +1,22 @@
+# Plots a latency-CDF CSV produced by the experiment binaries
+# (results/*_cdf.csv) in the paper's style: probability vs log-latency.
+#
+#   gnuplot -e "csv='results/fig04_latency_cdf.csv'" scripts/plot_cdf.gp
+#
+# Writes <csv>.png next to the input.
+
+if (!exists("csv")) csv = "results/fig04_latency_cdf.csv"
+
+set datafile separator ","
+set terminal pngcairo size 900,540 font "sans,10"
+set output csv.".png"
+set logscale x
+set xlabel "Latency (ms)"
+set ylabel "Cumulative probability"
+set yrange [0:1]
+set key bottom right
+set grid
+
+# One line per distinct series label (column 1), skipping the header.
+plot for [s in system(sprintf("tail -n +2 %s | cut -d, -f1 | sort -u | tr '\\n' ' '", csv))] \
+     sprintf("< grep '^%s,' %s", s, csv) using 2:3 with lines title s

@@ -1,0 +1,285 @@
+//! End-to-end integration tests asserting the paper's headline claims
+//! hold in the reproduction, across crate boundaries.
+//!
+//! Durations are scaled down from the paper's 30 s runs to keep the suite
+//! quick; every assertion is on a *qualitative* claim (orderings, ratios)
+//! that is stable at these scales.
+
+use ending_anomaly::mac::{NetworkConfig, SchemeKind, StationCfg, WifiNetwork};
+use ending_anomaly::phy::{AccessCategory, LegacyRate, PhyRate};
+use ending_anomaly::sim::Nanos;
+use ending_anomaly::stats::{jain_index, VoipMetrics};
+use ending_anomaly::traffic::{AppMsg, TrafficApp, WebPage};
+
+fn testbed(scheme: SchemeKind, seed: u64) -> WifiNetwork<AppMsg> {
+    let mut cfg = NetworkConfig::paper_testbed(scheme);
+    cfg.seed = seed;
+    WifiNetwork::new(cfg)
+}
+
+/// UDP saturation to all three stations; returns (airtime shares, total
+/// goodput Mbps).
+fn udp_saturate(scheme: SchemeKind, secs: u64) -> (Vec<f64>, f64) {
+    let mut net = testbed(scheme, 42);
+    let mut app = TrafficApp::new();
+    let flows: Vec<_> = (0..3)
+        .map(|s| app.add_udp_down(s, 100_000_000, Nanos::ZERO))
+        .collect();
+    app.install(&mut net);
+    net.run(Nanos::from_secs(secs), &mut app);
+    let total: f64 = flows
+        .iter()
+        .map(|f| app.udp(*f).delivered_bytes as f64 * 8.0 / secs as f64 / 1e6)
+        .sum();
+    (net.meter().airtime_shares(), total)
+}
+
+/// §2.2 / Figure 5: the anomaly exists under FIFO — the slow station
+/// takes the large majority of airtime.
+#[test]
+fn anomaly_exists_under_fifo() {
+    let (shares, _) = udp_saturate(SchemeKind::Fifo, 5);
+    assert!(
+        shares[2] > 0.65,
+        "slow station only got {:.0}% airtime",
+        shares[2] * 100.0
+    );
+}
+
+/// §4.1.2: the airtime scheduler achieves near-perfect fairness for
+/// one-way UDP.
+#[test]
+fn airtime_scheme_is_fair_for_udp() {
+    let (shares, _) = udp_saturate(SchemeKind::AirtimeFair, 5);
+    let jain = jain_index(&shares);
+    assert!(jain > 0.99, "Jain {jain}: {shares:?}");
+}
+
+/// §4.3 / Table 1: fixing the anomaly multiplies total throughput
+/// ("up to a factor of five"; ≥2.5× at this scale).
+#[test]
+fn throughput_multiplies_with_fairness() {
+    let (_, fifo) = udp_saturate(SchemeKind::Fifo, 5);
+    let (_, fair) = udp_saturate(SchemeKind::AirtimeFair, 5);
+    assert!(
+        fair / fifo > 2.5,
+        "gain only {:.1}x ({fifo:.1} -> {fair:.1} Mbps)",
+        fair / fifo
+    );
+}
+
+/// Figure 1 / §4.1.1: an order-of-magnitude latency reduction under load.
+#[test]
+fn latency_reduction_order_of_magnitude() {
+    let median_rtt = |scheme| {
+        let mut net = testbed(scheme, 7);
+        let mut app = TrafficApp::new();
+        let ping = app.add_ping(2, Nanos::ZERO);
+        for s in 0..3 {
+            app.add_tcp_down(s, Nanos::ZERO);
+        }
+        app.install(&mut net);
+        net.run(Nanos::from_secs(12), &mut app);
+        let rtts = app.ping(ping).rtts_after(Nanos::from_secs(4));
+        assert!(!rtts.is_empty(), "{scheme:?}: ping starved");
+        let mut ms: Vec<f64> = rtts.iter().map(|r| r.as_millis_f64()).collect();
+        ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ms[ms.len() / 2]
+    };
+    let fifo = median_rtt(SchemeKind::Fifo);
+    let fair = median_rtt(SchemeKind::AirtimeFair);
+    assert!(
+        fifo / fair > 8.0,
+        "reduction only {:.1}x ({fifo:.0} ms -> {fair:.0} ms)",
+        fifo / fair
+    );
+}
+
+/// §4.1.2: aggregation starvation under FIFO — the FQ-MAC restructuring
+/// restores fast-station aggregation.
+#[test]
+fn fq_mac_restores_aggregation() {
+    let aggr = |scheme| {
+        let mut net = testbed(scheme, 3);
+        let mut app = TrafficApp::new();
+        for s in 0..3 {
+            app.add_udp_down(s, 100_000_000, Nanos::ZERO);
+        }
+        app.install(&mut net);
+        net.run(Nanos::from_secs(5), &mut app);
+        net.station_meter(0).mean_aggregation()
+    };
+    let fifo = aggr(SchemeKind::Fifo);
+    let fq = aggr(SchemeKind::FqMac);
+    assert!(
+        fq > 3.0 * fifo,
+        "aggregation did not recover: FIFO {fifo:.1}, FQ-MAC {fq:.1}"
+    );
+}
+
+/// §4.1.4 / Figure 8: the sparse-station optimisation lowers the
+/// ping-only station's latency.
+#[test]
+fn sparse_station_optimisation_helps() {
+    let median = |sparse: bool| {
+        let mut cfg = NetworkConfig::paper_testbed(SchemeKind::AirtimeFair);
+        cfg.stations
+            .push(StationCfg::clean(PhyRate::fast_station()));
+        cfg.airtime.sparse_stations = sparse;
+        cfg.seed = 11;
+        let mut net: WifiNetwork<AppMsg> = WifiNetwork::new(cfg);
+        let mut app = TrafficApp::new();
+        let ping = app.add_ping(3, Nanos::ZERO);
+        for s in 0..3 {
+            app.add_udp_down(s, 100_000_000, Nanos::ZERO);
+        }
+        app.install(&mut net);
+        net.run(Nanos::from_secs(10), &mut app);
+        let rtts = app.ping(ping).rtts_after(Nanos::from_secs(2));
+        let mut ms: Vec<f64> = rtts.iter().map(|r| r.as_millis_f64()).collect();
+        ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ms[ms.len() / 2]
+    };
+    let on = median(true);
+    let off = median(false);
+    assert!(
+        on < off,
+        "optimisation did not help: enabled {on:.2} ms vs disabled {off:.2} ms"
+    );
+}
+
+/// §4.2.1 / Table 2: under FQ-MAC, best-effort VoIP is as good as
+/// VO-marked VoIP (within half a MOS point), and far better than
+/// best-effort VoIP under FIFO.
+#[test]
+fn voip_be_matches_vo_under_fq_mac() {
+    let mos = |scheme, ac| {
+        let mut cfg = NetworkConfig::paper_testbed(scheme);
+        cfg.stations
+            .push(StationCfg::clean(PhyRate::fast_station()));
+        cfg.wire_delay = Nanos::from_millis(5);
+        cfg.seed = 5;
+        let mut net: WifiNetwork<AppMsg> = WifiNetwork::new(cfg);
+        let mut app = TrafficApp::new();
+        let call = app.add_voip(2, ac, Nanos::ZERO);
+        for s in 0..4 {
+            app.add_tcp_down(s, Nanos::ZERO);
+        }
+        app.install(&mut net);
+        net.run(Nanos::from_secs(15), &mut app);
+        let warm = Nanos::from_secs(3);
+        let delays = app.voip(call).delays_after(warm);
+        let sent = (Nanos::from_secs(12).as_millis() / 20) as usize;
+        VoipMetrics::from_delays(&delays, sent.max(delays.len())).mos()
+    };
+    let fq_be = mos(SchemeKind::FqMac, AccessCategory::Be);
+    let fq_vo = mos(SchemeKind::FqMac, AccessCategory::Vo);
+    let fifo_be = mos(SchemeKind::Fifo, AccessCategory::Be);
+    assert!(
+        (fq_vo - fq_be).abs() < 0.5,
+        "FQ-MAC BE {fq_be:.2} vs VO {fq_vo:.2}"
+    );
+    assert!(
+        fq_be > fifo_be + 0.8,
+        "FQ-MAC BE {fq_be:.2} not better than FIFO BE {fifo_be:.2}"
+    );
+}
+
+/// §4.2.2 / Figure 11: a fast station's page loads get dramatically
+/// faster when the queueing is fixed.
+#[test]
+fn web_plt_improves_for_fast_station() {
+    let plt = |scheme| {
+        let mut net = testbed(scheme, 23);
+        let mut app = TrafficApp::new();
+        app.add_tcp_down(2, Nanos::ZERO); // slow station bulk
+        let web = app.add_web(0, WebPage::small(), Nanos::from_secs(3));
+        app.install(&mut net);
+        let mut t = Nanos::from_secs(3);
+        while app.web(web).plt.is_none() && t < Nanos::from_secs(60) {
+            t += Nanos::from_secs(1);
+            net.run(t, &mut app);
+        }
+        app.web(web).plt.expect("page never loaded").as_secs_f64()
+    };
+    let fifo = plt(SchemeKind::Fifo);
+    let fair = plt(SchemeKind::AirtimeFair);
+    assert!(
+        fifo / fair > 3.0,
+        "PLT improvement only {:.1}x ({fifo:.2}s -> {fair:.2}s)",
+        fifo / fair
+    );
+}
+
+/// §4.1.5 / Figure 9: with 30 stations, one 1 Mbps client hogs the medium
+/// under FQ-CoDel but gets exactly one share under airtime fairness, and
+/// total throughput multiplies.
+#[test]
+fn thirty_stations_scaling() {
+    let run = |scheme| {
+        let mut stations = vec![StationCfg::clean(PhyRate::Legacy(LegacyRate::Dsss1))];
+        for _ in 0..29 {
+            stations.push(StationCfg::clean(PhyRate::fast_station()));
+        }
+        let mut cfg = NetworkConfig::new(stations, scheme);
+        cfg.seed = 77;
+        let mut net: WifiNetwork<AppMsg> = WifiNetwork::new(cfg);
+        let mut app = TrafficApp::new();
+        let flows: Vec<_> = (0..29).map(|s| app.add_tcp_down(s, Nanos::ZERO)).collect();
+        app.install(&mut net);
+        net.run(Nanos::from_secs(10), &mut app);
+        let shares = net.meter().airtime_shares();
+        let total: f64 = flows
+            .iter()
+            .map(|f| app.tcp(*f).delivered_bytes() as f64 * 8.0 / 10.0 / 1e6)
+            .sum();
+        (shares[0], total)
+    };
+    let (slow_share_fqc, total_fqc) = run(SchemeKind::FqCodelQdisc);
+    let (slow_share_fair, total_fair) = run(SchemeKind::AirtimeFair);
+    assert!(
+        slow_share_fqc > 0.4,
+        "1 Mbps client only took {:.0}%",
+        slow_share_fqc * 100.0
+    );
+    assert!(
+        slow_share_fair < 0.08,
+        "airtime scheme gave the 1 Mbps client {:.0}%",
+        slow_share_fair * 100.0
+    );
+    assert!(
+        total_fair / total_fqc > 2.0,
+        "30-station gain only {:.1}x",
+        total_fair / total_fqc
+    );
+}
+
+/// The deployment claim: only the AP changes — stations run the same
+/// (unmodified) stack under every scheme, so scheme choice must not
+/// change station-side behaviour structurally.
+#[test]
+fn client_stack_is_scheme_independent() {
+    // Upload-only traffic never touches the AP TX path; throughput must
+    // be essentially identical across schemes.
+    let upload = |scheme| {
+        let mut net = testbed(scheme, 9);
+        let mut app = TrafficApp::new();
+        let up = app.add_tcp_up(0, Nanos::ZERO);
+        app.install(&mut net);
+        net.run(Nanos::from_secs(5), &mut app);
+        app.tcp(up).delivered_bytes() as f64
+    };
+    let base = upload(SchemeKind::Fifo);
+    for scheme in [
+        SchemeKind::FqCodelQdisc,
+        SchemeKind::FqMac,
+        SchemeKind::AirtimeFair,
+    ] {
+        let b = upload(scheme);
+        let ratio = b / base;
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "{scheme:?} changed client upload by {ratio:.2}x"
+        );
+    }
+}
