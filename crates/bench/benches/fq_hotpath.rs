@@ -6,6 +6,7 @@ use wifiq_bench::BenchPkt;
 use wifiq_codel::CodelParams;
 use wifiq_core::fq::{FqParams, MacFq};
 use wifiq_sim::Nanos;
+use wifiq_telemetry::Telemetry;
 
 fn enqueue_dequeue_cycle(c: &mut Criterion) {
     let mut g = c.benchmark_group("fq_hotpath");
@@ -20,6 +21,33 @@ fn enqueue_dequeue_cycle(c: &mut Criterion) {
                 now += Nanos::from_micros(10);
                 i += 1;
                 fq.enqueue(BenchPkt::new(i % flows, now), tid, now);
+                black_box(fq.dequeue(tid, now, &params));
+            });
+        });
+    }
+    g.finish();
+}
+
+fn telemetry_cost(c: &mut Criterion) {
+    // A/B for the telemetry sink on the same 256-flow cycle: "off" is the
+    // disabled handle (one branch per call site), "on" records counters,
+    // a gauge, a histogram sample and a ring event per packet.
+    let mut g = c.benchmark_group("fq_telemetry");
+    for (name, tele) in [
+        ("sink_off", Telemetry::disabled()),
+        ("sink_on", Telemetry::enabled()),
+    ] {
+        g.bench_function(format!("enqueue_dequeue_256_flows_{name}"), |b| {
+            let mut fq: MacFq<BenchPkt> = MacFq::new(FqParams::default());
+            fq.set_telemetry(tele.clone(), "fq");
+            let tid = fq.register_tid();
+            let params = CodelParams::wifi_default();
+            let mut now = Nanos::ZERO;
+            let mut i = 0u64;
+            b.iter(|| {
+                now += Nanos::from_micros(10);
+                i += 1;
+                fq.enqueue(BenchPkt::new(i % 256, now), tid, now);
                 black_box(fq.dequeue(tid, now, &params));
             });
         });
@@ -72,6 +100,7 @@ fn many_tids(c: &mut Criterion) {
 criterion_group!(
     benches,
     enqueue_dequeue_cycle,
+    telemetry_cost,
     overlimit_drop_path,
     many_tids
 );

@@ -1,6 +1,7 @@
 //! CoDel parameter sets, including the paper's per-station adaptation.
 
 use wifiq_sim::Nanos;
+use wifiq_telemetry::{EventKind, Label, Telemetry};
 
 /// CoDel control-law parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +125,33 @@ impl StationCodelParams {
             }
         }
         self.current()
+    }
+
+    /// [`StationCodelParams::update_rate`] with telemetry: emits a
+    /// `param_switch` event and counter whenever the hysteresis actually
+    /// flips the parameter set.
+    pub fn update_rate_observed(
+        &mut self,
+        now: Nanos,
+        rate_bps: u64,
+        tele: &Telemetry,
+        station: u32,
+    ) -> CodelParams {
+        let before = self.current_degraded;
+        let params = self.update_rate(now, rate_bps);
+        if self.current_degraded != before {
+            tele.count("codel", "param_switches", Label::Station(station), 1);
+            tele.event(
+                now,
+                "codel",
+                EventKind::ParamSwitch {
+                    label: Label::Station(station),
+                    target: params.target,
+                    interval: params.interval,
+                },
+            );
+        }
+        params
     }
 
     /// The currently selected parameters.

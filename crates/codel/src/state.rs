@@ -10,6 +10,7 @@
 //! TCP's throughput-vs-drop-rate response converge to the target delay.
 
 use wifiq_sim::Nanos;
+use wifiq_telemetry::{DropReason, EventKind, Label, Telemetry};
 
 use crate::params::CodelParams;
 
@@ -161,6 +162,61 @@ impl CodelState {
     /// Whether the state machine is currently in dropping state.
     pub fn is_dropping(&self) -> bool {
         self.dropping
+    }
+
+    /// [`CodelState::dequeue`] with telemetry: records the delivered
+    /// packet's sojourn time, counts and reports drops, and emits a `mark`
+    /// event whenever the control law newly enters dropping state (the
+    /// simulator drops rather than ECN-marks, so "entered dropping" is the
+    /// congestion signal). With a disabled handle this is exactly
+    /// `dequeue`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dequeue_observed<Q, F>(
+        &mut self,
+        now: Nanos,
+        params: &CodelParams,
+        queue: &mut Q,
+        mut on_drop: F,
+        tele: &Telemetry,
+        component: &'static str,
+        label: Label,
+    ) -> Option<Q::Packet>
+    where
+        Q: CodelQueue,
+        F: FnMut(Q::Packet),
+    {
+        if !tele.is_enabled() {
+            return self.dequeue(now, params, queue, on_drop);
+        }
+        let was_dropping = self.dropping;
+        let pkt = self.dequeue(now, params, queue, |victim| {
+            tele.count(component, "drops", label, 1);
+            tele.event(
+                now,
+                component,
+                EventKind::Drop {
+                    label,
+                    bytes: victim.wire_len() as u32,
+                    reason: DropReason::Codel,
+                },
+            );
+            on_drop(victim);
+        });
+        if pkt.is_some() {
+            tele.observe(component, "sojourn_ns", label, self.last_sojourn);
+        }
+        if self.dropping && !was_dropping {
+            tele.count(component, "marks", label, 1);
+            tele.event(
+                now,
+                component,
+                EventKind::Mark {
+                    label,
+                    sojourn: self.last_sojourn,
+                },
+            );
+        }
+        pkt
     }
 }
 

@@ -17,6 +17,7 @@ use std::collections::VecDeque;
 
 use wifiq_codel::{CodelParams, CodelQueue, CodelState, QueuedPacket};
 use wifiq_sim::Nanos;
+use wifiq_telemetry::{DropReason, EventKind, Label, Telemetry};
 
 use crate::packet::{FqPacket, TidHandle};
 
@@ -186,6 +187,10 @@ pub struct MacFq<P> {
     total_packets: usize,
     /// Telemetry counters.
     pub stats: FqStats,
+    tele: Telemetry,
+    /// Names this instance in metric keys ("fq" at the AP; the client-side
+    /// structure uses "client_fq").
+    component: &'static str,
 }
 
 impl<P: FqPacket> MacFq<P> {
@@ -204,7 +209,17 @@ impl<P: FqPacket> MacFq<P> {
             nonempty: Vec::new(),
             total_packets: 0,
             stats: FqStats::default(),
+            tele: Telemetry::disabled(),
+            component: "fq",
         }
+    }
+
+    /// Attaches a telemetry handle; `component` names this instance in
+    /// metric keys and events (e.g. "fq" at the AP, "client_fq" on a
+    /// station). A disabled handle keeps the hot path unchanged.
+    pub fn set_telemetry(&mut self, tele: Telemetry, component: &'static str) {
+        self.tele = tele;
+        self.component = component;
     }
 
     /// Registers a TID (one station × traffic-identifier pair), allocating
@@ -272,16 +287,33 @@ impl<P: FqPacket> MacFq<P> {
     /// "A global queue size limit is kept, and when this is exceeded,
     /// packets are dropped from the globally longest queue, which prevents
     /// a single flow from locking out other flows on overload."
-    fn drop_from_longest(&mut self) -> Option<P> {
+    fn drop_from_longest(&mut self, now: Nanos) -> Option<P> {
         let fi = self.find_longest_queue()?;
         let flow = &mut self.flows[fi];
         let pkt = flow.queue.pop_front()?;
         flow.backlog_bytes -= pkt.wire_len();
         self.total_packets -= 1;
         self.stats.drops_overlimit += 1;
-        if let Some(ti) = flow.tid {
+        let victim_tid = flow.tid;
+        if let Some(ti) = victim_tid {
             self.tids[ti].backlog_packets -= 1;
             self.tids[ti].backlog_bytes -= pkt.wire_len();
+        }
+        if self.tele.is_enabled() {
+            let label = victim_tid.map_or(Label::Global, |ti| Label::Tid(ti as u32));
+            self.tele
+                .count(self.component, "drops_overlimit", Label::Global, 1);
+            self.tele
+                .count(self.component, "drop_longest_victims", label, 1);
+            self.tele.event(
+                now,
+                self.component,
+                EventKind::Drop {
+                    label,
+                    bytes: pkt.wire_len() as u32,
+                    reason: DropReason::Overlimit,
+                },
+            );
         }
         self.unmark_if_empty(fi);
         Some(pkt)
@@ -294,16 +326,29 @@ impl<P: FqPacket> MacFq<P> {
     ///
     /// The packet must already carry its enqueue timestamp
     /// ([`QueuedPacket::enqueue_time`] is read by CoDel at dequeue).
-    pub fn enqueue(&mut self, pkt: P, tid: TidHandle, _now: Nanos) -> Option<P> {
+    pub fn enqueue(&mut self, pkt: P, tid: TidHandle, now: Nanos) -> Option<P> {
         let ti = tid.0;
         assert!(ti < self.tids.len(), "unregistered TID handle");
 
         // Global limit (Algorithm 1 lines 2–4).
         let dropped = if self.total_packets >= self.params.limit {
             match self.params.drop_policy {
-                DropPolicy::DropLongest => self.drop_from_longest(),
+                DropPolicy::DropLongest => self.drop_from_longest(now),
                 DropPolicy::TailDrop => {
                     self.stats.drops_overlimit += 1;
+                    if self.tele.is_enabled() {
+                        self.tele
+                            .count(self.component, "drops_overlimit", Label::Global, 1);
+                        self.tele.event(
+                            now,
+                            self.component,
+                            EventKind::Drop {
+                                label: Label::Tid(ti as u32),
+                                bytes: pkt.wire_len() as u32,
+                                reason: DropReason::QueueFull,
+                            },
+                        );
+                    }
                     return Some(pkt);
                 }
             }
@@ -317,6 +362,8 @@ impl<P: FqPacket> MacFq<P> {
         if self.flows[fi].tid.is_some_and(|t| t != ti) {
             fi = self.tids[ti].overflow_flow;
             self.stats.collisions += 1;
+            self.tele
+                .count(self.component, "hash_collisions", Label::Tid(ti as u32), 1);
         }
         self.flows[fi].tid = Some(ti);
 
@@ -341,6 +388,31 @@ impl<P: FqPacket> MacFq<P> {
         }
         self.mark_nonempty(fi);
 
+        if self.tele.is_enabled() {
+            self.tele
+                .count(self.component, "enqueued", Label::Tid(ti as u32), 1);
+            self.tele.gauge(
+                self.component,
+                "occupancy_packets",
+                Label::Global,
+                self.total_packets as f64,
+            );
+            self.tele.observe_value(
+                self.component,
+                "occupancy_packets",
+                Label::Global,
+                self.total_packets as u64,
+            );
+            self.tele.event(
+                now,
+                self.component,
+                EventKind::Enqueue {
+                    label: Label::Tid(ti as u32),
+                    bytes: len as u32,
+                },
+            );
+        }
+
         dropped
     }
 
@@ -351,6 +423,11 @@ impl<P: FqPacket> MacFq<P> {
     pub fn dequeue(&mut self, tid: TidHandle, now: Nanos, codel_params: &CodelParams) -> Option<P> {
         let ti = tid.0;
         assert!(ti < self.tids.len(), "unregistered TID handle");
+
+        // Cheap Rc clone so CoDel can record drops while `self.flows` is
+        // mutably borrowed; a no-op when telemetry is disabled.
+        let tele = self.tele.clone();
+        let component = self.component;
 
         loop {
             // Pick the head of new_flows, else old_flows (lines 2–7).
@@ -376,6 +453,7 @@ impl<P: FqPacket> MacFq<P> {
                 }
                 t.old_flows.push_back(fi);
                 self.flows[fi].membership = Membership::Old;
+                tele.count(component, "drr_rounds", Label::Tid(ti as u32), 1);
                 continue;
             }
 
@@ -388,10 +466,18 @@ impl<P: FqPacket> MacFq<P> {
                     queue: &mut flow.queue,
                     backlog_bytes: &mut flow.backlog_bytes,
                 };
-                flow.codel.dequeue(now, codel_params, &mut qref, |p| {
-                    codel_drops += 1;
-                    codel_drop_bytes += p.wire_len();
-                })
+                flow.codel.dequeue_observed(
+                    now,
+                    codel_params,
+                    &mut qref,
+                    |p| {
+                        codel_drops += 1;
+                        codel_drop_bytes += p.wire_len();
+                    },
+                    &tele,
+                    component,
+                    Label::Tid(ti as u32),
+                )
             };
             self.total_packets -= codel_drops;
             self.stats.drops_codel += codel_drops as u64;
@@ -425,6 +511,9 @@ impl<P: FqPacket> MacFq<P> {
                     self.flows[fi].deficit -= len as i64;
                     self.total_packets -= 1;
                     self.stats.dequeued += 1;
+                    if from_new {
+                        tele.count(component, "sparse_hits", Label::Tid(ti as u32), 1);
+                    }
                     let t = &mut self.tids[ti];
                     t.backlog_packets -= 1;
                     t.backlog_bytes -= len;
@@ -737,6 +826,35 @@ mod tests {
     fn unregistered_tid_panics() {
         let mut fq: MacFq<Pkt> = MacFq::new(FqParams::default());
         fq.enqueue(pkt(1, Nanos::ZERO, 0), TidHandle(3), Nanos::ZERO);
+    }
+
+    #[test]
+    fn telemetry_mirrors_stats() {
+        let mut fq = MacFq::new(FqParams {
+            flows: 16,
+            limit: 64,
+            quantum: 300,
+            ..FqParams::default()
+        });
+        let tele = Telemetry::enabled();
+        fq.set_telemetry(tele.clone(), "fq");
+        let tid = fq.register_tid();
+        let now = Nanos::ZERO;
+        for seq in 0..200 {
+            fq.enqueue(pkt(seq as u64 % 7, now, seq), tid, now);
+        }
+        while fq.dequeue(tid, now, &params()).is_some() {}
+        let s = fq.stats;
+        assert_eq!(tele.counter("fq", "enqueued", Label::Tid(0)), s.enqueued);
+        assert_eq!(
+            tele.counter("fq", "drops_overlimit", Label::Global),
+            s.drops_overlimit
+        );
+        assert!(s.drops_overlimit > 0, "test never hit the global limit");
+        assert!(
+            tele.counter("fq", "drr_rounds", Label::Tid(0)) > 0,
+            "DRR rotation never counted"
+        );
     }
 
     #[test]

@@ -2,9 +2,12 @@
 //! (§4.1.5): the in-kernel airtime measurement was checked against a
 //! monitor-mode capture tool and agreed "to within 1.5%, on average".
 //!
-//! Here the network's airtime meter (the scheduler's accounting input)
-//! is compared against an independently accumulating monitor-mode
-//! capture over a busy bidirectional workload.
+//! Here the cross-check runs three ways over a busy bidirectional
+//! workload: the network's airtime meter (the scheduler's accounting
+//! input) is compared against an independently accumulating monitor-mode
+//! capture *and* against the telemetry registry's per-station airtime
+//! counters (`mac/tx_airtime_ns` + `mac/rx_airtime_ns`), which accumulate
+//! on a third, independent code path.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -13,6 +16,7 @@ use wifiq_experiments::report::{write_json, Table};
 use wifiq_experiments::{scenario, RunCfg};
 use wifiq_mac::{AirtimeCapture, SchemeKind, WifiNetwork};
 use wifiq_sim::Nanos;
+use wifiq_telemetry::{Label, Telemetry};
 use wifiq_traffic::TrafficApp;
 
 #[derive(serde::Serialize)]
@@ -21,13 +25,15 @@ struct Row {
     station: usize,
     meter_ms: f64,
     capture_ms: f64,
-    error_pct: f64,
+    telemetry_ms: f64,
+    capture_error_pct: f64,
+    telemetry_error_pct: f64,
 }
 
 fn main() {
     let cfg = RunCfg::from_env();
     println!(
-        "Extension: airtime meter vs monitor-mode capture \
+        "Extension: airtime meter vs monitor capture vs telemetry registry \
          ({} reps x {}s; paper: agreement within 1.5%)\n",
         cfg.reps,
         cfg.duration.as_millis() / 1000
@@ -38,6 +44,10 @@ fn main() {
         let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
         let capture = Rc::new(RefCell::new(AirtimeCapture::new(3)));
         net.attach_monitor(Box::new(capture.clone()));
+        // This experiment *is* the telemetry cross-check, so the registry
+        // records unconditionally (no WIFIQ_METRICS gate here).
+        let tele = Telemetry::enabled();
+        net.set_telemetry(tele.clone());
         let mut app = TrafficApp::new();
         for sta in 0..3 {
             app.add_tcp_down(sta, Nanos::ZERO);
@@ -51,15 +61,19 @@ fn main() {
         for sta in 0..3 {
             let meter = net.station_meter(sta).total_airtime();
             let cap = capture.airtime(sta);
-            let err = (meter.as_nanos() as f64 - cap.as_nanos() as f64).abs()
-                / meter.as_nanos().max(1) as f64
-                * 100.0;
+            let tele_ns = tele.counter("mac", "tx_airtime_ns", Label::Station(sta as u32))
+                + tele.counter("mac", "rx_airtime_ns", Label::Station(sta as u32));
+            let pct = |other: f64| {
+                (meter.as_nanos() as f64 - other).abs() / meter.as_nanos().max(1) as f64 * 100.0
+            };
             rows.push(Row {
                 seed,
                 station: sta,
                 meter_ms: meter.as_millis_f64(),
                 capture_ms: cap.as_millis_f64(),
-                error_pct: err,
+                telemetry_ms: tele_ns as f64 / 1e6,
+                capture_error_pct: pct(cap.as_nanos() as f64),
+                telemetry_error_pct: pct(tele_ns as f64),
             });
         }
     }
@@ -68,7 +82,9 @@ fn main() {
         "Station",
         "Meter (ms)",
         "Capture (ms)",
-        "Error",
+        "Telemetry (ms)",
+        "Cap err",
+        "Tele err",
     ]);
     for r in &rows {
         t.row(vec![
@@ -76,16 +92,22 @@ fn main() {
             r.station.to_string(),
             format!("{:.1}", r.meter_ms),
             format!("{:.1}", r.capture_ms),
-            format!("{:.4}%", r.error_pct),
+            format!("{:.1}", r.telemetry_ms),
+            format!("{:.4}%", r.capture_error_pct),
+            format!("{:.4}%", r.telemetry_error_pct),
         ]);
     }
     t.print();
-    let worst = rows.iter().map(|r| r.error_pct).fold(0.0f64, f64::max);
+    let worst = rows
+        .iter()
+        .map(|r| r.capture_error_pct.max(r.telemetry_error_pct))
+        .fold(0.0f64, f64::max);
     println!(
         "\nWorst-case disagreement: {worst:.4}% (paper: <=1.5% average; the\n\
-         simulator's meter and monitor share exact timing, so agreement\n\
-         here should be bit-exact — any nonzero error is an accounting bug)."
+         simulator's meter, monitor and telemetry counters share exact\n\
+         timing, so agreement here should be bit-exact — any nonzero error\n\
+         is an accounting bug)."
     );
     write_json("ext_meter_validation", &rows);
-    assert!(worst < 1.5, "meter and capture diverged by {worst}%");
+    assert!(worst < 1.5, "airtime accounts diverged by {worst}%");
 }

@@ -1,8 +1,11 @@
-//! Shared experiment-running machinery: repetition/warm-up configuration
-//! and meter arithmetic.
+//! Shared experiment-running machinery: repetition/warm-up configuration,
+//! meter arithmetic, and the `WIFIQ_METRICS` telemetry gate.
+
+use std::path::PathBuf;
 
 use wifiq_mac::StationMeter;
 use wifiq_sim::Nanos;
+use wifiq_telemetry::Telemetry;
 
 /// Repetition and duration settings for an experiment.
 ///
@@ -46,14 +49,22 @@ impl RunCfg {
             cfg.warmup = Nanos::from_secs(2);
         }
         if let Ok(r) = std::env::var("WIFIQ_REPS") {
-            if let Ok(r) = r.parse::<u64>() {
-                cfg.reps = r.max(1);
+            match r.parse::<u64>() {
+                Ok(r) => cfg.reps = r.max(1),
+                Err(_) => {
+                    eprintln!("warning: ignoring WIFIQ_REPS={r:?}: not a non-negative integer")
+                }
             }
         }
         if let Ok(s) = std::env::var("WIFIQ_SECS") {
-            if let Ok(s) = s.parse::<u64>() {
-                cfg.duration = Nanos::from_secs(s.max(2));
-                cfg.warmup = Nanos::from_secs((s / 6).max(1));
+            match s.parse::<u64>() {
+                Ok(s) => {
+                    cfg.duration = Nanos::from_secs(s.max(2));
+                    cfg.warmup = Nanos::from_secs((s / 6).max(1));
+                }
+                Err(_) => {
+                    eprintln!("warning: ignoring WIFIQ_SECS={s:?}: not a non-negative integer")
+                }
             }
         }
         cfg
@@ -73,6 +84,38 @@ impl RunCfg {
 impl Default for RunCfg {
     fn default() -> Self {
         RunCfg::new()
+    }
+}
+
+/// Whether metrics collection is enabled (`WIFIQ_METRICS=1`).
+pub fn metrics_enabled() -> bool {
+    std::env::var("WIFIQ_METRICS").is_ok_and(|v| v == "1")
+}
+
+/// A telemetry handle for one repetition: live when `WIFIQ_METRICS=1`,
+/// otherwise the zero-cost disabled handle.
+pub fn metrics_telemetry() -> Telemetry {
+    if metrics_enabled() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    }
+}
+
+/// Where metric snapshots are written.
+pub fn metrics_dir() -> PathBuf {
+    PathBuf::from("results/metrics")
+}
+
+/// Exports one repetition's snapshot as `results/metrics/<name>.json` and
+/// `.csv`. A disabled handle is a no-op; export failures warn on stderr
+/// rather than aborting the experiment.
+pub fn export_metrics(tele: &Telemetry, name: &str, seed: u64) {
+    if !tele.is_enabled() {
+        return;
+    }
+    if let Err(e) = tele.export(&metrics_dir(), name, seed) {
+        eprintln!("warning: failed to export metrics for {name}: {e}");
     }
 }
 

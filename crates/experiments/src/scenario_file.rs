@@ -20,32 +20,27 @@
 //! }
 //! ```
 
-use serde::Deserialize;
+use serde_json::Json;
 use wifiq_mac::{ErrorModel, NetworkConfig, SchemeKind, StationCfg, WifiNetwork};
 use wifiq_phy::{AccessCategory, ChannelWidth, LegacyRate, PhyRate, VhtWidth};
 use wifiq_sim::Nanos;
 use wifiq_traffic::{AppMsg, FlowHandle, TrafficApp, WebPage};
 
 /// One station in a scenario file.
-#[derive(Debug, Deserialize)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug)]
 pub struct StationSpec {
     /// Rate spec: `mcsN`, `vhtN` (2 streams, 80 MHz), or `<x>mbps`.
     pub rate: String,
     /// Per-exchange error probability (default 0).
-    #[serde(default)]
     pub error: f64,
     /// MCS cliff for rate-control scenarios (overrides `error`).
-    #[serde(default)]
     pub mcs_cliff: Option<u8>,
     /// Airtime weight (default 256 = neutral).
-    #[serde(default)]
     pub weight: Option<u32>,
 }
 
 /// One traffic component in a scenario file.
-#[derive(Debug, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case", deny_unknown_fields)]
+#[derive(Debug)]
 pub enum TrafficSpec {
     /// Bulk TCP download to `station`.
     TcpDown {
@@ -64,7 +59,6 @@ pub enum TrafficSpec {
         /// Mean offered rate in Mbps.
         mbps: u64,
         /// Exponential interarrivals instead of CBR.
-        #[serde(default)]
         poisson: bool,
     },
     /// 10 Hz ping to `station`.
@@ -77,7 +71,6 @@ pub enum TrafficSpec {
         /// Target station.
         station: usize,
         /// QoS marking: "vo", "vi", "be", "bk" (default "be").
-        #[serde(default)]
         qos: Option<String>,
     },
     /// Web page load from `station`.
@@ -85,37 +78,196 @@ pub enum TrafficSpec {
         /// Fetching station.
         station: usize,
         /// "small" (56 KB / 3 req) or "large" (3 MB / 110 req).
-        #[serde(default)]
         page: Option<String>,
     },
 }
 
 /// A complete scenario file.
-#[derive(Debug, Deserialize)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug)]
 pub struct ScenarioFile {
     /// Scheme: "fifo", "fqcodel", "fqmac", "airtime" (default "airtime").
-    #[serde(default)]
     pub scheme: Option<String>,
     /// Simulated seconds (default 20).
-    #[serde(default)]
     pub secs: Option<u64>,
     /// RNG seed (default 1).
-    #[serde(default)]
     pub seed: Option<u64>,
     /// FQ-CoDel on client uplinks.
-    #[serde(default)]
     pub station_fq: bool,
     /// Minstrel rate control at the AP.
-    #[serde(default)]
     pub rate_control: bool,
     /// Airtime queue limit in ms (absent = off).
-    #[serde(default)]
     pub aql_ms: Option<u64>,
     /// The stations.
     pub stations: Vec<StationSpec>,
     /// The traffic mix.
     pub traffic: Vec<TrafficSpec>,
+}
+
+// ---- manual JSON decoding -------------------------------------------------
+//
+// The vendored serde subset has no Deserialize derive, so scenario files are
+// decoded by hand from the parsed `Json` value. The decoder keeps the old
+// derive semantics: unknown fields are rejected by name, absent optional
+// fields fall back to their defaults, and type mismatches name the field.
+
+/// A decoding context: the fields of one JSON object plus a description of
+/// where it sits, for error messages.
+struct Fields<'a> {
+    what: String,
+    fields: &'a [(String, Json)],
+}
+
+impl<'a> Fields<'a> {
+    fn of(value: &'a Json, what: impl Into<String>) -> Result<Fields<'a>, String> {
+        let what = what.into();
+        match value.as_object() {
+            Some(fields) => Ok(Fields { what, fields }),
+            None => Err(format!("{what}: expected a JSON object")),
+        }
+    }
+
+    /// Rejects any field not in `allowed`, naming the offender.
+    fn deny_unknown(&self, allowed: &[&str]) -> Result<(), String> {
+        for (k, _) in self.fields {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!("{}: unknown field `{k}`", self.what));
+            }
+        }
+        Ok(())
+    }
+
+    fn raw(&self, name: &str) -> Option<&'a Json> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    fn u64_opt(&self, name: &str) -> Result<Option<u64>, String> {
+        self.raw(name)
+            .map(|v| {
+                v.as_u64().ok_or_else(|| {
+                    format!(
+                        "{}: field `{name}` must be a non-negative integer",
+                        self.what
+                    )
+                })
+            })
+            .transpose()
+    }
+
+    fn usize_req(&self, name: &str) -> Result<usize, String> {
+        match self.u64_opt(name)? {
+            Some(v) => Ok(v as usize),
+            None => Err(format!("{}: missing field `{name}`", self.what)),
+        }
+    }
+
+    fn f64_or(&self, name: &str, default: f64) -> Result<f64, String> {
+        self.raw(name)
+            .map(|v| {
+                v.as_f64()
+                    .ok_or_else(|| format!("{}: field `{name}` must be a number", self.what))
+            })
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    }
+
+    fn bool_or(&self, name: &str, default: bool) -> Result<bool, String> {
+        self.raw(name)
+            .map(|v| {
+                v.as_bool()
+                    .ok_or_else(|| format!("{}: field `{name}` must be a boolean", self.what))
+            })
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    }
+
+    fn string_opt(&self, name: &str) -> Result<Option<String>, String> {
+        self.raw(name)
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("{}: field `{name}` must be a string", self.what))
+            })
+            .transpose()
+    }
+
+    fn string_req(&self, name: &str) -> Result<String, String> {
+        self.string_opt(name)?
+            .ok_or_else(|| format!("{}: missing field `{name}`", self.what))
+    }
+
+    fn array_req(&self, name: &str) -> Result<&'a [Json], String> {
+        match self.raw(name) {
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| format!("{}: field `{name}` must be an array", self.what)),
+            None => Err(format!("{}: missing field `{name}`", self.what)),
+        }
+    }
+}
+
+impl StationSpec {
+    fn decode(value: &Json, index: usize) -> Result<StationSpec, String> {
+        let f = Fields::of(value, format!("stations[{index}]"))?;
+        f.deny_unknown(&["rate", "error", "mcs_cliff", "weight"])?;
+        Ok(StationSpec {
+            rate: f.string_req("rate")?,
+            error: f.f64_or("error", 0.0)?,
+            mcs_cliff: f.u64_opt("mcs_cliff")?.map(|v| v as u8),
+            weight: f.u64_opt("weight")?.map(|v| v as u32),
+        })
+    }
+}
+
+impl TrafficSpec {
+    fn decode(value: &Json, index: usize) -> Result<TrafficSpec, String> {
+        let f = Fields::of(value, format!("traffic[{index}]"))?;
+        let kind = f.string_req("kind")?;
+        match kind.as_str() {
+            "tcp_down" => {
+                f.deny_unknown(&["kind", "station"])?;
+                Ok(TrafficSpec::TcpDown {
+                    station: f.usize_req("station")?,
+                })
+            }
+            "tcp_up" => {
+                f.deny_unknown(&["kind", "station"])?;
+                Ok(TrafficSpec::TcpUp {
+                    station: f.usize_req("station")?,
+                })
+            }
+            "udp_down" => {
+                f.deny_unknown(&["kind", "station", "mbps", "poisson"])?;
+                Ok(TrafficSpec::UdpDown {
+                    station: f.usize_req("station")?,
+                    mbps: f
+                        .u64_opt("mbps")?
+                        .ok_or_else(|| format!("traffic[{index}]: missing field `mbps`"))?,
+                    poisson: f.bool_or("poisson", false)?,
+                })
+            }
+            "ping" => {
+                f.deny_unknown(&["kind", "station"])?;
+                Ok(TrafficSpec::Ping {
+                    station: f.usize_req("station")?,
+                })
+            }
+            "voip" => {
+                f.deny_unknown(&["kind", "station", "qos"])?;
+                Ok(TrafficSpec::Voip {
+                    station: f.usize_req("station")?,
+                    qos: f.string_opt("qos")?,
+                })
+            }
+            "web" => {
+                f.deny_unknown(&["kind", "station", "page"])?;
+                Ok(TrafficSpec::Web {
+                    station: f.usize_req("station")?,
+                    page: f.string_opt("page")?,
+                })
+            }
+            other => Err(format!("traffic[{index}]: unknown kind `{other}`")),
+        }
+    }
 }
 
 /// A parsed rate spec (shared with the CLI's `--stations` grammar).
@@ -194,7 +346,40 @@ pub struct BuiltScenario {
 impl ScenarioFile {
     /// Parses a scenario from JSON text.
     pub fn from_json(text: &str) -> Result<ScenarioFile, String> {
-        serde_json::from_str(text).map_err(|e| format!("scenario parse error: {e}"))
+        let value = serde_json::from_str(text).map_err(|e| format!("scenario parse error: {e}"))?;
+        let f = Fields::of(&value, "scenario")?;
+        f.deny_unknown(&[
+            "scheme",
+            "secs",
+            "seed",
+            "station_fq",
+            "rate_control",
+            "aql_ms",
+            "stations",
+            "traffic",
+        ])?;
+        let stations = f
+            .array_req("stations")?
+            .iter()
+            .enumerate()
+            .map(|(i, v)| StationSpec::decode(v, i))
+            .collect::<Result<Vec<_>, _>>()?;
+        let traffic = f
+            .array_req("traffic")?
+            .iter()
+            .enumerate()
+            .map(|(i, v)| TrafficSpec::decode(v, i))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ScenarioFile {
+            scheme: f.string_opt("scheme")?,
+            secs: f.u64_opt("secs")?,
+            seed: f.u64_opt("seed")?,
+            station_fq: f.bool_or("station_fq", false)?,
+            rate_control: f.bool_or("rate_control", false)?,
+            aql_ms: f.u64_opt("aql_ms")?,
+            stations,
+            traffic,
+        })
     }
 
     /// Validates and builds the network + traffic application.

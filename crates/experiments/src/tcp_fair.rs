@@ -7,7 +7,7 @@ use wifiq_sim::Nanos;
 use wifiq_stats::jain_index;
 use wifiq_traffic::TrafficApp;
 
-use crate::runner::{mean, meter_delta, shares_of, RunCfg};
+use crate::runner::{export_metrics, mean, meter_delta, metrics_telemetry, shares_of, RunCfg};
 use crate::scenario;
 
 /// TCP traffic pattern.
@@ -25,6 +25,14 @@ impl TcpPattern {
         match self {
             TcpPattern::Download => "TCP dl",
             TcpPattern::Bidirectional => "TCP bidir",
+        }
+    }
+
+    /// Filesystem-safe identifier for artifact names.
+    pub fn slug(self) -> &'static str {
+        match self {
+            TcpPattern::Download => "dl",
+            TcpPattern::Bidirectional => "bidir",
         }
     }
 }
@@ -70,6 +78,8 @@ pub fn run_scheme(scheme: SchemeKind, pattern: TcpPattern, cfg: &RunCfg) -> TcpR
     for seed in cfg.seeds() {
         let net_cfg = scenario::testbed3(scheme, seed);
         let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
+        let tele = metrics_telemetry();
+        net.set_telemetry(tele.clone());
         let mut app = TrafficApp::new();
         let downs: Vec<_> = (0..n).map(|s| app.add_tcp_down(s, Nanos::ZERO)).collect();
         let ups: Vec<_> = if pattern == TcpPattern::Bidirectional {
@@ -77,6 +87,7 @@ pub fn run_scheme(scheme: SchemeKind, pattern: TcpPattern, cfg: &RunCfg) -> TcpR
         } else {
             Vec::new()
         };
+        app.set_telemetry(&tele);
         app.install(&mut net);
 
         net.run(cfg.warmup, &mut app);
@@ -104,6 +115,11 @@ pub fn run_scheme(scheme: SchemeKind, pattern: TcpPattern, cfg: &RunCfg) -> TcpR
             share_acc[sta].push(shares[sta]);
         }
         jain_acc.push(jain_index(&shares));
+        export_metrics(
+            &tele,
+            &format!("tcp_{}_{}_seed{}", pattern.slug(), scheme.slug(), seed),
+            seed,
+        );
     }
 
     TcpRunResult {

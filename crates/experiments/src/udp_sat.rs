@@ -6,7 +6,7 @@ use wifiq_mac::{SchemeKind, StationMeter, WifiNetwork};
 use wifiq_sim::Nanos;
 use wifiq_traffic::TrafficApp;
 
-use crate::runner::{mean, meter_delta, shares_of, RunCfg};
+use crate::runner::{export_metrics, mean, meter_delta, metrics_telemetry, shares_of, RunCfg};
 use crate::scenario;
 
 /// Offered UDP load per station (well above any station's capacity).
@@ -54,6 +54,8 @@ pub fn run_scheme(scheme: SchemeKind, cfg: &RunCfg) -> UdpSatResult {
     for seed in cfg.seeds() {
         let net_cfg = scenario::testbed3(scheme, seed);
         let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
+        let tele = metrics_telemetry();
+        net.set_telemetry(tele.clone());
         let mut app = TrafficApp::new();
         let flows: Vec<_> = (0..n)
             .map(|sta| app.add_udp_down(sta, SAT_RATE_BPS, Nanos::ZERO))
@@ -79,6 +81,11 @@ pub fn run_scheme(scheme: SchemeKind, cfg: &RunCfg) -> UdpSatResult {
             thr_acc[sta].push(bytes as f64 * 8.0 / cfg.window().as_secs_f64());
         }
         rep_shares.push(shares);
+        export_metrics(
+            &tele,
+            &format!("udp_sat_{}_seed{}", scheme.slug(), seed),
+            seed,
+        );
     }
 
     UdpSatResult {

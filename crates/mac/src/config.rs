@@ -39,6 +39,17 @@ impl SchemeKind {
             SchemeKind::AirtimeFair => "Airtime fair FQ",
         }
     }
+
+    /// Filesystem-safe identifier (lowercase, no spaces) for artifact
+    /// names.
+    pub const fn slug(self) -> &'static str {
+        match self {
+            SchemeKind::Fifo => "fifo",
+            SchemeKind::FqCodelQdisc => "fq_codel",
+            SchemeKind::FqMac => "fq_mac",
+            SchemeKind::AirtimeFair => "airtime",
+        }
+    }
 }
 
 impl std::fmt::Display for SchemeKind {

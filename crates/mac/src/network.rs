@@ -23,6 +23,7 @@
 use wifiq_phy::consts::SLOT_TIME;
 use wifiq_phy::AccessCategory;
 use wifiq_sim::{EventQueue, Nanos, SimRng};
+use wifiq_telemetry::{DropReason, EventKind, Label, Telemetry};
 
 use crate::aggregation::Aggregate;
 use crate::app::{App, Commands, Delivery};
@@ -71,6 +72,7 @@ pub struct WifiNetwork<M> {
     meter: AirtimeMeter,
     /// Optional monitor-mode sink receiving every transmission record.
     monitor: Option<Box<dyn TxMonitor>>,
+    tele: Telemetry,
     /// Total events processed (telemetry / runaway guard).
     pub events_processed: u64,
 }
@@ -118,6 +120,7 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
             in_flight: None,
             meter: AirtimeMeter::new(cfg.num_stations()),
             monitor: None,
+            tele: Telemetry::disabled(),
             queue: EventQueue::new(),
             rng,
             cfg,
@@ -134,6 +137,17 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
     /// Detaches and returns the monitor, if one was attached.
     pub fn take_monitor(&mut self) -> Option<Box<dyn TxMonitor>> {
         self.monitor.take()
+    }
+
+    /// Attaches a telemetry handle and propagates it through the stack:
+    /// the AP transmit path (FQ/CoDel metrics), every station's FQ uplink,
+    /// and the MAC-level counters recorded by the event loop itself.
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.ap.set_telemetry(tele.clone());
+        for sta in &mut self.stations {
+            sta.set_telemetry(tele.clone());
+        }
+        self.tele = tele;
     }
 
     /// Current virtual time.
@@ -290,6 +304,13 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
                 None => continue,
             }
         }
+        if self.tele.is_enabled() {
+            let total: usize = self.hw.iter().map(|q| q.len()).sum();
+            self.tele
+                .gauge("mac", "hw_queue_depth", Label::Global, total as f64);
+            self.tele
+                .observe_value("mac", "hw_queue_depth", Label::Global, total as u64);
+        }
     }
 
     /// Runs one contention round if the medium is idle and anyone has a
@@ -354,6 +375,14 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
     fn handle_tx_end<A: App<M>>(&mut self, now: Nanos, app: &mut A, cmds: &mut Commands<M>) {
         let participants = self.in_flight.take().expect("TxEnd with nothing in flight");
         let collision = participants.len() > 1;
+        if collision {
+            self.tele.count(
+                "mac",
+                "collisions",
+                Label::Global,
+                participants.len() as u64,
+            );
+        }
 
         for p in participants {
             match p {
@@ -388,6 +417,31 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
 
         // Airtime is consumed whether or not the exchange succeeded.
         self.meter.station_mut(sta).tx_airtime += airtime;
+        if self.tele.is_enabled() {
+            let front = self.hw[aci].front().expect("checked");
+            let sl = Label::Station(sta as u32);
+            self.tele
+                .count("mac", "tx_airtime_ns", sl, airtime.as_nanos());
+            self.tele
+                .observe_value("mac", "aggregate_frames", sl, front.frames.len() as u64);
+            if front.retries > 0 {
+                self.tele.count("mac", "retries", sl, 1);
+            }
+            self.tele.event(
+                now,
+                "mac",
+                EventKind::Tx {
+                    station: sta as u32,
+                    ac: aci as u8,
+                    frames: front.frames.len() as u32,
+                    bytes: front.payload_bytes(),
+                    airtime,
+                    uplink: false,
+                    success: !failed,
+                    retry: front.retries > 0,
+                },
+            );
+        }
         if let Some(mon) = self.monitor.as_mut() {
             let front = self.hw[aci].front().expect("checked");
             mon.on_tx(&TxRecord {
@@ -431,6 +485,20 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
             if drop {
                 let agg = self.hw[aci].pop_front().expect("checked");
                 self.meter.station_mut(sta).retry_drops += agg.frames.len() as u64;
+                if self.tele.is_enabled() {
+                    let sl = Label::Station(sta as u32);
+                    self.tele
+                        .count("mac", "retry_drops", sl, agg.frames.len() as u64);
+                    self.tele.event(
+                        now,
+                        "mac",
+                        EventKind::Drop {
+                            label: sl,
+                            bytes: agg.payload_bytes() as u32,
+                            reason: DropReason::RetryLimit,
+                        },
+                    );
+                }
                 self.ap_cw[aci] = ac.edca().cw_min;
             }
         } else {
@@ -474,6 +542,33 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
                 .chance(self.cfg.stations[idx].errors.exchange_error_prob(up_rate));
 
         self.meter.station_mut(idx).rx_airtime += airtime;
+        if self.tele.is_enabled() {
+            let agg = self.stations[idx]
+                .pending(ac)
+                .expect("station attempt with no pending aggregate");
+            let sl = Label::Station(idx as u32);
+            self.tele
+                .count("mac", "rx_airtime_ns", sl, airtime.as_nanos());
+            self.tele
+                .observe_value("mac", "aggregate_frames", sl, agg.frames.len() as u64);
+            if agg.retries > 0 {
+                self.tele.count("mac", "retries", sl, 1);
+            }
+            self.tele.event(
+                now,
+                "mac",
+                EventKind::Tx {
+                    station: idx as u32,
+                    ac: ac.index() as u8,
+                    frames: agg.frames.len() as u32,
+                    bytes: agg.payload_bytes(),
+                    airtime,
+                    uplink: true,
+                    success: !failed,
+                    retry: agg.retries > 0,
+                },
+            );
+        }
         if let Some(mon) = self.monitor.as_mut() {
             let agg = self.stations[idx]
                 .pending(ac)
@@ -499,6 +594,20 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
             self.meter.station_mut(idx).failures += 1;
             if let Some(agg) = self.stations[idx].on_failure(ac, self.cfg.max_retries, now) {
                 self.meter.station_mut(idx).retry_drops += agg.frames.len() as u64;
+                if self.tele.is_enabled() {
+                    let sl = Label::Station(idx as u32);
+                    self.tele
+                        .count("mac", "retry_drops", sl, agg.frames.len() as u64);
+                    self.tele.event(
+                        now,
+                        "mac",
+                        EventKind::Drop {
+                            label: sl,
+                            bytes: agg.payload_bytes() as u32,
+                            reason: DropReason::RetryLimit,
+                        },
+                    );
+                }
             }
         } else {
             let agg = self.stations[idx].take_success(ac, now);
@@ -807,6 +916,33 @@ mod tests {
         assert!(
             hog_bytes_with * 2 >= hog_bytes_without,
             "AQL starved the slow station: {hog_bytes_with} vs {hog_bytes_without}"
+        );
+    }
+
+    #[test]
+    fn telemetry_airtime_matches_meter() {
+        let cfg = NetworkConfig::paper_testbed(SchemeKind::AirtimeFair);
+        let mut net = WifiNetwork::new(cfg);
+        let tele = Telemetry::enabled();
+        net.set_telemetry(tele.clone());
+        let mut app = FloodApp::new(3, Nanos::from_micros(500));
+        net.seed_timer(0, Nanos::ZERO);
+        net.run(Nanos::from_secs(2), &mut app);
+        // The telemetry counters and the AirtimeMeter observe the same
+        // exchanges; they must agree exactly.
+        for i in 0..3 {
+            assert_eq!(
+                tele.counter("mac", "tx_airtime_ns", Label::Station(i as u32)),
+                net.station_meter(i).tx_airtime.as_nanos(),
+                "station {i} airtime mismatch"
+            );
+        }
+        let fq_enqueued = tele
+            .with_registry(|r| r.counter_total("fq", "enqueued"))
+            .unwrap();
+        assert!(
+            fq_enqueued > 0,
+            "MAC FQ saw no enqueues through the network path"
         );
     }
 

@@ -21,6 +21,7 @@ use wifiq_core::scheduler::AirtimeScheduler;
 use wifiq_phy::{AccessCategory, PhyRate};
 use wifiq_qdisc::{FqCodelQdisc, PfifoFastQdisc, Qdisc};
 use wifiq_sim::Nanos;
+use wifiq_telemetry::Telemetry;
 
 use crate::aggregation::{build_aggregate, Aggregate};
 use crate::config::{NetworkConfig, SchemeKind};
@@ -110,6 +111,7 @@ pub struct ApTxPath<M> {
     /// Packets dropped at AP queueing layers (qdisc tail-drop, FQ
     /// overlimit; CoDel drops are counted by the FQ structures).
     pub queue_drops: u64,
+    tele: Telemetry,
 }
 
 impl<M: std::fmt::Debug> ApTxPath<M> {
@@ -174,7 +176,18 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
             codel,
             rates,
             queue_drops: 0,
+            tele: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle, propagating it to the MAC FQ structure
+    /// (metrics under component "fq") and the per-station CoDel parameter
+    /// switches (component "codel").
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        if let PathInner::Fq { fq, .. } = &mut self.inner {
+            fq.set_telemetry(tele.clone(), "fq");
+        }
+        self.tele = tele;
     }
 
     /// The scheme this path implements.
@@ -438,7 +451,7 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
         {
             s.charge(StationHandle(sta), ac.index(), airtime);
         }
-        self.codel[sta].update_rate(now, rate_estimate_bps);
+        self.codel[sta].update_rate_observed(now, rate_estimate_bps, &self.tele, sta as u32);
     }
 
     /// The rate the next aggregate for `sta` will be built at.

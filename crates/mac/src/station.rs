@@ -12,6 +12,7 @@ use wifiq_core::fq::{FqParams, MacFq};
 use wifiq_core::packet::TidHandle;
 use wifiq_phy::{AccessCategory, PhyRate};
 use wifiq_sim::{Nanos, SimRng};
+use wifiq_telemetry::Telemetry;
 
 use crate::aggregation::{build_aggregate, Aggregate};
 use crate::packet::{Packet, StationIdx};
@@ -133,6 +134,15 @@ impl<M: std::fmt::Debug> StationUplink<M> {
             tids,
             codel: CodelParams::wifi_default(),
         };
+    }
+
+    /// Attaches a telemetry handle to the FQ uplink (metrics under
+    /// component "client_fq"). No-op for the stock FIFO uplink, which has
+    /// nothing beyond the tail-drop counter to report.
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        if let UplinkQueues::Fq { fq, .. } = &mut self.queues {
+            fq.set_telemetry(tele, "client_fq");
+        }
     }
 
     /// Enables the client-side rate controller (no-op for legacy rates,

@@ -1,0 +1,301 @@
+//! Structured events: a bounded ring buffer behind a sink trait.
+//!
+//! This generalises the ad-hoc `TxRecord`/`TxMonitor` pair in `wifiq-mac`:
+//! any component can emit typed, sim-clock-stamped events into whatever
+//! sink is installed. The default sink is [`EventRing`], a bounded ring
+//! that keeps the most recent events and counts what it sheds.
+
+use std::collections::VecDeque;
+
+use serde::Json;
+use wifiq_sim::Nanos;
+
+use crate::registry::Label;
+
+/// Why a packet was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// CoDel control law (sojourn above target for a full interval).
+    Codel,
+    /// Global FQ packet limit: victim taken from the longest queue.
+    Overlimit,
+    /// A bounded FIFO was full.
+    QueueFull,
+    /// Retry budget exhausted at the MAC.
+    RetryLimit,
+}
+
+impl DropReason {
+    /// Stable lower-case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::Codel => "codel",
+            DropReason::Overlimit => "overlimit",
+            DropReason::QueueFull => "queue_full",
+            DropReason::RetryLimit => "retry_limit",
+        }
+    }
+}
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A packet entered a queue.
+    Enqueue {
+        /// Queue scope.
+        label: Label,
+        /// Wire bytes.
+        bytes: u32,
+    },
+    /// A packet was dropped.
+    Drop {
+        /// Queue scope.
+        label: Label,
+        /// Wire bytes.
+        bytes: u32,
+        /// Drop cause.
+        reason: DropReason,
+    },
+    /// The AQM signalled congestion without dropping (CoDel entering its
+    /// dropping state).
+    Mark {
+        /// Queue scope.
+        label: Label,
+        /// Sojourn time that triggered the signal.
+        sojourn: Nanos,
+    },
+    /// Per-station CoDel parameters switched (rate hysteresis).
+    ParamSwitch {
+        /// Station scope.
+        label: Label,
+        /// New target.
+        target: Nanos,
+        /// New interval.
+        interval: Nanos,
+    },
+    /// The scheduler granted a transmission opportunity.
+    Schedule {
+        /// Chosen station/flow.
+        label: Label,
+        /// Deficit after the grant, in scheduler units.
+        deficit: i64,
+    },
+    /// A physical transmission completed; generalises `TxRecord`.
+    Tx {
+        /// Transmitting or receiving station.
+        station: u32,
+        /// Access category.
+        ac: u8,
+        /// Aggregated MPDUs.
+        frames: u32,
+        /// Payload bytes carried.
+        bytes: u64,
+        /// Airtime consumed.
+        airtime: Nanos,
+        /// True for uplink (station to AP).
+        uplink: bool,
+        /// Whether the exchange succeeded.
+        success: bool,
+        /// Whether this was a retry.
+        retry: bool,
+    },
+}
+
+impl EventKind {
+    /// Stable kind name used in exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Enqueue { .. } => "enqueue",
+            EventKind::Drop { .. } => "drop",
+            EventKind::Mark { .. } => "mark",
+            EventKind::ParamSwitch { .. } => "param_switch",
+            EventKind::Schedule { .. } => "schedule",
+            EventKind::Tx { .. } => "tx",
+        }
+    }
+}
+
+/// One timestamped event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Sim-clock timestamp (never wall clock).
+    pub at: Nanos,
+    /// Emitting component ("codel", "fq", "mac", ...).
+    pub component: &'static str,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Lowers the event to its JSON export form.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("at_ns".into(), Json::U64(self.at.as_nanos())),
+            ("component".into(), Json::Str(self.component.into())),
+            ("kind".into(), Json::Str(self.kind.name().into())),
+        ];
+        match &self.kind {
+            EventKind::Enqueue { label, bytes } => {
+                fields.push(("label".into(), Json::Str(label.to_string())));
+                fields.push(("bytes".into(), Json::U64(u64::from(*bytes))));
+            }
+            EventKind::Drop {
+                label,
+                bytes,
+                reason,
+            } => {
+                fields.push(("label".into(), Json::Str(label.to_string())));
+                fields.push(("bytes".into(), Json::U64(u64::from(*bytes))));
+                fields.push(("reason".into(), Json::Str(reason.name().into())));
+            }
+            EventKind::Mark { label, sojourn } => {
+                fields.push(("label".into(), Json::Str(label.to_string())));
+                fields.push(("sojourn_ns".into(), Json::U64(sojourn.as_nanos())));
+            }
+            EventKind::ParamSwitch {
+                label,
+                target,
+                interval,
+            } => {
+                fields.push(("label".into(), Json::Str(label.to_string())));
+                fields.push(("target_ns".into(), Json::U64(target.as_nanos())));
+                fields.push(("interval_ns".into(), Json::U64(interval.as_nanos())));
+            }
+            EventKind::Schedule { label, deficit } => {
+                fields.push(("label".into(), Json::Str(label.to_string())));
+                let d = *deficit;
+                if d >= 0 {
+                    fields.push(("deficit".into(), Json::U64(d as u64)));
+                } else {
+                    fields.push(("deficit".into(), Json::I64(d)));
+                }
+            }
+            EventKind::Tx {
+                station,
+                ac,
+                frames,
+                bytes,
+                airtime,
+                uplink,
+                success,
+                retry,
+            } => {
+                fields.push(("station".into(), Json::U64(u64::from(*station))));
+                fields.push(("ac".into(), Json::U64(u64::from(*ac))));
+                fields.push(("frames".into(), Json::U64(u64::from(*frames))));
+                fields.push(("bytes".into(), Json::U64(*bytes)));
+                fields.push(("airtime_ns".into(), Json::U64(airtime.as_nanos())));
+                fields.push(("uplink".into(), Json::Bool(*uplink)));
+                fields.push(("success".into(), Json::Bool(*success)));
+                fields.push(("retry".into(), Json::Bool(*retry)));
+            }
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// Receives events. Implemented by [`EventRing`]; test code and future
+/// components can install their own.
+pub trait EventSink {
+    /// Handles one event.
+    fn on_event(&mut self, event: &Event);
+}
+
+/// A bounded ring keeping the most recent events.
+#[derive(Debug)]
+pub struct EventRing {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    total: u64,
+}
+
+impl EventRing {
+    /// A ring retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> EventRing {
+        EventRing {
+            buf: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            total: 0,
+        }
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Number retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever offered, including those the ring shed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events shed because the ring was full.
+    pub fn shed(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// Lowers the ring to its JSON export form.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("capacity".into(), Json::U64(self.capacity as u64)),
+            ("total".into(), Json::U64(self.total)),
+            ("shed".into(), Json::U64(self.shed())),
+            (
+                "entries".into(),
+                Json::Arr(self.buf.iter().map(Event::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl EventSink for EventRing {
+    fn on_event(&mut self, event: &Event) {
+        self.total += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u64) -> Event {
+        Event {
+            at: Nanos::from_nanos(n),
+            component: "test",
+            kind: EventKind::Enqueue {
+                label: Label::Global,
+                bytes: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_shed() {
+        let mut ring = EventRing::new(3);
+        for n in 0..10 {
+            ring.on_event(&ev(n));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total(), 10);
+        assert_eq!(ring.shed(), 7);
+        let kept: Vec<u64> = ring.events().map(|e| e.at.as_nanos()).collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+    }
+}

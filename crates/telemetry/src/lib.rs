@@ -1,0 +1,252 @@
+//! # wifiq-telemetry
+//!
+//! Workspace-wide observability: a simulation-clock-driven metrics registry
+//! (counters, gauges, log-linear histograms with p50/p95/p99/max) addressed
+//! by `(component, metric, label)`, a bounded structured-event ring behind
+//! the [`EventSink`] trait, and deterministic JSON/CSV snapshot export.
+//!
+//! ## Design
+//!
+//! A [`Telemetry`] handle is a cheap clone (`Option<Rc<Hub>>`). The
+//! disabled handle is a `None` and every recording method is a single
+//! branch — instrumented hot paths pay one predictable-untaken test when
+//! metrics are off. All timestamps come from the sim clock (`Nanos`), never
+//! wall clock, and all storage iterates in `BTreeMap` key order, so two
+//! same-seed runs export byte-identical snapshots.
+//!
+//! ## Use
+//!
+//! ```
+//! use wifiq_sim::Nanos;
+//! use wifiq_telemetry::{Label, Telemetry};
+//!
+//! let tele = Telemetry::enabled();
+//! tele.count("mac", "tx_airtime_ns", Label::Station(0), 1_500_000);
+//! tele.observe("codel", "sojourn_ns", Label::Tid(0), Nanos::from_micros(350));
+//! let snapshot = tele.snapshot("demo", 42);
+//! assert!(snapshot.pretty().contains("tx_airtime_ns"));
+//!
+//! let off = Telemetry::disabled();      // no-op fast path
+//! off.count("mac", "tx_airtime_ns", Label::Station(0), 1);
+//! assert!(off.snapshot("demo", 42).get("registry").is_none());
+//! ```
+
+pub mod events;
+pub mod hist;
+pub mod registry;
+
+use std::cell::RefCell;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+pub use events::{DropReason, Event, EventKind, EventRing, EventSink};
+pub use hist::Histogram;
+pub use registry::{Label, Registry};
+pub use serde::Json;
+
+use wifiq_sim::Nanos;
+
+/// Default event-ring capacity for [`Telemetry::enabled`].
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+/// Shared state behind an enabled [`Telemetry`] handle.
+#[derive(Debug)]
+pub struct Hub {
+    registry: RefCell<Registry>,
+    events: RefCell<EventRing>,
+}
+
+/// A cheaply clonable telemetry handle; `disabled()` makes every operation
+/// a no-op behind a single branch.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry(Option<Rc<Hub>>);
+
+impl Telemetry {
+    /// The no-op handle. This is also the `Default`.
+    pub fn disabled() -> Telemetry {
+        Telemetry(None)
+    }
+
+    /// A live handle with the default event-ring capacity.
+    pub fn enabled() -> Telemetry {
+        Telemetry::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// A live handle retaining at most `capacity` events.
+    pub fn with_event_capacity(capacity: usize) -> Telemetry {
+        Telemetry(Some(Rc::new(Hub {
+            registry: RefCell::new(Registry::new()),
+            events: RefCell::new(EventRing::new(capacity)),
+        })))
+    }
+
+    /// True if this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds `delta` to a monotonic counter.
+    #[inline]
+    pub fn count(&self, component: &'static str, metric: &'static str, label: Label, delta: u64) {
+        if let Some(hub) = &self.0 {
+            hub.registry
+                .borrow_mut()
+                .counter_add(component, metric, label, delta);
+        }
+    }
+
+    /// Sets a gauge to its latest value.
+    #[inline]
+    pub fn gauge(&self, component: &'static str, metric: &'static str, label: Label, value: f64) {
+        if let Some(hub) = &self.0 {
+            hub.registry
+                .borrow_mut()
+                .gauge_set(component, metric, label, value);
+        }
+    }
+
+    /// Records a duration sample into a histogram.
+    #[inline]
+    pub fn observe(&self, component: &'static str, metric: &'static str, label: Label, at: Nanos) {
+        self.observe_value(component, metric, label, at.as_nanos());
+    }
+
+    /// Records a dimensionless magnitude (bytes, frames, ...) into a
+    /// histogram.
+    #[inline]
+    pub fn observe_value(
+        &self,
+        component: &'static str,
+        metric: &'static str,
+        label: Label,
+        value: u64,
+    ) {
+        if let Some(hub) = &self.0 {
+            hub.registry
+                .borrow_mut()
+                .hist_record(component, metric, label, value);
+        }
+    }
+
+    /// Emits a structured event into the ring.
+    #[inline]
+    pub fn event(&self, at: Nanos, component: &'static str, kind: EventKind) {
+        if let Some(hub) = &self.0 {
+            hub.events.borrow_mut().on_event(&Event {
+                at,
+                component,
+                kind,
+            });
+        }
+    }
+
+    /// Runs `f` against the registry (read-only), if enabled.
+    pub fn with_registry<R>(&self, f: impl FnOnce(&Registry) -> R) -> Option<R> {
+        self.0.as_ref().map(|hub| f(&hub.registry.borrow()))
+    }
+
+    /// Reads a counter, 0 when disabled or never touched.
+    pub fn counter(&self, component: &str, metric: &str, label: Label) -> u64 {
+        self.with_registry(|r| r.counter(component, metric, label))
+            .unwrap_or(0)
+    }
+
+    /// The full run snapshot as a JSON value. For a disabled handle this is
+    /// a stub object with `"enabled": false` and no registry.
+    pub fn snapshot(&self, run: &str, seed: u64) -> Json {
+        let mut fields = vec![
+            ("run".into(), Json::Str(run.into())),
+            ("seed".into(), Json::U64(seed)),
+            ("enabled".into(), Json::Bool(self.is_enabled())),
+        ];
+        if let Some(hub) = &self.0 {
+            fields.push(("registry".into(), hub.registry.borrow().to_json()));
+            fields.push(("events".into(), hub.events.borrow().to_json()));
+        }
+        Json::Obj(fields)
+    }
+
+    /// The snapshot in long-format CSV (`kind,component,metric,label,stat,value`).
+    pub fn snapshot_csv(&self, run: &str, seed: u64) -> String {
+        let mut out = String::from("kind,component,metric,label,stat,value\n");
+        out.push_str(&format!("meta,run,,,name,{run}\n"));
+        out.push_str(&format!("meta,run,,,seed,{seed}\n"));
+        if let Some(hub) = &self.0 {
+            hub.registry.borrow().write_csv(&mut out);
+            let events = hub.events.borrow();
+            out.push_str(&format!("meta,events,,,total,{}\n", events.total()));
+            out.push_str(&format!("meta,events,,,shed,{}\n", events.shed()));
+        }
+        out
+    }
+
+    /// Writes `<name>.json` and `<name>.csv` under `dir`, creating it as
+    /// needed, and returns both paths. Call once per rep with a
+    /// seed-qualified name to keep runs side by side.
+    pub fn export(&self, dir: &Path, name: &str, seed: u64) -> std::io::Result<(PathBuf, PathBuf)> {
+        std::fs::create_dir_all(dir)?;
+        let json_path = dir.join(format!("{name}.json"));
+        let csv_path = dir.join(format!("{name}.csv"));
+        let mut json = std::fs::File::create(&json_path)?;
+        json.write_all(self.snapshot(name, seed).pretty().as_bytes())?;
+        json.write_all(b"\n")?;
+        let mut csv = std::fs::File::create(&csv_path)?;
+        csv.write_all(self.snapshot_csv(name, seed).as_bytes())?;
+        Ok((json_path, csv_path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        t.count("a", "b", Label::Global, 1);
+        t.gauge("a", "g", Label::Global, 1.0);
+        t.observe("a", "h", Label::Global, Nanos::from_micros(5));
+        t.event(
+            Nanos::ZERO,
+            "a",
+            EventKind::Mark {
+                label: Label::Global,
+                sojourn: Nanos::ZERO,
+            },
+        );
+        assert_eq!(t.counter("a", "b", Label::Global), 0);
+        assert!(t.snapshot("x", 0).get("registry").is_none());
+    }
+
+    #[test]
+    fn clones_share_one_hub() {
+        let t = Telemetry::enabled();
+        let u = t.clone();
+        u.count("a", "b", Label::Station(3), 2);
+        t.count("a", "b", Label::Station(3), 5);
+        assert_eq!(t.counter("a", "b", Label::Station(3)), 7);
+    }
+
+    #[test]
+    fn snapshot_contains_quantiles_and_events() {
+        let t = Telemetry::enabled();
+        for us in [100u64, 200, 400, 800] {
+            t.observe("codel", "sojourn_ns", Label::Tid(0), Nanos::from_micros(us));
+        }
+        t.event(
+            Nanos::from_millis(1),
+            "codel",
+            EventKind::Drop {
+                label: Label::Tid(0),
+                bytes: 1514,
+                reason: DropReason::Codel,
+            },
+        );
+        let text = t.snapshot("run", 7).pretty();
+        for needle in ["p50", "p95", "p99", "sojourn_ns", "\"drop\"", "codel"] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The metrics registry: counters, gauges, and histograms addressed by
+//! `(component, metric, label)`.
+//!
+//! Storage is `BTreeMap`-keyed so iteration — and therefore every exported
+//! snapshot — is deterministically ordered regardless of insertion order.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::Json;
+
+use crate::hist::Histogram;
+
+/// The entity a metric is scoped to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Label {
+    /// Whole-component metric.
+    Global,
+    /// Per-station metric (station index).
+    Station(u32),
+    /// Per-flow metric (flow id).
+    Flow(u64),
+    /// Per-access-category / TID metric.
+    Tid(u32),
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Global => f.write_str("global"),
+            Label::Station(s) => write!(f, "sta{s}"),
+            Label::Flow(id) => write!(f, "flow{id}"),
+            Label::Tid(t) => write!(f, "tid{t}"),
+        }
+    }
+}
+
+/// Full metric address.
+pub type Key = (&'static str, &'static str, Label);
+
+/// Holds every metric recorded during a run.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, f64>,
+    hists: BTreeMap<Key, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `delta` to a monotonic counter.
+    pub fn counter_add(
+        &mut self,
+        component: &'static str,
+        metric: &'static str,
+        label: Label,
+        delta: u64,
+    ) {
+        *self.counters.entry((component, metric, label)).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge to its latest value.
+    pub fn gauge_set(
+        &mut self,
+        component: &'static str,
+        metric: &'static str,
+        label: Label,
+        value: f64,
+    ) {
+        self.gauges.insert((component, metric, label), value);
+    }
+
+    /// Records a sample into a histogram.
+    pub fn hist_record(
+        &mut self,
+        component: &'static str,
+        metric: &'static str,
+        label: Label,
+        value: u64,
+    ) {
+        self.hists
+            .entry((component, metric, label))
+            .or_default()
+            .record(value);
+    }
+
+    /// Reads a counter, 0 if never touched.
+    pub fn counter(&self, component: &str, metric: &str, label: Label) -> u64 {
+        self.counters
+            .iter()
+            .find(|((c, m, l), _)| *c == component && *m == metric && *l == label)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Reads a gauge if set.
+    pub fn gauge(&self, component: &str, metric: &str, label: Label) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|((c, m, l), _)| *c == component && *m == metric && *l == label)
+            .map(|(_, v)| *v)
+    }
+
+    /// Reads a histogram if any sample was recorded.
+    pub fn hist(&self, component: &str, metric: &str, label: Label) -> Option<&Histogram> {
+        self.hists
+            .iter()
+            .find(|((c, m, l), _)| *c == component && *m == metric && *l == label)
+            .map(|(_, v)| v)
+    }
+
+    /// Iterates counters in deterministic key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&Key, &u64)> {
+        self.counters.iter()
+    }
+
+    /// Sums every counter named `component`/`metric` across labels.
+    pub fn counter_total(&self, component: &str, metric: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|((c, m, _), _)| *c == component && *m == metric)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Lowers the registry to its JSON snapshot form: three arrays of
+    /// `{component, metric, label, ...}` rows in deterministic order.
+    pub fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(&(c, m, l), &v)| {
+                Json::Obj(vec![
+                    ("component".into(), Json::Str(c.into())),
+                    ("metric".into(), Json::Str(m.into())),
+                    ("label".into(), Json::Str(l.to_string())),
+                    ("value".into(), Json::U64(v)),
+                ])
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(&(c, m, l), &v)| {
+                Json::Obj(vec![
+                    ("component".into(), Json::Str(c.into())),
+                    ("metric".into(), Json::Str(m.into())),
+                    ("label".into(), Json::Str(l.to_string())),
+                    ("value".into(), Json::F64(v)),
+                ])
+            })
+            .collect();
+        let hists = self
+            .hists
+            .iter()
+            .map(|(&(c, m, l), h)| {
+                Json::Obj(vec![
+                    ("component".into(), Json::Str(c.into())),
+                    ("metric".into(), Json::Str(m.into())),
+                    ("label".into(), Json::Str(l.to_string())),
+                    ("count".into(), Json::U64(h.count())),
+                    ("sum".into(), Json::U64(h.sum())),
+                    ("min".into(), Json::U64(h.min())),
+                    ("p50".into(), Json::U64(h.quantile(0.50))),
+                    ("p95".into(), Json::U64(h.quantile(0.95))),
+                    ("p99".into(), Json::U64(h.quantile(0.99))),
+                    ("max".into(), Json::U64(h.max())),
+                    ("overflow".into(), Json::U64(h.overflow_count())),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("counters".into(), Json::Arr(counters)),
+            ("gauges".into(), Json::Arr(gauges)),
+            ("histograms".into(), Json::Arr(hists)),
+        ])
+    }
+
+    /// Appends the registry to a long-format CSV
+    /// (`kind,component,metric,label,stat,value` rows, deterministic order).
+    pub fn write_csv(&self, out: &mut String) {
+        for (&(c, m, l), &v) in &self.counters {
+            out.push_str(&format!("counter,{c},{m},{l},value,{v}\n"));
+        }
+        for (&(c, m, l), &v) in &self.gauges {
+            out.push_str(&format!("gauge,{c},{m},{l},value,{v}\n"));
+        }
+        for (&(c, m, l), h) in &self.hists {
+            for (stat, v) in [
+                ("count", h.count()),
+                ("sum", h.sum()),
+                ("min", h.min()),
+                ("p50", h.quantile(0.50)),
+                ("p95", h.quantile(0.95)),
+                ("p99", h.quantile(0.99)),
+                ("max", h.max()),
+            ] {
+                out.push_str(&format!("hist,{c},{m},{l},{stat},{v}\n"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let mut r = Registry::new();
+        r.counter_add("mac", "tx_airtime_ns", Label::Station(1), 5);
+        r.counter_add("mac", "tx_airtime_ns", Label::Station(1), 7);
+        r.counter_add("mac", "tx_airtime_ns", Label::Station(2), 3);
+        assert_eq!(r.counter("mac", "tx_airtime_ns", Label::Station(1)), 12);
+        assert_eq!(r.counter("mac", "tx_airtime_ns", Label::Station(9)), 0);
+        assert_eq!(r.counter_total("mac", "tx_airtime_ns"), 15);
+    }
+
+    #[test]
+    fn snapshot_order_is_insertion_independent() {
+        let mut a = Registry::new();
+        a.counter_add("x", "n", Label::Station(2), 1);
+        a.counter_add("x", "n", Label::Station(1), 1);
+        let mut b = Registry::new();
+        b.counter_add("x", "n", Label::Station(1), 1);
+        b.counter_add("x", "n", Label::Station(2), 1);
+        assert_eq!(a.to_json().pretty(), b.to_json().pretty());
+    }
+}

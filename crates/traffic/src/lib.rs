@@ -147,6 +147,21 @@ impl TrafficApp {
         self.add(Flow::Web(Box::new(WebSession::new(station, page, start))))
     }
 
+    /// Attaches a telemetry handle to every TCP-bearing component (bulk
+    /// flows and web sessions). Component `i` reports under flow labels
+    /// starting at `i * SUBS_PER_FLOW`, matching its packet flow-id
+    /// namespace. Call after adding flows and before `net.run`.
+    pub fn set_telemetry(&mut self, tele: &wifiq_telemetry::Telemetry) {
+        for (i, f) in self.flows.iter_mut().enumerate() {
+            let base = i as u64 * SUBS_PER_FLOW;
+            match f {
+                Flow::Tcp(t) => t.set_telemetry(tele.clone(), base),
+                Flow::Web(w) => w.set_telemetry(tele.clone(), base),
+                Flow::Ping(_) | Flow::Udp(_) | Flow::Voip(_) => {}
+            }
+        }
+    }
+
     /// Seeds each component's start timer. Call once before `net.run`.
     pub fn install(&self, net: &mut WifiNetwork<AppMsg>) {
         for (i, f) in self.flows.iter().enumerate() {

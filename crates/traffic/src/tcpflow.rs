@@ -63,6 +63,12 @@ impl TcpBulk {
         }
     }
 
+    /// Attaches a telemetry handle to the sender; metrics appear under
+    /// `Label::Flow(flow)`.
+    pub fn set_telemetry(&mut self, tele: wifiq_telemetry::Telemetry, flow: u64) {
+        self.sender.set_telemetry(tele, flow);
+    }
+
     /// Total bytes delivered in order to the receiving application.
     pub fn delivered_bytes(&self) -> u64 {
         self.receiver.delivered_bytes

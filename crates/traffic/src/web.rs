@@ -96,6 +96,10 @@ pub struct WebSession {
     pub plt: Option<Nanos>,
     /// DNS queries sent (first + retries).
     pub dns_queries: u64,
+    tele: wifiq_telemetry::Telemetry,
+    /// Base flow label for this session's connections; connection `c`
+    /// reports under `Label::Flow(flow_base + c)`.
+    flow_base: u64,
 }
 
 impl WebSession {
@@ -117,7 +121,17 @@ impl WebSession {
             started_at: None,
             plt: None,
             dns_queries: 0,
+            tele: wifiq_telemetry::Telemetry::disabled(),
+            flow_base: 0,
         }
+    }
+
+    /// Attaches a telemetry handle; each connection's sender reports under
+    /// `Label::Flow(flow_base + conn)`. Applies to senders created after
+    /// this call (responses not yet started).
+    pub fn set_telemetry(&mut self, tele: wifiq_telemetry::Telemetry, flow_base: u64) {
+        self.tele = tele;
+        self.flow_base = flow_base;
     }
 
     /// Requests completed so far.
@@ -282,6 +296,7 @@ impl WebSession {
                 // Duplicate GETs (client retries) restart the response —
                 // matching an HTTP server re-answering a re-sent request.
                 let mut sender = TcpSender::finite(size);
+                sender.set_telemetry(self.tele.clone(), self.flow_base + conn as u64);
                 let out = sender.start(now);
                 // The client's retry carries the same request id it is
                 // currently waiting for.

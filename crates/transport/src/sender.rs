@@ -8,6 +8,7 @@
 use std::collections::BTreeMap;
 
 use wifiq_sim::Nanos;
+use wifiq_telemetry::{Label, Telemetry};
 
 use crate::cubic::{CcAlgo, BETA};
 use crate::rto::RtoEstimator;
@@ -90,6 +91,9 @@ pub struct TcpSender {
     cc: CcAlgo,
     /// Telemetry counters.
     pub stats: SenderStats,
+    tele: Telemetry,
+    /// Flow label under which this sender reports metrics.
+    flow: u64,
 }
 
 impl TcpSender {
@@ -130,7 +134,16 @@ impl TcpSender {
             rto: RtoEstimator::new(),
             cc: CcAlgo::cubic(),
             stats: SenderStats::default(),
+            tele: Telemetry::disabled(),
+            flow: 0,
         }
+    }
+
+    /// Attaches a telemetry handle; the sender reports cwnd / sRTT gauges
+    /// and retransmission counters under `Label::Flow(flow)`.
+    pub fn set_telemetry(&mut self, tele: Telemetry, flow: u64) {
+        self.tele = tele;
+        self.flow = flow;
     }
 
     /// Overrides the receive-window cap (bytes). Mostly for tests and
@@ -224,6 +237,15 @@ impl TcpSender {
         } else {
             None
         };
+        if self.tele.is_enabled() {
+            let fl = Label::Flow(self.flow);
+            self.tele.gauge("tcp", "cwnd_bytes", fl, self.cwnd);
+            if let Some(srtt) = self.rto.srtt() {
+                self.tele
+                    .gauge("tcp", "srtt_ns", fl, srtt.as_nanos() as f64);
+                self.tele.observe("tcp", "srtt_ns", fl, srtt);
+            }
+        }
     }
 
     /// Merges a SACK block into the scoreboard.
@@ -424,6 +446,8 @@ impl TcpSender {
                 self.rtx_mark = self.snd_una;
                 self.rtx_out = 0;
                 self.stats.fast_retransmits += 1;
+                self.tele
+                    .count("tcp", "fast_retransmits", Label::Flow(self.flow), 1);
                 // Always retransmit the first hole immediately, even if
                 // the pipe estimate says the window is full.
                 self.recovery_send(now, &mut out, true);
@@ -450,6 +474,8 @@ impl TcpSender {
             return out;
         }
         self.stats.timeouts += 1;
+        self.tele
+            .count("tcp", "timeouts", Label::Flow(self.flow), 1);
         if let CcAlgo::Cubic(cubic) = &mut self.cc {
             cubic.on_timeout(self.cwnd);
         }

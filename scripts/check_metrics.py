@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Sanity-check telemetry snapshots exported under results/metrics/.
+
+Used by CI after a figure binary runs with WIFIQ_METRICS=1: every .json
+must parse, carry the expected top-level schema, and report non-trivial
+activity (per-station airtime counters, histogram invariants). Every
+.json must have a .csv sibling with the long-format header.
+
+Usage: check_metrics.py [metrics_dir]   (default: results/metrics)
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+def fail(msg):
+    print(f"check_metrics: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_histogram(name, h):
+    key = f"{h.get('component')}/{h.get('metric')}/{h.get('label')}"
+    for field in ("count", "sum", "min", "p50", "p95", "p99", "max"):
+        if field not in h:
+            fail(f"{name}: histogram {key} missing {field!r}")
+    if h["count"] > 0 and not (h["min"] <= h["p50"] <= h["p95"] <= h["p99"] <= h["max"]):
+        fail(f"{name}: histogram {key} quantiles not monotone: {h}")
+
+
+def check_snapshot(path):
+    with open(path) as f:
+        snap = json.load(f)
+    for field in ("run", "seed", "enabled", "registry", "events"):
+        if field not in snap:
+            fail(f"{path.name}: missing top-level field {field!r}")
+    if snap["enabled"] is not True:
+        fail(f"{path.name}: exported snapshot has enabled={snap['enabled']}")
+    reg = snap["registry"]
+    airtime = [
+        c
+        for c in reg.get("counters", [])
+        if c["component"] == "mac"
+        and c["metric"] == "tx_airtime_ns"
+        and c["label"].startswith("sta")
+        and c["value"] > 0
+    ]
+    if not airtime:
+        fail(f"{path.name}: no non-zero mac/tx_airtime_ns/staN counters")
+    for hist in reg.get("histograms", []):
+        check_histogram(path.name, hist)
+    csv = path.with_suffix(".csv")
+    if not csv.exists():
+        fail(f"{path.name}: missing CSV sibling {csv.name}")
+    header = csv.read_text().splitlines()[0]
+    if header != "kind,component,metric,label,stat,value":
+        fail(f"{csv.name}: unexpected header {header!r}")
+    return len(airtime)
+
+
+def main():
+    metrics_dir = Path(sys.argv[1] if len(sys.argv) > 1 else "results/metrics")
+    files = sorted(metrics_dir.glob("*.json"))
+    if not files:
+        fail(f"no .json snapshots under {metrics_dir}")
+    stations = 0
+    for path in files:
+        stations += check_snapshot(path)
+    print(
+        f"check_metrics: OK: {len(files)} snapshots, "
+        f"{stations} station airtime counters"
+    )
+
+
+if __name__ == "__main__":
+    main()

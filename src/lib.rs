@@ -17,6 +17,8 @@
 //! - [`traffic`](mod@crate::traffic) — ping, UDP, VoIP and web workloads,
 //! - [`model`](mod@crate::model) — the analytical model (eqs. 1–5),
 //! - [`stats`](mod@crate::stats) — Jain's index, CDFs, the G.107 E-model,
+//! - [`telemetry`](mod@crate::telemetry) — opt-in metrics registry and
+//!   structured-event ring (counters, gauges, histograms; JSON/CSV export),
 //! - [`experiments`](mod@crate::experiments) — harnesses for every table and
 //!   figure in the paper's evaluation.
 //!
@@ -32,5 +34,6 @@ pub use wifiq_phy as phy;
 pub use wifiq_qdisc as qdisc;
 pub use wifiq_sim as sim;
 pub use wifiq_stats as stats;
+pub use wifiq_telemetry as telemetry;
 pub use wifiq_traffic as traffic;
 pub use wifiq_transport as transport;

@@ -153,12 +153,12 @@ fn sparse_station_optimisation_helps() {
 /// best-effort VoIP under FIFO.
 #[test]
 fn voip_be_matches_vo_under_fq_mac() {
-    let mos = |scheme, ac| {
+    let mos_one = |scheme, ac, seed| {
         let mut cfg = NetworkConfig::paper_testbed(scheme);
         cfg.stations
             .push(StationCfg::clean(PhyRate::fast_station()));
         cfg.wire_delay = Nanos::from_millis(5);
-        cfg.seed = 5;
+        cfg.seed = seed;
         let mut net: WifiNetwork<AppMsg> = WifiNetwork::new(cfg);
         let mut app = TrafficApp::new();
         let call = app.add_voip(2, ac, Nanos::ZERO);
@@ -171,6 +171,13 @@ fn voip_be_matches_vo_under_fq_mac() {
         let delays = app.voip(call).delays_after(warm);
         let sent = (Nanos::from_secs(12).as_millis() / 20) as usize;
         VoipMetrics::from_delays(&delays, sent.max(delays.len())).mos()
+    };
+    // Median over a few seeds: a single FIFO draw can get lucky and leave
+    // the queue shallow for the whole call.
+    let mos = |scheme, ac| {
+        let mut ms: Vec<f64> = (1..=5).map(|seed| mos_one(scheme, ac, seed)).collect();
+        ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ms[ms.len() / 2]
     };
     let fq_be = mos(SchemeKind::FqMac, AccessCategory::Be);
     let fq_vo = mos(SchemeKind::FqMac, AccessCategory::Vo);

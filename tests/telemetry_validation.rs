@@ -1,0 +1,100 @@
+//! Telemetry cross-validation: the metrics registry is a *third*,
+//! independently accumulating account of the simulation, so it can be
+//! cross-checked against the airtime meter and the monitor-mode capture
+//! the same way the paper validated its in-kernel measurement against a
+//! capture tool (§4.1.5, agreement "to within 1.5%, on average").
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ending_anomaly::mac::{AirtimeCapture, NetworkConfig, SchemeKind, WifiNetwork};
+use ending_anomaly::sim::Nanos;
+use ending_anomaly::telemetry::{Label, Telemetry};
+use ending_anomaly::traffic::{AppMsg, TrafficApp};
+
+/// Runs a busy bidirectional workload with telemetry attached and returns
+/// `(net, capture, tele)` for post-run inspection.
+fn run_busy(
+    scheme: SchemeKind,
+    seed: u64,
+    secs: u64,
+) -> (WifiNetwork<AppMsg>, Rc<RefCell<AirtimeCapture>>, Telemetry) {
+    let mut cfg = NetworkConfig::paper_testbed(scheme);
+    cfg.seed = seed;
+    let mut net: WifiNetwork<AppMsg> = WifiNetwork::new(cfg);
+    let capture = Rc::new(RefCell::new(AirtimeCapture::new(3)));
+    net.attach_monitor(Box::new(capture.clone()));
+    let tele = Telemetry::enabled();
+    net.set_telemetry(tele.clone());
+    let mut app = TrafficApp::new();
+    for sta in 0..3 {
+        app.add_tcp_down(sta, Nanos::ZERO);
+        app.add_tcp_up(sta, Nanos::ZERO);
+    }
+    app.add_ping(2, Nanos::ZERO);
+    app.set_telemetry(&tele);
+    app.install(&mut net);
+    net.run(Nanos::from_secs(secs), &mut app);
+    (net, capture, tele)
+}
+
+/// The paper's meter-vs-monitor cross-check, re-implemented over the
+/// telemetry registry: per-station airtime from the meter, the
+/// monitor-mode capture, and the `mac/tx_airtime_ns` + `mac/rx_airtime_ns`
+/// counters must agree to within 1.5% (in the simulator they share exact
+/// timing, so the tolerance is generous).
+#[test]
+fn meter_capture_and_registry_agree_within_1_5_percent() {
+    let (net, capture, tele) = run_busy(SchemeKind::AirtimeFair, 7, 3);
+    let capture = capture.borrow();
+    for sta in 0..3 {
+        let meter = net.station_meter(sta).total_airtime().as_nanos() as f64;
+        let cap = capture.airtime(sta).as_nanos() as f64;
+        let reg = (tele.counter("mac", "tx_airtime_ns", Label::Station(sta as u32))
+            + tele.counter("mac", "rx_airtime_ns", Label::Station(sta as u32)))
+            as f64;
+        assert!(meter > 0.0, "station {sta} saw no airtime");
+        let cap_err = (meter - cap).abs() / meter * 100.0;
+        let reg_err = (meter - reg).abs() / meter * 100.0;
+        assert!(
+            cap_err <= 1.5,
+            "station {sta}: meter {meter} vs capture {cap} differ by {cap_err:.4}%"
+        );
+        assert!(
+            reg_err <= 1.5,
+            "station {sta}: meter {meter} vs registry {reg} differ by {reg_err:.4}%"
+        );
+    }
+}
+
+/// Two runs of the same (configuration, seed) must export *byte-identical*
+/// snapshots — the registry orders keys deterministically and timestamps
+/// come only from the simulated clock.
+#[test]
+fn same_seed_snapshots_are_byte_identical() {
+    let (_, _, a) = run_busy(SchemeKind::AirtimeFair, 42, 2);
+    let (_, _, b) = run_busy(SchemeKind::AirtimeFair, 42, 2);
+    assert_eq!(
+        a.snapshot("det", 42).pretty(),
+        b.snapshot("det", 42).pretty(),
+        "JSON snapshots diverged under the same seed"
+    );
+    assert_eq!(
+        a.snapshot_csv("det", 42),
+        b.snapshot_csv("det", 42),
+        "CSV snapshots diverged under the same seed"
+    );
+}
+
+/// Different seeds must leave *some* trace in the registry — otherwise the
+/// byte-identical test above would pass vacuously.
+#[test]
+fn different_seeds_produce_different_snapshots() {
+    let (_, _, a) = run_busy(SchemeKind::AirtimeFair, 1, 2);
+    let (_, _, b) = run_busy(SchemeKind::AirtimeFair, 2, 2);
+    assert_ne!(
+        a.snapshot("det", 0).pretty(),
+        b.snapshot("det", 0).pretty(),
+        "seeds 1 and 2 produced identical registries"
+    );
+}
