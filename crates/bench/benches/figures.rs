@@ -18,6 +18,7 @@ fn tiny() -> RunCfg {
         duration: Nanos::from_secs(3),
         warmup: Nanos::from_secs(1),
         base_seed: 1,
+        ..RunCfg::new()
     }
 }
 

@@ -22,7 +22,7 @@ use wifiq_sim::Nanos;
 use wifiq_stats::jain_index;
 use wifiq_traffic::TrafficApp;
 
-use crate::runner::{mean, median, meter_delta, shares_of, RunCfg};
+use crate::runner::{mean, median, meter_delta, run_seeds, shares_of, RunCfg};
 use crate::scenario::{self, EXTRA, SLOW};
 use crate::udp_sat::SAT_RATE_BPS;
 
@@ -40,9 +40,9 @@ pub struct RxChargingResult {
 /// Runs bidirectional TCP under the airtime scheme with RX charging
 /// toggled.
 pub fn rx_charging(enabled: bool, cfg: &RunCfg) -> RxChargingResult {
-    let mut jains = Vec::new();
-    let mut slow_shares = Vec::new();
-    for seed in cfg.seeds() {
+    let config = if enabled { "on" } else { "off" };
+    // (jain, slow share) per repetition.
+    let reps: Vec<(f64, f64)> = run_seeds("ablations", "rx_charging", config, cfg, |seed| {
         let mut net_cfg = scenario::testbed3(SchemeKind::AirtimeFair, seed);
         net_cfg.airtime.charge_rx = enabled;
         let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
@@ -63,13 +63,12 @@ pub fn rx_charging(enabled: bool, cfg: &RunCfg) -> RxChargingResult {
             .map(|(l, e)| meter_delta(l, e))
             .collect();
         let shares = shares_of(&window);
-        jains.push(jain_index(&shares));
-        slow_shares.push(shares[SLOW]);
-    }
+        (jain_index(&shares), shares[SLOW])
+    });
     RxChargingResult {
         charge_rx: enabled,
-        jain: median(&jains),
-        slow_share: mean(&slow_shares),
+        jain: median(&reps.iter().map(|r| r.0).collect::<Vec<_>>()),
+        slow_share: mean(&reps.iter().map(|r| r.1).collect::<Vec<_>>()),
     }
 }
 
@@ -91,30 +90,32 @@ pub struct AdaptiveCodelResult {
 /// under two full-size packets of queue, which is where the
 /// over-aggressive-CoDel starvation bites.
 pub fn adaptive_codel(enabled: bool, cfg: &RunCfg) -> AdaptiveCodelResult {
-    let mut goodput = Vec::new();
-    let mut drops = Vec::new();
-    let mut rtx = Vec::new();
-    for seed in cfg.seeds() {
-        let mut net_cfg = scenario::testbed3(SchemeKind::AirtimeFair, seed);
-        net_cfg.stations[scenario::SLOW].rate =
-            wifiq_phy::PhyRate::Legacy(wifiq_phy::LegacyRate::Dsss1);
-        net_cfg.adaptive_codel = enabled;
-        let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
-        let mut app = TrafficApp::new();
-        let bulk = app.add_tcp_down(SLOW, Nanos::ZERO);
-        app.install(&mut net);
-        net.run(cfg.duration, &mut app);
-        let bytes = app.tcp(bulk).bytes_between(cfg.warmup, cfg.duration);
-        goodput.push(bytes as f64 * 8.0 / cfg.window().as_secs_f64());
-        drops.push(net.ap_codel_drops() as f64);
-        let st = app.tcp(bulk).sender_stats();
-        rtx.push((st.fast_retransmits + st.timeouts) as f64);
-    }
+    let config = if enabled { "on" } else { "off" };
+    // (goodput, drops, retransmissions) per repetition.
+    let reps: Vec<(f64, f64, f64)> =
+        run_seeds("ablations", "adaptive_codel", config, cfg, |seed| {
+            let mut net_cfg = scenario::testbed3(SchemeKind::AirtimeFair, seed);
+            net_cfg.stations[scenario::SLOW].rate =
+                wifiq_phy::PhyRate::Legacy(wifiq_phy::LegacyRate::Dsss1);
+            net_cfg.adaptive_codel = enabled;
+            let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
+            let mut app = TrafficApp::new();
+            let bulk = app.add_tcp_down(SLOW, Nanos::ZERO);
+            app.install(&mut net);
+            net.run(cfg.duration, &mut app);
+            let bytes = app.tcp(bulk).bytes_between(cfg.warmup, cfg.duration);
+            let st = app.tcp(bulk).sender_stats();
+            (
+                bytes as f64 * 8.0 / cfg.window().as_secs_f64(),
+                net.ap_codel_drops() as f64,
+                (st.fast_retransmits + st.timeouts) as f64,
+            )
+        });
     AdaptiveCodelResult {
         adaptive: enabled,
-        slow_goodput_bps: mean(&goodput),
-        codel_drops: mean(&drops),
-        retransmissions: mean(&rtx),
+        slow_goodput_bps: mean(&reps.iter().map(|r| r.0).collect::<Vec<_>>()),
+        codel_drops: mean(&reps.iter().map(|r| r.1).collect::<Vec<_>>()),
+        retransmissions: mean(&reps.iter().map(|r| r.2).collect::<Vec<_>>()),
     }
 }
 
@@ -134,9 +135,9 @@ pub struct DropPolicyResult {
 /// The limit is reduced so the saturating slow-station flow can actually
 /// fill it within the run; with tail drop it then monopolises the budget.
 pub fn drop_policy(policy: DropPolicy, cfg: &RunCfg) -> DropPolicyResult {
-    let mut goodput = Vec::new();
-    let mut aggr = Vec::new();
-    for seed in cfg.seeds() {
+    let config = format!("{policy:?}");
+    // (fast goodput, fast aggregation) per repetition.
+    let reps: Vec<(f64, f64)> = run_seeds("ablations", "drop_policy", &config, cfg, |seed| {
         let mut net_cfg = scenario::testbed3(SchemeKind::AirtimeFair, seed);
         net_cfg.fq.drop_policy = policy;
         net_cfg.fq.limit = 512;
@@ -150,13 +151,15 @@ pub fn drop_policy(policy: DropPolicy, cfg: &RunCfg) -> DropPolicyResult {
         net.run(cfg.duration, &mut app);
         let window = meter_delta(net.station_meter(0), &before);
         let bytes = app.udp(fast).bytes_between(cfg.warmup, cfg.duration);
-        goodput.push(bytes as f64 * 8.0 / cfg.window().as_secs_f64());
-        aggr.push(window.mean_aggregation());
-    }
+        (
+            bytes as f64 * 8.0 / cfg.window().as_secs_f64(),
+            window.mean_aggregation(),
+        )
+    });
     DropPolicyResult {
-        policy: format!("{policy:?}"),
-        fast_goodput_bps: mean(&goodput),
-        fast_aggregation: mean(&aggr),
+        policy: config,
+        fast_goodput_bps: mean(&reps.iter().map(|r| r.0).collect::<Vec<_>>()),
+        fast_aggregation: mean(&reps.iter().map(|r| r.1).collect::<Vec<_>>()),
     }
 }
 
@@ -173,9 +176,9 @@ pub struct QuantumResult {
 
 /// Airtime-quantum sweep: bulk UDP on three stations, ping on a fourth.
 pub fn quantum(quantum_us: u64, cfg: &RunCfg) -> QuantumResult {
-    let mut medians = Vec::new();
-    let mut jains = Vec::new();
-    for seed in cfg.seeds() {
+    let config = format!("{quantum_us}us");
+    // (median sparse RTT, jain) per repetition.
+    let reps: Vec<(f64, f64)> = run_seeds("ablations", "quantum", &config, cfg, |seed| {
         let mut net_cfg = scenario::testbed4(SchemeKind::AirtimeFair, seed);
         net_cfg.airtime.quantum = Nanos::from_micros(quantum_us);
         let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
@@ -195,18 +198,17 @@ pub fn quantum(quantum_us: u64, cfg: &RunCfg) -> QuantumResult {
             .zip(&before)
             .map(|(l, e)| meter_delta(l, e))
             .collect();
-        jains.push(jain_index(&shares_of(&window[..3])));
         let ms: Vec<f64> = app
             .ping(ping)
             .rtts_after(cfg.warmup)
             .iter()
             .map(|r| r.as_millis_f64())
             .collect();
-        medians.push(median(&ms));
-    }
+        (median(&ms), jain_index(&shares_of(&window[..3])))
+    });
     QuantumResult {
         quantum_us,
-        sparse_median_ms: median(&medians),
-        jain: median(&jains),
+        sparse_median_ms: median(&reps.iter().map(|r| r.0).collect::<Vec<_>>()),
+        jain: median(&reps.iter().map(|r| r.1).collect::<Vec<_>>()),
     }
 }

@@ -21,52 +21,48 @@ struct Row {
 }
 
 fn run(scheme: SchemeKind, cfg: &RunCfg) -> Row {
-    let mut fast_ms = Vec::new();
-    let mut slow_ms = Vec::new();
-    let mut totals = Vec::new();
-    for seed in cfg.seeds() {
-        // Two 866.7 Mbps laptops and one 32.5 Mbps fringe device.
-        let mut net_cfg = NetworkConfig::new(
-            vec![
-                StationCfg::clean(PhyRate::vht(9, 2, VhtWidth::Mhz80, true)),
-                StationCfg::clean(PhyRate::vht(9, 2, VhtWidth::Mhz80, true)),
-                StationCfg::clean(PhyRate::vht(0, 1, VhtWidth::Mhz80, true)),
-            ],
-            scheme,
-        );
-        net_cfg.seed = seed;
-        let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
-        let mut app = TrafficApp::new();
-        let ping_fast = app.add_ping(0, Nanos::ZERO);
-        let ping_slow = app.add_ping(2, Nanos::ZERO);
-        let tcps: Vec<_> = (0..3).map(|s| app.add_tcp_down(s, Nanos::ZERO)).collect();
-        app.install(&mut net);
-        net.run(cfg.duration, &mut app);
-        fast_ms.extend(
-            app.ping(ping_fast)
-                .rtts_after(cfg.warmup)
+    // (fast RTTs, slow RTTs, total Mbps) per repetition.
+    let reps: Vec<(Vec<f64>, Vec<f64>, f64)> =
+        wifiq_experiments::runner::run_seeds("ext_80211ac", scheme.slug(), "", cfg, |seed| {
+            // Two 866.7 Mbps laptops and one 32.5 Mbps fringe device.
+            let mut net_cfg = NetworkConfig::new(
+                vec![
+                    StationCfg::clean(PhyRate::vht(9, 2, VhtWidth::Mhz80, true)),
+                    StationCfg::clean(PhyRate::vht(9, 2, VhtWidth::Mhz80, true)),
+                    StationCfg::clean(PhyRate::vht(0, 1, VhtWidth::Mhz80, true)),
+                ],
+                scheme,
+            );
+            net_cfg.seed = seed;
+            let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
+            let mut app = TrafficApp::new();
+            let ping_fast = app.add_ping(0, Nanos::ZERO);
+            let ping_slow = app.add_ping(2, Nanos::ZERO);
+            let tcps: Vec<_> = (0..3).map(|s| app.add_tcp_down(s, Nanos::ZERO)).collect();
+            app.install(&mut net);
+            net.run(cfg.duration, &mut app);
+            let rtts = |flow| -> Vec<f64> {
+                app.ping(flow)
+                    .rtts_after(cfg.warmup)
+                    .iter()
+                    .map(|r| r.as_millis_f64())
+                    .collect()
+            };
+            let secs = cfg.window().as_secs_f64();
+            let total = tcps
                 .iter()
-                .map(|r| r.as_millis_f64()),
-        );
-        slow_ms.extend(
-            app.ping(ping_slow)
-                .rtts_after(cfg.warmup)
-                .iter()
-                .map(|r| r.as_millis_f64()),
-        );
-        let secs = cfg.window().as_secs_f64();
-        totals.push(
-            tcps.iter()
                 .map(|t| app.tcp(*t).bytes_between(cfg.warmup, cfg.duration) as f64 * 8.0 / secs)
                 .sum::<f64>()
-                / 1e6,
-        );
-    }
+                / 1e6;
+            (rtts(ping_fast), rtts(ping_slow), total)
+        });
+    let fast_ms: Vec<f64> = reps.iter().flat_map(|r| r.0.iter().copied()).collect();
+    let slow_ms: Vec<f64> = reps.iter().flat_map(|r| r.1.iter().copied()).collect();
     Row {
         scheme: scheme.label().to_string(),
         fast_median_ms: Summary::of(&fast_ms).median,
         slow_median_ms: Summary::of(&slow_ms).median,
-        total_mbps: wifiq_experiments::runner::mean(&totals),
+        total_mbps: wifiq_experiments::runner::mean(&reps.iter().map(|r| r.2).collect::<Vec<_>>()),
     }
 }
 

@@ -5,7 +5,7 @@
 //! under saturating UDP; airtime shares should track the weights.
 
 use wifiq_experiments::report::{pct, write_json, Table};
-use wifiq_experiments::runner::{mean, meter_delta, shares_of};
+use wifiq_experiments::runner::{mean, meter_delta, run_seeds, shares_of};
 use wifiq_experiments::{scenario, RunCfg};
 use wifiq_mac::{SchemeKind, StationMeter, WifiNetwork};
 use wifiq_sim::Nanos;
@@ -19,8 +19,8 @@ fn main() {
         cfg.reps,
         cfg.duration.as_millis() / 1000
     );
-    let mut share_acc = vec![Vec::new(); 3];
-    for seed in cfg.seeds() {
+    // Per-station airtime shares, one vector per repetition.
+    let reps: Vec<Vec<f64>> = run_seeds("ext_airtime_weights", "1_2_4", "", &cfg, |seed| {
         let mut net_cfg = scenario::testbed3(SchemeKind::AirtimeFair, seed);
         // All three stations fast and identical, so only weights differ.
         for (station, w) in net_cfg.stations.iter_mut().zip(weights) {
@@ -43,10 +43,11 @@ fn main() {
             .zip(&before)
             .map(|(l, e)| meter_delta(l, e))
             .collect();
-        for (sta, s) in shares_of(&window).into_iter().enumerate() {
-            share_acc[sta].push(s);
-        }
-    }
+        shares_of(&window)
+    });
+    let share_acc: Vec<Vec<f64>> = (0..3)
+        .map(|sta| reps.iter().map(|r| r[sta]).collect())
+        .collect();
     #[derive(serde::Serialize)]
     struct Row {
         weight: u32,

@@ -25,49 +25,53 @@ struct Row {
 }
 
 fn run(aql: Option<Nanos>, cfg: &RunCfg) -> Row {
-    let mut fast_ms = Vec::new();
-    let mut slow_thr = Vec::new();
-    let mut total_thr = Vec::new();
-    for seed in cfg.seeds() {
-        // Two fast stations and a 1 Mbps legacy device — the worst
-        // hardware-queue hog the testbed family produces.
-        let mut net_cfg = NetworkConfig::new(
-            vec![
-                StationCfg::clean(PhyRate::fast_station()),
-                StationCfg::clean(PhyRate::fast_station()),
-                StationCfg::clean(PhyRate::Legacy(LegacyRate::Dsss1)),
-            ],
-            SchemeKind::AirtimeFair,
-        );
-        net_cfg.aql = aql;
-        net_cfg.seed = seed;
-        let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
-        let mut app = TrafficApp::new();
-        let ping = app.add_ping(0, Nanos::ZERO);
-        let tcps: Vec<_> = (0..3).map(|s| app.add_tcp_down(s, Nanos::ZERO)).collect();
-        app.install(&mut net);
-        net.run(cfg.duration, &mut app);
-        fast_ms.extend(
-            app.ping(ping)
+    let config = aql.map_or("off".to_string(), |a| format!("{}ms", a.as_millis()));
+    // (fast RTTs in ms, slow Mbps, total Mbps) per repetition.
+    let reps: Vec<(Vec<f64>, f64, f64)> =
+        wifiq_experiments::runner::run_seeds("ext_aql", &config, "", cfg, |seed| {
+            // Two fast stations and a 1 Mbps legacy device — the worst
+            // hardware-queue hog the testbed family produces.
+            let mut net_cfg = NetworkConfig::new(
+                vec![
+                    StationCfg::clean(PhyRate::fast_station()),
+                    StationCfg::clean(PhyRate::fast_station()),
+                    StationCfg::clean(PhyRate::Legacy(LegacyRate::Dsss1)),
+                ],
+                SchemeKind::AirtimeFair,
+            );
+            net_cfg.aql = aql;
+            net_cfg.seed = seed;
+            let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
+            let mut app = TrafficApp::new();
+            let ping = app.add_ping(0, Nanos::ZERO);
+            let tcps: Vec<_> = (0..3).map(|s| app.add_tcp_down(s, Nanos::ZERO)).collect();
+            app.install(&mut net);
+            net.run(cfg.duration, &mut app);
+            let fast_ms: Vec<f64> = app
+                .ping(ping)
                 .rtts_after(cfg.warmup)
                 .iter()
-                .map(|r| r.as_millis_f64()),
-        );
-        let secs = cfg.window().as_secs_f64();
-        let per: Vec<f64> = tcps
-            .iter()
-            .map(|t| app.tcp(*t).bytes_between(cfg.warmup, cfg.duration) as f64 * 8.0 / secs / 1e6)
-            .collect();
-        slow_thr.push(per[2]);
-        total_thr.push(per.iter().sum());
-    }
+                .map(|r| r.as_millis_f64())
+                .collect();
+            let secs = cfg.window().as_secs_f64();
+            let per: Vec<f64> = tcps
+                .iter()
+                .map(|t| {
+                    app.tcp(*t).bytes_between(cfg.warmup, cfg.duration) as f64 * 8.0 / secs / 1e6
+                })
+                .collect();
+            (fast_ms, per[2], per.iter().sum())
+        });
+    let fast_ms: Vec<f64> = reps.iter().flat_map(|r| r.0.iter().copied()).collect();
     let s = Summary::of(&fast_ms);
     Row {
         aql_ms: aql.map(|a| a.as_millis()),
         fast_median_ms: s.median,
         fast_p95_ms: s.p95,
-        slow_goodput_mbps: wifiq_experiments::runner::mean(&slow_thr),
-        total_mbps: wifiq_experiments::runner::mean(&total_thr),
+        slow_goodput_mbps: wifiq_experiments::runner::mean(
+            &reps.iter().map(|r| r.1).collect::<Vec<_>>(),
+        ),
+        total_mbps: wifiq_experiments::runner::mean(&reps.iter().map(|r| r.2).collect::<Vec<_>>()),
     }
 }
 

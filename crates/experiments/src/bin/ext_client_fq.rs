@@ -22,34 +22,36 @@ struct Row {
 }
 
 fn run(station_fq: bool, cfg: &RunCfg) -> Row {
-    let mut rtts = Vec::new();
-    let mut upload = Vec::new();
-    for seed in cfg.seeds() {
-        let mut net_cfg = scenario::testbed3(SchemeKind::AirtimeFair, seed);
-        net_cfg.station_fq = station_fq;
-        let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
-        let mut app = TrafficApp::new();
-        // The ping crosses the same station's uplink as the bulk upload —
-        // the reply is what queues at the client.
-        let ping = app.add_ping(0, Nanos::ZERO);
-        let up = app.add_tcp_up(0, Nanos::ZERO);
-        app.install(&mut net);
-        net.run(cfg.duration, &mut app);
-        rtts.extend(
-            app.ping(ping)
+    let config = if station_fq { "fq" } else { "fifo" };
+    // (ping RTTs in ms, upload Mbps) per repetition.
+    let reps: Vec<(Vec<f64>, f64)> =
+        wifiq_experiments::runner::run_seeds("ext_client_fq", config, "", cfg, |seed| {
+            let mut net_cfg = scenario::testbed3(SchemeKind::AirtimeFair, seed);
+            net_cfg.station_fq = station_fq;
+            let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
+            let mut app = TrafficApp::new();
+            // The ping crosses the same station's uplink as the bulk upload —
+            // the reply is what queues at the client.
+            let ping = app.add_ping(0, Nanos::ZERO);
+            let up = app.add_tcp_up(0, Nanos::ZERO);
+            app.install(&mut net);
+            net.run(cfg.duration, &mut app);
+            let rtts: Vec<f64> = app
+                .ping(ping)
                 .rtts_after(cfg.warmup)
                 .iter()
-                .map(|r| r.as_millis_f64()),
-        );
-        let b = app.tcp(up).bytes_between(cfg.warmup, cfg.duration);
-        upload.push(b as f64 * 8.0 / cfg.window().as_secs_f64() / 1e6);
-    }
+                .map(|r| r.as_millis_f64())
+                .collect();
+            let b = app.tcp(up).bytes_between(cfg.warmup, cfg.duration);
+            (rtts, b as f64 * 8.0 / cfg.window().as_secs_f64() / 1e6)
+        });
+    let rtts: Vec<f64> = reps.iter().flat_map(|r| r.0.iter().copied()).collect();
     let s = Summary::of(&rtts);
     Row {
         station_fq,
         median_ms: s.median,
         p95_ms: s.p95,
-        upload_mbps: wifiq_experiments::runner::mean(&upload),
+        upload_mbps: wifiq_experiments::runner::mean(&reps.iter().map(|r| r.1).collect::<Vec<_>>()),
     }
 }
 

@@ -8,7 +8,7 @@
 //! deficits are charged "including any retries"), not everyone else's.
 
 use wifiq_experiments::report::{pct, write_json, Table};
-use wifiq_experiments::runner::{mean, meter_delta, shares_of};
+use wifiq_experiments::runner::{mean, meter_delta, run_seeds, shares_of};
 use wifiq_experiments::{scenario, RunCfg};
 use wifiq_mac::{ErrorModel, SchemeKind, StationMeter, WifiNetwork};
 use wifiq_sim::Nanos;
@@ -25,48 +25,49 @@ struct Row {
 }
 
 fn run(scheme: SchemeKind, err: f64, cfg: &RunCfg) -> Row {
-    let mut shares = Vec::new();
-    let mut fast_ms = Vec::new();
-    let mut totals = Vec::new();
-    for seed in cfg.seeds() {
-        let mut net_cfg = scenario::testbed3(scheme, seed);
-        net_cfg.stations[scenario::SLOW].errors = ErrorModel::Fixed(err);
-        let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
-        let mut app = TrafficApp::new();
-        let ping = app.add_ping(scenario::FAST1, Nanos::ZERO);
-        let tcps: Vec<_> = (0..3).map(|s| app.add_tcp_down(s, Nanos::ZERO)).collect();
-        app.install(&mut net);
-        net.run(cfg.warmup, &mut app);
-        let before: Vec<StationMeter> = net.meter().all().to_vec();
-        net.run(cfg.duration, &mut app);
-        let window: Vec<StationMeter> = net
-            .meter()
-            .all()
-            .iter()
-            .zip(&before)
-            .map(|(l, e)| meter_delta(l, e))
-            .collect();
-        shares.push(shares_of(&window)[scenario::SLOW]);
-        fast_ms.extend(
-            app.ping(ping)
+    let error_pct = (err * 100.0).round() as u32;
+    let config = format!("err{error_pct}");
+    // (slow share, fast RTTs in ms, total Mbps) per repetition.
+    let reps: Vec<(f64, Vec<f64>, f64)> =
+        run_seeds("ext_lossy_channel", scheme.slug(), &config, cfg, |seed| {
+            let mut net_cfg = scenario::testbed3(scheme, seed);
+            net_cfg.stations[scenario::SLOW].errors = ErrorModel::Fixed(err);
+            let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
+            let mut app = TrafficApp::new();
+            let ping = app.add_ping(scenario::FAST1, Nanos::ZERO);
+            let tcps: Vec<_> = (0..3).map(|s| app.add_tcp_down(s, Nanos::ZERO)).collect();
+            app.install(&mut net);
+            net.run(cfg.warmup, &mut app);
+            let before: Vec<StationMeter> = net.meter().all().to_vec();
+            net.run(cfg.duration, &mut app);
+            let window: Vec<StationMeter> = net
+                .meter()
+                .all()
+                .iter()
+                .zip(&before)
+                .map(|(l, e)| meter_delta(l, e))
+                .collect();
+            let fast_ms: Vec<f64> = app
+                .ping(ping)
                 .rtts_after(cfg.warmup)
                 .iter()
-                .map(|r| r.as_millis_f64()),
-        );
-        let secs = cfg.window().as_secs_f64();
-        totals.push(
-            tcps.iter()
+                .map(|r| r.as_millis_f64())
+                .collect();
+            let secs = cfg.window().as_secs_f64();
+            let total = tcps
+                .iter()
                 .map(|t| app.tcp(*t).bytes_between(cfg.warmup, cfg.duration) as f64 * 8.0 / secs)
                 .sum::<f64>()
-                / 1e6,
-        );
-    }
+                / 1e6;
+            (shares_of(&window)[scenario::SLOW], fast_ms, total)
+        });
+    let fast_ms: Vec<f64> = reps.iter().flat_map(|r| r.1.iter().copied()).collect();
     Row {
         scheme: scheme.label().to_string(),
-        error_pct: (err * 100.0).round() as u32,
-        slow_share: mean(&shares),
+        error_pct,
+        slow_share: mean(&reps.iter().map(|r| r.0).collect::<Vec<_>>()),
         fast_median_ms: Summary::of(&fast_ms).median,
-        total_mbps: mean(&totals),
+        total_mbps: mean(&reps.iter().map(|r| r.2).collect::<Vec<_>>()),
     }
 }
 

@@ -12,7 +12,7 @@
 //! what real networks' ambient traffic provides).
 
 use wifiq_experiments::report::{pct, write_json, Table};
-use wifiq_experiments::runner::{mean, meter_delta, shares_of};
+use wifiq_experiments::runner::{mean, meter_delta, run_seeds, shares_of};
 use wifiq_experiments::RunCfg;
 use wifiq_mac::{NetworkConfig, SchemeKind, StationCfg, StationMeter, WifiNetwork};
 use wifiq_phy::{ChannelWidth, PhyRate};
@@ -29,10 +29,9 @@ struct Row {
 
 fn run(scheme: SchemeKind, cfg: &RunCfg) -> Row {
     let start_rate = PhyRate::ht(3, ChannelWidth::Ht20, true);
-    let mut shares_acc = vec![Vec::new(); 3];
-    let mut est_acc = vec![Vec::new(); 3];
-    let mut thr_acc = vec![Vec::new(); 3];
-    for seed in cfg.seeds() {
+    // (shares, rate estimates Mbps, goodput Mbps) per repetition.
+    type RateRep = (Vec<f64>, Vec<f64>, Vec<f64>);
+    let reps: Vec<RateRep> = run_seeds("ext_rate_control", scheme.slug(), "", cfg, |seed| {
         let mut net_cfg = NetworkConfig::new(
             vec![
                 StationCfg::with_mcs_cliff(start_rate, 13),
@@ -60,19 +59,26 @@ fn run(scheme: SchemeKind, cfg: &RunCfg) -> Row {
             .zip(&before)
             .map(|(l, e)| meter_delta(l, e))
             .collect();
-        let shares = shares_of(&window);
-        for sta in 0..3 {
-            shares_acc[sta].push(shares[sta]);
-            est_acc[sta].push(net.rate_estimate(sta) as f64 / 1e6);
-            let b = app.tcp(flows[sta]).bytes_between(cfg.warmup, cfg.duration);
-            thr_acc[sta].push(b as f64 * 8.0 / cfg.window().as_secs_f64() / 1e6);
-        }
-    }
+        let est: Vec<f64> = (0..3)
+            .map(|sta| net.rate_estimate(sta) as f64 / 1e6)
+            .collect();
+        let thr: Vec<f64> = flows
+            .iter()
+            .map(|&flow| {
+                let b = app.tcp(flow).bytes_between(cfg.warmup, cfg.duration);
+                b as f64 * 8.0 / cfg.window().as_secs_f64() / 1e6
+            })
+            .collect();
+        (shares_of(&window), est, thr)
+    });
+    let col = |pick: fn(&RateRep) -> &Vec<f64>, sta: usize| {
+        mean(&reps.iter().map(|r| pick(r)[sta]).collect::<Vec<_>>())
+    };
     Row {
         scheme: scheme.label().to_string(),
-        shares: shares_acc.iter().map(|v| mean(v)).collect(),
-        estimates_mbps: est_acc.iter().map(|v| mean(v)).collect(),
-        goodput_mbps: thr_acc.iter().map(|v| mean(v)).collect(),
+        shares: (0..3).map(|sta| col(|r| &r.0, sta)).collect(),
+        estimates_mbps: (0..3).map(|sta| col(|r| &r.1, sta)).collect(),
+        goodput_mbps: (0..3).map(|sta| col(|r| &r.2, sta)).collect(),
     }
 }
 

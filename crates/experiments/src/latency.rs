@@ -6,7 +6,7 @@ use wifiq_mac::{SchemeKind, WifiNetwork};
 use wifiq_stats::{Cdf, Summary};
 use wifiq_traffic::TrafficApp;
 
-use crate::runner::RunCfg;
+use crate::runner::{run_seeds, RunCfg};
 use crate::scenario::{self, FAST1, SLOW};
 
 /// Latency distribution for one station class under one scheme.
@@ -42,35 +42,34 @@ pub struct SchemeLatency {
 /// under one scheme; `bidir` adds simultaneous uploads (the online
 /// appendix variant mentioned in §4.1.1).
 pub fn run_scheme(scheme: SchemeKind, cfg: &RunCfg, bidir: bool) -> SchemeLatency {
-    let mut fast_ms = Vec::new();
-    let mut slow_ms = Vec::new();
-    for seed in cfg.seeds() {
-        let net_cfg = scenario::testbed3(scheme, seed);
-        let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
-        let mut app = TrafficApp::new();
-        let ping_fast = app.add_ping(FAST1, wifiq_sim::Nanos::ZERO);
-        let ping_slow = app.add_ping(SLOW, wifiq_sim::Nanos::ZERO);
-        for sta in 0..3 {
-            app.add_tcp_down(sta, wifiq_sim::Nanos::ZERO);
-            if bidir {
-                app.add_tcp_up(sta, wifiq_sim::Nanos::ZERO);
+    let config = if bidir { "bidir" } else { "down" };
+    // (fast RTTs, slow RTTs) in ms, one tuple per repetition.
+    let reps: Vec<(Vec<f64>, Vec<f64>)> =
+        run_seeds("latency", scheme.slug(), config, cfg, |seed| {
+            let net_cfg = scenario::testbed3(scheme, seed);
+            let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
+            let mut app = TrafficApp::new();
+            let ping_fast = app.add_ping(FAST1, wifiq_sim::Nanos::ZERO);
+            let ping_slow = app.add_ping(SLOW, wifiq_sim::Nanos::ZERO);
+            for sta in 0..3 {
+                app.add_tcp_down(sta, wifiq_sim::Nanos::ZERO);
+                if bidir {
+                    app.add_tcp_up(sta, wifiq_sim::Nanos::ZERO);
+                }
             }
-        }
-        app.install(&mut net);
-        net.run(cfg.duration, &mut app);
-        fast_ms.extend(
-            app.ping(ping_fast)
-                .rtts_after(cfg.warmup)
-                .iter()
-                .map(|r| r.as_millis_f64()),
-        );
-        slow_ms.extend(
-            app.ping(ping_slow)
-                .rtts_after(cfg.warmup)
-                .iter()
-                .map(|r| r.as_millis_f64()),
-        );
-    }
+            app.install(&mut net);
+            net.run(cfg.duration, &mut app);
+            let rtts = |flow| -> Vec<f64> {
+                app.ping(flow)
+                    .rtts_after(cfg.warmup)
+                    .iter()
+                    .map(|r| r.as_millis_f64())
+                    .collect()
+            };
+            (rtts(ping_fast), rtts(ping_slow))
+        });
+    let fast_ms: Vec<f64> = reps.iter().flat_map(|r| r.0.iter().copied()).collect();
+    let slow_ms: Vec<f64> = reps.iter().flat_map(|r| r.1.iter().copied()).collect();
     SchemeLatency {
         scheme: scheme.label().to_string(),
         fast: LatencyDist::of(&fast_ms),

@@ -1,8 +1,10 @@
 //! Shared experiment-running machinery: repetition/warm-up configuration,
+//! the harness bridge that fans repetitions across worker threads,
 //! meter arithmetic, and the `WIFIQ_METRICS` telemetry gate.
 
 use std::path::PathBuf;
 
+use wifiq_harness::{CellDef, Harness, JsonCodec, SweepMeta};
 use wifiq_mac::StationMeter;
 use wifiq_sim::Nanos;
 use wifiq_telemetry::Telemetry;
@@ -16,7 +18,10 @@ use wifiq_telemetry::Telemetry;
 ///
 /// - `WIFIQ_REPS` — repetitions (seed sweep),
 /// - `WIFIQ_SECS` — seconds of simulated time per repetition,
-/// - `WIFIQ_QUICK=1` — 1 × 10 s smoke settings.
+/// - `WIFIQ_QUICK=1` — 1 × 10 s smoke settings,
+/// - `WIFIQ_JOBS` — worker threads for the repetition sweep (default:
+///   available parallelism),
+/// - `WIFIQ_CACHE=0` — disable the content-addressed result cache.
 #[derive(Debug, Clone, Copy)]
 pub struct RunCfg {
     /// Number of repetitions; repetition `i` uses seed `base_seed + i`.
@@ -27,20 +32,31 @@ pub struct RunCfg {
     pub warmup: Nanos,
     /// Seed of the first repetition.
     pub base_seed: u64,
+    /// Worker threads the repetition sweep fans out over.
+    pub jobs: usize,
+    /// Whether completed repetitions are cached/journalled under
+    /// `results/` for re-run and resume.
+    pub cache: bool,
 }
 
 impl RunCfg {
-    /// Default: 5 repetitions × 30 s with a 5 s warm-up.
+    /// Default: 5 repetitions × 30 s with a 5 s warm-up, single-threaded,
+    /// cache off — library and test callers get the exact historical
+    /// behaviour unless they opt in.
     pub fn new() -> RunCfg {
         RunCfg {
             reps: 5,
             duration: Nanos::from_secs(30),
             warmup: Nanos::from_secs(5),
             base_seed: 1,
+            jobs: 1,
+            cache: false,
         }
     }
 
-    /// Reads overrides from the environment (see type docs).
+    /// Reads overrides from the environment (see type docs). Experiment
+    /// binaries go through here, so they additionally pick up the harness
+    /// knobs: parallel repetitions and the result cache.
     pub fn from_env() -> RunCfg {
         let mut cfg = RunCfg::new();
         if std::env::var("WIFIQ_QUICK").is_ok_and(|v| v == "1") {
@@ -50,23 +66,21 @@ impl RunCfg {
         }
         if let Ok(r) = std::env::var("WIFIQ_REPS") {
             match r.parse::<u64>() {
-                Ok(r) => cfg.reps = r.max(1),
-                Err(_) => {
-                    eprintln!("warning: ignoring WIFIQ_REPS={r:?}: not a non-negative integer")
-                }
+                Ok(r) if r >= 1 => cfg.reps = r,
+                _ => eprintln!("warning: ignoring WIFIQ_REPS={r:?}: not a positive integer"),
             }
         }
         if let Ok(s) = std::env::var("WIFIQ_SECS") {
             match s.parse::<u64>() {
-                Ok(s) => {
-                    cfg.duration = Nanos::from_secs(s.max(2));
+                Ok(s) if s >= 2 => {
+                    cfg.duration = Nanos::from_secs(s);
                     cfg.warmup = Nanos::from_secs((s / 6).max(1));
                 }
-                Err(_) => {
-                    eprintln!("warning: ignoring WIFIQ_SECS={s:?}: not a non-negative integer")
-                }
+                _ => eprintln!("warning: ignoring WIFIQ_SECS={s:?}: not an integer ≥ 2"),
             }
         }
+        cfg.jobs = wifiq_harness::jobs_from_env();
+        cfg.cache = wifiq_harness::cache_from_env();
         cfg
     }
 
@@ -87,6 +101,59 @@ impl Default for RunCfg {
     }
 }
 
+/// Runs one experiment cell's repetition sweep through the orchestration
+/// harness: `f(seed)` once per repetition, fanned across `cfg.jobs` worker
+/// threads, with completed repetitions cached and journalled under
+/// `results/` when `cfg.cache` is on. Results come back in seed order
+/// regardless of completion order, so parallel runs produce byte-identical
+/// artifacts; failed repetitions (a panicking simulation is caught and
+/// retried once) are reported on stderr and dropped from the returned set.
+///
+/// `experiment` and `cell`/`config` label the cell for the cache key and
+/// journal — everything that changes `f`'s output must be part of them.
+pub fn run_seeds<T, F>(experiment: &str, cell: &str, config: &str, cfg: &RunCfg, f: F) -> Vec<T>
+where
+    T: JsonCodec + Send,
+    F: Fn(u64) -> T + Sync,
+{
+    // Metrics export changes what a repetition does on disk, so a cached
+    // non-metrics result must not satisfy a metrics run (or vice versa).
+    let salt = format!("metrics={}", u8::from(metrics_enabled()));
+    let sweep =
+        SweepMeta::new(experiment, cfg.duration.as_nanos(), cfg.warmup.as_nanos()).with_salt(salt);
+    let cells: Vec<CellDef> = cfg
+        .seeds()
+        .map(|seed| CellDef::new(cell, config, seed))
+        .collect();
+    let tele = metrics_telemetry();
+    let outcome = Harness::from_env()
+        .with_jobs(cfg.jobs)
+        .with_cache(cfg.cache)
+        .with_telemetry(tele.clone())
+        .run(&sweep, cells, |c: &CellDef| Ok(f(c.seed)));
+    let summary = outcome.summary();
+    if summary.failed > 0 {
+        eprintln!(
+            "warning: {experiment}/{cell}: {} of {} repetitions failed",
+            summary.failed, summary.total
+        );
+    }
+    if tele.is_enabled() {
+        let name = sanitize_name(&format!("harness_{experiment}_{cell}_{config}"));
+        export_metrics(&tele, &name, cfg.base_seed);
+    }
+    outcome.into_ok_results()
+}
+
+/// Collapses a cell path into a filesystem-safe snapshot name.
+fn sanitize_name(raw: &str) -> String {
+    raw.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect::<String>()
+        .trim_matches('_')
+        .to_string()
+}
+
 /// Whether metrics collection is enabled (`WIFIQ_METRICS=1`).
 pub fn metrics_enabled() -> bool {
     std::env::var("WIFIQ_METRICS").is_ok_and(|v| v == "1")
@@ -102,9 +169,10 @@ pub fn metrics_telemetry() -> Telemetry {
     }
 }
 
-/// Where metric snapshots are written.
+/// Where metric snapshots are written: `metrics/` under the results
+/// directory (so `WIFIQ_RESULTS_DIR` relocates snapshots too).
 pub fn metrics_dir() -> PathBuf {
-    PathBuf::from("results/metrics")
+    wifiq_harness::results_dir().join("metrics")
 }
 
 /// Exports one repetition's snapshot as `results/metrics/<name>.json` and

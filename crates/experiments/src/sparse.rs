@@ -8,7 +8,7 @@ use wifiq_sim::Nanos;
 use wifiq_stats::{Cdf, Summary};
 use wifiq_traffic::TrafficApp;
 
-use crate::runner::RunCfg;
+use crate::runner::{run_seeds, RunCfg};
 use crate::scenario::{self, EXTRA};
 use crate::udp_sat::SAT_RATE_BPS;
 
@@ -46,8 +46,10 @@ pub struct SparseCell {
 
 /// Runs one cell of the Figure 8 matrix under the airtime-fair scheme.
 pub fn run_cell(bulk: BulkKind, enabled: bool, cfg: &RunCfg) -> SparseCell {
-    let mut rtts_ms = Vec::new();
-    for seed in cfg.seeds() {
+    let config = if enabled { "on" } else { "off" };
+    let cell = if bulk == BulkKind::Udp { "udp" } else { "tcp" };
+    // Ping RTTs in ms, one vector per repetition.
+    let reps: Vec<Vec<f64>> = run_seeds("sparse", cell, config, cfg, |seed| {
         let mut net_cfg = scenario::testbed4(SchemeKind::AirtimeFair, seed);
         if !enabled {
             net_cfg = scenario::without_sparse(net_cfg);
@@ -67,13 +69,13 @@ pub fn run_cell(bulk: BulkKind, enabled: bool, cfg: &RunCfg) -> SparseCell {
         }
         app.install(&mut net);
         net.run(cfg.duration, &mut app);
-        rtts_ms.extend(
-            app.ping(ping)
-                .rtts_after(cfg.warmup)
-                .iter()
-                .map(|r| r.as_millis_f64()),
-        );
-    }
+        app.ping(ping)
+            .rtts_after(cfg.warmup)
+            .iter()
+            .map(|r| r.as_millis_f64())
+            .collect()
+    });
+    let rtts_ms: Vec<f64> = reps.into_iter().flatten().collect();
     SparseCell {
         bulk: bulk.label().to_string(),
         enabled,

@@ -7,7 +7,9 @@ use wifiq_sim::Nanos;
 use wifiq_stats::jain_index;
 use wifiq_traffic::TrafficApp;
 
-use crate::runner::{export_metrics, mean, meter_delta, metrics_telemetry, shares_of, RunCfg};
+use crate::runner::{
+    export_metrics, mean, meter_delta, metrics_telemetry, run_seeds, shares_of, RunCfg,
+};
 use crate::scenario;
 
 /// TCP traffic pattern.
@@ -70,12 +72,9 @@ impl TcpRunResult {
 /// Runs `pattern` under `scheme` on the 3-station testbed.
 pub fn run_scheme(scheme: SchemeKind, pattern: TcpPattern, cfg: &RunCfg) -> TcpRunResult {
     let n = 3;
-    let mut down_acc = vec![Vec::new(); n];
-    let mut up_acc = vec![Vec::new(); n];
-    let mut share_acc = vec![Vec::new(); n];
-    let mut jain_acc = Vec::new();
-
-    for seed in cfg.seeds() {
+    // (down bps, up bps, shares, jain) per repetition.
+    type TcpRep = (Vec<f64>, Vec<f64>, Vec<f64>, f64);
+    let reps: Vec<TcpRep> = run_seeds("tcp_fair", scheme.slug(), pattern.slug(), cfg, |seed| {
         let net_cfg = scenario::testbed3(scheme, seed);
         let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
         let tele = metrics_telemetry();
@@ -102,37 +101,39 @@ pub fn run_scheme(scheme: SchemeKind, pattern: TcpPattern, cfg: &RunCfg) -> TcpR
             .collect();
 
         let secs = cfg.window().as_secs_f64();
-        for sta in 0..n {
-            let b = app.tcp(downs[sta]).bytes_between(cfg.warmup, cfg.duration);
-            down_acc[sta].push(b as f64 * 8.0 / secs);
-            if let Some(up) = ups.get(sta) {
-                let b = app.tcp(*up).bytes_between(cfg.warmup, cfg.duration);
-                up_acc[sta].push(b as f64 * 8.0 / secs);
-            }
-        }
+        let down: Vec<f64> = downs
+            .iter()
+            .map(|&d| app.tcp(d).bytes_between(cfg.warmup, cfg.duration) as f64 * 8.0 / secs)
+            .collect();
+        let up: Vec<f64> = ups
+            .iter()
+            .map(|&u| app.tcp(u).bytes_between(cfg.warmup, cfg.duration) as f64 * 8.0 / secs)
+            .collect();
         let shares = shares_of(&window);
-        for sta in 0..n {
-            share_acc[sta].push(shares[sta]);
-        }
-        jain_acc.push(jain_index(&shares));
+        let jain = jain_index(&shares);
         export_metrics(
             &tele,
             &format!("tcp_{}_{}_seed{}", pattern.slug(), scheme.slug(), seed),
             seed,
         );
-    }
+        (down, up, shares, jain)
+    });
 
+    let per_sta = |pick: fn(&TcpRep) -> &Vec<f64>, sta: usize| {
+        mean(
+            &reps
+                .iter()
+                .filter_map(|r| pick(r).get(sta).copied())
+                .collect::<Vec<_>>(),
+        )
+    };
     TcpRunResult {
         scheme: scheme.label().to_string(),
         pattern: pattern.label().to_string(),
-        down_bps: down_acc.iter().map(|v| mean(v)).collect(),
-        up_bps: if up_acc[0].is_empty() {
-            vec![0.0; n]
-        } else {
-            up_acc.iter().map(|v| mean(v)).collect()
-        },
-        airtime_shares: share_acc.iter().map(|v| mean(v)).collect(),
-        jain: crate::runner::median(&jain_acc),
+        down_bps: (0..n).map(|sta| per_sta(|r| &r.0, sta)).collect(),
+        up_bps: (0..n).map(|sta| per_sta(|r| &r.1, sta)).collect(),
+        airtime_shares: (0..n).map(|sta| per_sta(|r| &r.2, sta)).collect(),
+        jain: crate::runner::median(&reps.iter().map(|r| r.3).collect::<Vec<_>>()),
     }
 }
 

@@ -8,7 +8,7 @@ use wifiq_sim::Nanos;
 use wifiq_stats::{jain_index, Cdf, Summary};
 use wifiq_traffic::TrafficApp;
 
-use crate::runner::{mean, meter_delta, shares_of, RunCfg};
+use crate::runner::{mean, meter_delta, run_seeds, shares_of, RunCfg};
 use crate::scenario::{self, PINGONLY30, SLOW30};
 
 /// The schemes the third-party testbed ran (no FIFO case).
@@ -45,15 +45,10 @@ pub struct ThirtyResult {
 
 /// Runs one scheme of the 30-station experiment.
 pub fn run_scheme(scheme: SchemeKind, cfg: &RunCfg) -> ThirtyResult {
-    let mut slow_share = Vec::new();
-    let mut fast_share = Vec::new();
-    let mut jain = Vec::new();
-    let mut total = Vec::new();
-    let mut slow_ms = Vec::new();
-    let mut fast_ms = Vec::new();
-    let mut sparse_ms = Vec::new();
-
-    for seed in cfg.seeds() {
+    // (slow share, fast share mean, jain, goodput, slow/fast/sparse RTTs)
+    // per repetition.
+    type ThirtyRep = (f64, f64, f64, f64, Vec<f64>, Vec<f64>, Vec<f64>);
+    let reps: Vec<ThirtyRep> = run_seeds("thirty", scheme.slug(), "", cfg, |seed| {
         let net_cfg = scenario::testbed30(scheme, seed);
         let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
         let mut app = TrafficApp::new();
@@ -86,43 +81,38 @@ pub fn run_scheme(scheme: SchemeKind, cfg: &RunCfg) -> ThirtyResult {
             .map(|(_, m)| *m)
             .collect();
         let shares = shares_of(&active);
-        slow_share.push(shares[SLOW30]);
-        fast_share.push(mean(&shares[1..]));
-        jain.push(jain_index(&shares));
-
         let secs = cfg.window().as_secs_f64();
         let goodput: f64 = tcps
             .iter()
             .map(|t| app.tcp(*t).bytes_between(cfg.warmup, cfg.duration) as f64 * 8.0 / secs)
             .sum();
-        total.push(goodput);
+        let rtts = |flow| -> Vec<f64> {
+            app.ping(flow)
+                .rtts_after(cfg.warmup)
+                .iter()
+                .map(|r| r.as_millis_f64())
+                .collect()
+        };
+        (
+            shares[SLOW30],
+            mean(&shares[1..]),
+            jain_index(&shares),
+            goodput,
+            rtts(ping_slow),
+            rtts(ping_fast),
+            rtts(ping_sparse),
+        )
+    });
 
-        slow_ms.extend(
-            app.ping(ping_slow)
-                .rtts_after(cfg.warmup)
-                .iter()
-                .map(|r| r.as_millis_f64()),
-        );
-        fast_ms.extend(
-            app.ping(ping_fast)
-                .rtts_after(cfg.warmup)
-                .iter()
-                .map(|r| r.as_millis_f64()),
-        );
-        sparse_ms.extend(
-            app.ping(ping_sparse)
-                .rtts_after(cfg.warmup)
-                .iter()
-                .map(|r| r.as_millis_f64()),
-        );
-    }
-
+    let slow_ms: Vec<f64> = reps.iter().flat_map(|r| r.4.iter().copied()).collect();
+    let fast_ms: Vec<f64> = reps.iter().flat_map(|r| r.5.iter().copied()).collect();
+    let sparse_ms: Vec<f64> = reps.iter().flat_map(|r| r.6.iter().copied()).collect();
     ThirtyResult {
         scheme: scheme.label().to_string(),
-        slow_share: mean(&slow_share),
-        fast_share_mean: mean(&fast_share),
-        jain: crate::runner::median(&jain),
-        total_goodput_bps: mean(&total),
+        slow_share: mean(&reps.iter().map(|r| r.0).collect::<Vec<_>>()),
+        fast_share_mean: mean(&reps.iter().map(|r| r.1).collect::<Vec<_>>()),
+        jain: crate::runner::median(&reps.iter().map(|r| r.2).collect::<Vec<_>>()),
+        total_goodput_bps: mean(&reps.iter().map(|r| r.3).collect::<Vec<_>>()),
         slow_latency: Summary::of(&slow_ms),
         fast_latency: Summary::of(&fast_ms),
         sparse_latency: Summary::of(&sparse_ms),

@@ -6,7 +6,9 @@ use wifiq_mac::{SchemeKind, StationMeter, WifiNetwork};
 use wifiq_sim::Nanos;
 use wifiq_traffic::TrafficApp;
 
-use crate::runner::{export_metrics, mean, meter_delta, metrics_telemetry, shares_of, RunCfg};
+use crate::runner::{
+    export_metrics, mean, meter_delta, metrics_telemetry, run_seeds, shares_of, RunCfg,
+};
 use crate::scenario;
 
 /// Offered UDP load per station (well above any station's capacity).
@@ -46,58 +48,57 @@ impl UdpSatResult {
 /// under `scheme`.
 pub fn run_scheme(scheme: SchemeKind, cfg: &RunCfg) -> UdpSatResult {
     let n = 3;
-    let mut share_acc = vec![Vec::new(); n];
-    let mut aggr_acc = vec![Vec::new(); n];
-    let mut thr_acc = vec![Vec::new(); n];
-    let mut rep_shares = Vec::new();
+    // (shares, aggregation, goodput) per station, one tuple per repetition.
+    let reps: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> =
+        run_seeds("udp_sat", scheme.slug(), "", cfg, |seed| {
+            let net_cfg = scenario::testbed3(scheme, seed);
+            let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
+            let tele = metrics_telemetry();
+            net.set_telemetry(tele.clone());
+            let mut app = TrafficApp::new();
+            let flows: Vec<_> = (0..n)
+                .map(|sta| app.add_udp_down(sta, SAT_RATE_BPS, Nanos::ZERO))
+                .collect();
+            app.install(&mut net);
 
-    for seed in cfg.seeds() {
-        let net_cfg = scenario::testbed3(scheme, seed);
-        let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
-        let tele = metrics_telemetry();
-        net.set_telemetry(tele.clone());
-        let mut app = TrafficApp::new();
-        let flows: Vec<_> = (0..n)
-            .map(|sta| app.add_udp_down(sta, SAT_RATE_BPS, Nanos::ZERO))
-            .collect();
-        app.install(&mut net);
+            net.run(cfg.warmup, &mut app);
+            let before: Vec<StationMeter> = net.meter().all().to_vec();
+            net.run(cfg.duration, &mut app);
+            let window: Vec<StationMeter> = net
+                .meter()
+                .all()
+                .iter()
+                .zip(&before)
+                .map(|(l, e)| meter_delta(l, e))
+                .collect();
 
-        net.run(cfg.warmup, &mut app);
-        let before: Vec<StationMeter> = net.meter().all().to_vec();
-        net.run(cfg.duration, &mut app);
-        let window: Vec<StationMeter> = net
-            .meter()
-            .all()
-            .iter()
-            .zip(&before)
-            .map(|(l, e)| meter_delta(l, e))
-            .collect();
-
-        let shares = shares_of(&window);
-        for sta in 0..n {
-            share_acc[sta].push(shares[sta]);
-            aggr_acc[sta].push(window[sta].mean_aggregation());
-            let bytes = app.udp(flows[sta]).bytes_between(cfg.warmup, cfg.duration);
-            thr_acc[sta].push(bytes as f64 * 8.0 / cfg.window().as_secs_f64());
-        }
-        rep_shares.push(shares);
-        export_metrics(
-            &tele,
-            &format!("udp_sat_{}_seed{}", scheme.slug(), seed),
-            seed,
-        );
-    }
+            let shares = shares_of(&window);
+            let aggr: Vec<f64> = window.iter().map(StationMeter::mean_aggregation).collect();
+            let thr: Vec<f64> = flows
+                .iter()
+                .map(|&flow| {
+                    let bytes = app.udp(flow).bytes_between(cfg.warmup, cfg.duration);
+                    bytes as f64 * 8.0 / cfg.window().as_secs_f64()
+                })
+                .collect();
+            export_metrics(
+                &tele,
+                &format!("udp_sat_{}_seed{}", scheme.slug(), seed),
+                seed,
+            );
+            (shares, aggr, thr)
+        });
 
     UdpSatResult {
         scheme: scheme.label().to_string(),
         stations: (0..n)
             .map(|sta| UdpStation {
-                airtime_share: mean(&share_acc[sta]),
-                aggregation: mean(&aggr_acc[sta]),
-                goodput_bps: mean(&thr_acc[sta]),
+                airtime_share: mean(&reps.iter().map(|r| r.0[sta]).collect::<Vec<_>>()),
+                aggregation: mean(&reps.iter().map(|r| r.1[sta]).collect::<Vec<_>>()),
+                goodput_bps: mean(&reps.iter().map(|r| r.2[sta]).collect::<Vec<_>>()),
             })
             .collect(),
-        rep_shares,
+        rep_shares: reps.into_iter().map(|r| r.0).collect(),
     }
 }
 

@@ -9,7 +9,7 @@ use wifiq_sim::Nanos;
 use wifiq_stats::VoipMetrics;
 use wifiq_traffic::TrafficApp;
 
-use crate::runner::{mean, RunCfg};
+use crate::runner::{mean, run_seeds, RunCfg};
 use crate::scenario::{self, SLOW};
 
 /// One Table 2 cell.
@@ -34,12 +34,9 @@ pub struct VoipCell {
 /// Runs one Table 2 cell: VoIP (+bulk) to the slow station, bulk TCP to
 /// the three fast stations, under `scheme`.
 pub fn run_cell(scheme: SchemeKind, ac: AccessCategory, owd: Nanos, cfg: &RunCfg) -> VoipCell {
-    let mut mos_acc = Vec::new();
-    let mut thr_acc = Vec::new();
-    let mut delay_acc = Vec::new();
-    let mut loss_acc = Vec::new();
-
-    for seed in cfg.seeds() {
+    let config = format!("{}_{}ms", ac.label(), owd.as_millis());
+    // (mos, throughput, delay, loss) per repetition.
+    let reps: Vec<(f64, f64, f64, f64)> = run_seeds("voip", scheme.slug(), &config, cfg, |seed| {
         let net_cfg = scenario::with_wire_delay(scenario::testbed4(scheme, seed), owd);
         let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
         let mut app = TrafficApp::new();
@@ -58,26 +55,23 @@ pub fn run_cell(scheme: SchemeKind, ac: AccessCategory, owd: Nanos, cfg: &RunCfg
         // Frames sent within the window (20 ms spacing).
         let sent = (cfg.window().as_millis() / 20) as usize;
         let metrics = VoipMetrics::from_delays(&delays, sent.max(delays.len()));
-        mos_acc.push(metrics.mos());
-        delay_acc.push(metrics.mean_delay_ms);
-        loss_acc.push(metrics.loss);
 
         let secs = cfg.window().as_secs_f64();
         let thr: f64 = tcps
             .iter()
             .map(|t| app.tcp(*t).bytes_between(cfg.warmup, cfg.duration) as f64 * 8.0 / secs)
             .sum();
-        thr_acc.push(thr);
-    }
+        (metrics.mos(), thr, metrics.mean_delay_ms, metrics.loss)
+    });
 
     VoipCell {
         scheme: scheme.label().to_string(),
         qos: ac.label().to_string(),
         owd_ms: owd.as_millis(),
-        mos: mean(&mos_acc),
-        throughput_bps: mean(&thr_acc),
-        delay_ms: mean(&delay_acc),
-        loss: mean(&loss_acc),
+        mos: mean(&reps.iter().map(|r| r.0).collect::<Vec<_>>()),
+        throughput_bps: mean(&reps.iter().map(|r| r.1).collect::<Vec<_>>()),
+        delay_ms: mean(&reps.iter().map(|r| r.2).collect::<Vec<_>>()),
+        loss: mean(&reps.iter().map(|r| r.3).collect::<Vec<_>>()),
     }
 }
 

@@ -6,7 +6,7 @@ use wifiq_mac::{SchemeKind, WifiNetwork};
 use wifiq_sim::Nanos;
 use wifiq_traffic::{TrafficApp, WebPage};
 
-use crate::runner::{mean, RunCfg};
+use crate::runner::{mean, run_seeds, RunCfg};
 use crate::scenario::{self, FAST1, FAST2, SLOW};
 
 /// Which station does the fetching (the paper's two scenarios, §4.2.2).
@@ -62,9 +62,17 @@ const PLT_CAP: Nanos = Nanos::from_secs(90);
 
 /// Runs one cell: repeated page loads of `page` under `scheme`.
 pub fn run_cell(scheme: SchemeKind, page: &WebPage, fetcher: Fetcher, cfg: &RunCfg) -> WebCell {
-    let mut plts = Vec::new();
-    let mut completed = 0;
-    for seed in cfg.seeds() {
+    let config = format!(
+        "{}_{}",
+        page_label(page),
+        if fetcher == Fetcher::Fast {
+            "fast"
+        } else {
+            "slow"
+        }
+    );
+    // (PLT seconds, completed-within-cap) per repetition.
+    let reps: Vec<(f64, bool)> = run_seeds("web", scheme.slug(), &config, cfg, |seed| {
         let net_cfg = scenario::testbed3(scheme, seed);
         let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
         let mut app = TrafficApp::new();
@@ -90,19 +98,16 @@ pub fn run_cell(scheme: SchemeKind, page: &WebPage, fetcher: Fetcher, cfg: &RunC
             net.run(t, &mut app);
         }
         match app.web(web).plt {
-            Some(plt) => {
-                plts.push(plt.as_secs_f64());
-                completed += 1;
-            }
-            None => plts.push(PLT_CAP.as_secs_f64()),
+            Some(plt) => (plt.as_secs_f64(), true),
+            None => (PLT_CAP.as_secs_f64(), false),
         }
-    }
+    });
     WebCell {
         scheme: scheme.label().to_string(),
         page: page_label(page).to_string(),
         fetcher: fetcher.label().to_string(),
-        plt_secs: mean(&plts),
-        completed,
+        plt_secs: mean(&reps.iter().map(|r| r.0).collect::<Vec<_>>()),
+        completed: reps.iter().filter(|r| r.1).count(),
         reps: cfg.reps as usize,
     }
 }

@@ -17,6 +17,7 @@ fn tiny() -> RunCfg {
         duration: Nanos::from_secs(3),
         warmup: Nanos::from_secs(1),
         base_seed: 42,
+        ..RunCfg::new()
     }
 }
 

@@ -1,0 +1,226 @@
+//! Round-trippable JSON encoding for cell outputs.
+//!
+//! The workspace's vendored `serde` only serialises (it lowers straight to
+//! [`Json`] with no generic deserialiser), so the result cache defines its
+//! own symmetric codec: anything a cell returns must implement
+//! [`JsonCodec`] so it can be written to `results/cache/` and read back on
+//! a cache hit. Implementations exist for the primitive types, `String`,
+//! `Vec<T>`, `Option<T>`, and tuples up to eight elements — enough to
+//! express every experiment's per-repetition payload as plain data with no
+//! per-experiment boilerplate.
+
+use serde::Json;
+
+/// Symmetric JSON encode/decode for cacheable cell outputs.
+///
+/// `decode(&encode(&v))` must reproduce `v` exactly; the JSON printer
+/// emits shortest-round-trip floats, so `f64` payloads survive the disk
+/// round trip bit-for-bit (non-finite values do not and fail to decode).
+pub trait JsonCodec: Sized {
+    /// Encodes `self` as a JSON value.
+    fn encode(&self) -> Json;
+    /// Decodes a value previously produced by [`JsonCodec::encode`].
+    /// `None` on any shape or type mismatch.
+    fn decode(json: &Json) -> Option<Self>;
+}
+
+impl JsonCodec for f64 {
+    fn encode(&self) -> Json {
+        Json::F64(*self)
+    }
+    fn decode(json: &Json) -> Option<Self> {
+        json.as_f64()
+    }
+}
+
+impl JsonCodec for u64 {
+    fn encode(&self) -> Json {
+        Json::U64(*self)
+    }
+    fn decode(json: &Json) -> Option<Self> {
+        json.as_u64()
+    }
+}
+
+impl JsonCodec for u32 {
+    fn encode(&self) -> Json {
+        Json::U64(u64::from(*self))
+    }
+    fn decode(json: &Json) -> Option<Self> {
+        json.as_u64().and_then(|v| u32::try_from(v).ok())
+    }
+}
+
+impl JsonCodec for usize {
+    fn encode(&self) -> Json {
+        Json::U64(*self as u64)
+    }
+    fn decode(json: &Json) -> Option<Self> {
+        json.as_u64().and_then(|v| usize::try_from(v).ok())
+    }
+}
+
+impl JsonCodec for i64 {
+    fn encode(&self) -> Json {
+        if *self >= 0 {
+            Json::U64(*self as u64)
+        } else {
+            Json::I64(*self)
+        }
+    }
+    fn decode(json: &Json) -> Option<Self> {
+        match *json {
+            Json::U64(v) => i64::try_from(v).ok(),
+            Json::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl JsonCodec for bool {
+    fn encode(&self) -> Json {
+        Json::Bool(*self)
+    }
+    fn decode(json: &Json) -> Option<Self> {
+        match json {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl JsonCodec for String {
+    fn encode(&self) -> Json {
+        Json::Str(self.clone())
+    }
+    fn decode(json: &Json) -> Option<Self> {
+        match json {
+            Json::Str(s) => Some(s.clone()),
+            _ => None,
+        }
+    }
+}
+
+impl<T: JsonCodec> JsonCodec for Vec<T> {
+    fn encode(&self) -> Json {
+        Json::Arr(self.iter().map(JsonCodec::encode).collect())
+    }
+    fn decode(json: &Json) -> Option<Self> {
+        match json {
+            Json::Arr(items) => items.iter().map(T::decode).collect(),
+            _ => None,
+        }
+    }
+}
+
+impl<T: JsonCodec> JsonCodec for Option<T> {
+    fn encode(&self) -> Json {
+        match self {
+            Some(v) => Json::Arr(vec![v.encode()]),
+            None => Json::Null,
+        }
+    }
+    fn decode(json: &Json) -> Option<Self> {
+        match json {
+            Json::Null => Some(None),
+            Json::Arr(items) if items.len() == 1 => T::decode(&items[0]).map(Some),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! tuple_codec {
+    ($($t:ident => $i:tt),+) => {
+        impl<$($t: JsonCodec),+> JsonCodec for ($($t,)+) {
+            fn encode(&self) -> Json {
+                Json::Arr(vec![$(self.$i.encode()),+])
+            }
+            fn decode(json: &Json) -> Option<Self> {
+                let Json::Arr(items) = json else { return None };
+                let arity = 0usize $(+ { let _ = stringify!($t); 1 })+;
+                if items.len() != arity {
+                    return None;
+                }
+                Some(($($t::decode(&items[$i])?,)+))
+            }
+        }
+    };
+}
+
+tuple_codec!(A => 0);
+tuple_codec!(A => 0, B => 1);
+tuple_codec!(A => 0, B => 1, C => 2);
+tuple_codec!(A => 0, B => 1, C => 2, D => 3);
+tuple_codec!(A => 0, B => 1, C => 2, D => 3, E => 4);
+tuple_codec!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+tuple_codec!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6);
+tuple_codec!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: JsonCodec + PartialEq + std::fmt::Debug>(v: T) {
+        // Through the value model…
+        assert_eq!(T::decode(&v.encode()), Some(v));
+    }
+
+    fn round_trip_text<T: JsonCodec + PartialEq + std::fmt::Debug>(v: T) {
+        // …and through the actual on-disk text form.
+        let text = v.encode().compact();
+        let parsed = serde_json::from_str(&text).expect("reparse");
+        assert_eq!(T::decode(&parsed), Some(v));
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0.125f64);
+        round_trip(3.0f64);
+        round_trip(42u64);
+        round_trip(-7i64);
+        round_trip(true);
+        round_trip(String::from("fq-mac"));
+        round_trip(Some(1.5f64));
+        round_trip(None::<f64>);
+    }
+
+    #[test]
+    fn float_text_round_trip_is_exact() {
+        for v in [
+            0.1f64,
+            1.0 / 3.0,
+            144.4e6,
+            2f64.powi(-40),
+            9_007_199_254_740_993.5,
+        ] {
+            round_trip_text(v);
+        }
+        // Integral floats print as "3.0" and must come back as floats.
+        round_trip_text(vec![3.0f64, -2.0, 0.0]);
+    }
+
+    #[test]
+    fn containers_and_tuples() {
+        round_trip_text((vec![1.0f64, 2.5], vec![0.25f64]));
+        round_trip_text((1.0f64, 2u64, true, String::from("x")));
+        round_trip_text((
+            1.0f64,
+            2.0f64,
+            3.0f64,
+            4.0f64,
+            vec![5.0f64],
+            vec![6.0f64],
+            vec![7.0f64],
+        ));
+    }
+
+    #[test]
+    fn arity_and_type_mismatches_fail() {
+        let two = (1.0f64, 2.0f64).encode();
+        assert_eq!(<(f64, f64, f64)>::decode(&two), None);
+        assert_eq!(<(f64,)>::decode(&two), None);
+        assert_eq!(bool::decode(&Json::U64(1)), None);
+        assert_eq!(u64::decode(&Json::Str("3".into())), None);
+        assert_eq!(f64::decode(&Json::Null), None);
+    }
+}

@@ -36,7 +36,6 @@ pub mod hist;
 pub mod registry;
 
 use std::cell::RefCell;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
 
@@ -188,11 +187,26 @@ impl Telemetry {
         std::fs::create_dir_all(dir)?;
         let json_path = dir.join(format!("{name}.json"));
         let csv_path = dir.join(format!("{name}.csv"));
-        let mut json = std::fs::File::create(&json_path)?;
-        json.write_all(self.snapshot(name, seed).pretty().as_bytes())?;
-        json.write_all(b"\n")?;
-        let mut csv = std::fs::File::create(&csv_path)?;
-        csv.write_all(self.snapshot_csv(name, seed).as_bytes())?;
+        // Concurrent exporters (parallel repetitions or experiment
+        // binaries) may target the same snapshot name; write-to-temp plus
+        // atomic rename guarantees readers never see a torn file.
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let write_atomic = |path: &Path, bytes: &[u8]| -> std::io::Result<()> {
+            let tmp = dir.join(format!(
+                ".tmp-{}-{}-{}",
+                std::process::id(),
+                TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+                path.file_name()
+                    .and_then(|n| n.to_str())
+                    .unwrap_or("snapshot"),
+            ));
+            std::fs::write(&tmp, bytes)?;
+            std::fs::rename(&tmp, path)
+        };
+        let mut json = self.snapshot(name, seed).pretty();
+        json.push('\n');
+        write_atomic(&json_path, json.as_bytes())?;
+        write_atomic(&csv_path, self.snapshot_csv(name, seed).as_bytes())?;
         Ok((json_path, csv_path))
     }
 }

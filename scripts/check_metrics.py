@@ -28,6 +28,42 @@ def check_histogram(name, h):
         fail(f"{name}: histogram {key} quantiles not monotone: {h}")
 
 
+def check_harness_snapshot(path, reg, counters):
+    """Harness sweep snapshots carry orchestration counters, not per-station
+    MAC activity; their invariants are accounting identities."""
+    want = (
+        "cells_total",
+        "cells_ok",
+        "cells_failed",
+        "cache_hits",
+        "cache_misses",
+        "retries",
+        "budget_exceeded",
+    )
+    for metric in want:
+        if metric not in counters:
+            fail(f"{path.name}: harness snapshot missing counter {metric!r}")
+    total = counters["cells_total"]
+    if total < 1:
+        fail(f"{path.name}: harness sweep with cells_total={total}")
+    if counters["cells_ok"] + counters["cells_failed"] != total:
+        fail(f"{path.name}: cells_ok + cells_failed != cells_total: {counters}")
+    if counters["cache_hits"] + counters["cache_misses"] != total:
+        fail(f"{path.name}: cache_hits + cache_misses != cells_total: {counters}")
+    wall = [
+        h
+        for h in reg.get("histograms", [])
+        if h["component"] == "harness" and h["metric"] == "cell_wall_ms"
+    ]
+    if not wall:
+        fail(f"{path.name}: harness snapshot missing cell_wall_ms histogram")
+    if wall[0]["count"] != total:
+        fail(
+            f"{path.name}: cell_wall_ms count {wall[0]['count']} "
+            f"!= cells_total {total}"
+        )
+
+
 def check_snapshot(path):
     with open(path) as f:
         snap = json.load(f)
@@ -37,6 +73,11 @@ def check_snapshot(path):
     if snap["enabled"] is not True:
         fail(f"{path.name}: exported snapshot has enabled={snap['enabled']}")
     reg = snap["registry"]
+    harness_counters = {
+        c["metric"]: c["value"]
+        for c in reg.get("counters", [])
+        if c["component"] == "harness"
+    }
     airtime = [
         c
         for c in reg.get("counters", [])
@@ -45,7 +86,9 @@ def check_snapshot(path):
         and c["label"].startswith("sta")
         and c["value"] > 0
     ]
-    if not airtime:
+    if harness_counters:
+        check_harness_snapshot(path, reg, harness_counters)
+    elif not airtime:
         fail(f"{path.name}: no non-zero mac/tx_airtime_ns/staN counters")
     for hist in reg.get("histograms", []):
         check_histogram(path.name, hist)

@@ -19,6 +19,9 @@
 //! - [`stats`](mod@crate::stats) — Jain's index, CDFs, the G.107 E-model,
 //! - [`telemetry`](mod@crate::telemetry) — opt-in metrics registry and
 //!   structured-event ring (counters, gauges, histograms; JSON/CSV export),
+//! - [`harness`](mod@crate::harness) — parallel, cached, resumable
+//!   experiment orchestration (worker pool, content-addressed result
+//!   cache, journal),
 //! - [`experiments`](mod@crate::experiments) — harnesses for every table and
 //!   figure in the paper's evaluation.
 //!
@@ -28,6 +31,7 @@
 pub use wifiq_codel as codel;
 pub use wifiq_core as core;
 pub use wifiq_experiments as experiments;
+pub use wifiq_harness as harness;
 pub use wifiq_mac as mac;
 pub use wifiq_model as model;
 pub use wifiq_phy as phy;

@@ -1,0 +1,75 @@
+//! The orchestration harness's core guarantees, end to end on a real
+//! experiment: parallel execution is byte-identical to sequential, and a
+//! completed sweep is served entirely from the cache on re-run.
+//!
+//! One `#[test]` on purpose: the cache/journal location travels through
+//! the `WIFIQ_RESULTS_DIR` environment variable, which is process-global,
+//! so the scenario runs as a single sequential story.
+
+use ending_anomaly::experiments::runner::RunCfg;
+use ending_anomaly::experiments::udp_sat;
+use ending_anomaly::mac::SchemeKind;
+use ending_anomaly::sim::Nanos;
+
+#[test]
+fn parallel_matches_serial_and_rerun_hits_cache() {
+    let base = std::env::temp_dir().join(format!("wifiq-determinism-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let serial_dir = base.join("serial");
+    let parallel_dir = base.join("parallel");
+
+    let cfg = RunCfg {
+        reps: 4,
+        duration: Nanos::from_secs(3),
+        warmup: Nanos::from_secs(1),
+        base_seed: 7,
+        jobs: 1,
+        cache: true,
+    };
+
+    // Sequential reference run.
+    std::env::set_var("WIFIQ_RESULTS_DIR", &serial_dir);
+    let serial = udp_sat::run_scheme(SchemeKind::AirtimeFair, &cfg);
+    let serial_json = serde_json::to_string_pretty(&serial).expect("serialize");
+
+    // Same sweep, four workers, separate cache: must be byte-identical.
+    std::env::set_var("WIFIQ_RESULTS_DIR", &parallel_dir);
+    let parallel = udp_sat::run_scheme(SchemeKind::AirtimeFair, &RunCfg { jobs: 4, ..cfg });
+    let parallel_json = serde_json::to_string_pretty(&parallel).expect("serialize");
+    assert_eq!(
+        serial_json, parallel_json,
+        "parallel sweep must be byte-identical to sequential"
+    );
+
+    // Re-run against the populated cache: same bytes, all four
+    // repetitions served from cache (journalled with cached=true).
+    let rerun = udp_sat::run_scheme(SchemeKind::AirtimeFair, &RunCfg { jobs: 4, ..cfg });
+    assert_eq!(
+        serde_json::to_string_pretty(&rerun).expect("serialize"),
+        parallel_json,
+        "cached re-run must reproduce the same bytes"
+    );
+    let manifest = std::fs::read_to_string(parallel_dir.join("harness.manifest.jsonl"))
+        .expect("journal written");
+    let lines: Vec<&str> = manifest.lines().collect();
+    assert_eq!(
+        lines.len(),
+        8,
+        "4 fresh + 4 cached journal lines, got:\n{manifest}"
+    );
+    assert!(
+        lines[..4].iter().all(|l| l.contains("\"cached\":false")),
+        "first run must execute fresh:\n{manifest}"
+    );
+    assert!(
+        lines[4..].iter().all(|l| l.contains("\"cached\":true")),
+        "second run must be 100% cache hits:\n{manifest}"
+    );
+    assert!(
+        lines.iter().all(|l| l.contains("\"status\":\"ok\"")),
+        "no failures expected:\n{manifest}"
+    );
+
+    std::env::remove_var("WIFIQ_RESULTS_DIR");
+    let _ = std::fs::remove_dir_all(&base);
+}
