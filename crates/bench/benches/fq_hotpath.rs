@@ -97,11 +97,38 @@ fn many_tids(c: &mut Criterion) {
     });
 }
 
+fn scale_round(c: &mut Criterion) {
+    c.bench_function("fq_1024_stations_round", |b| {
+        // The ext_scale regime: 1024 registered stations hashed over 4096
+        // shared flow queues, one enqueue+dequeue per station per round.
+        // Exercises the sparse/active list rotation at a roster two
+        // orders of magnitude past the paper's testbed.
+        let mut fq: MacFq<BenchPkt> = MacFq::new(FqParams {
+            flows: 4096,
+            limit: 16384,
+            ..FqParams::default()
+        });
+        let tids: Vec<_> = (0..1024).map(|_| fq.register_tid()).collect();
+        let params = CodelParams::wifi_default();
+        let mut now = Nanos::ZERO;
+        b.iter(|| {
+            now += Nanos::from_micros(100);
+            for (i, &tid) in tids.iter().enumerate() {
+                fq.enqueue(BenchPkt::new(i as u64, now), tid, now);
+            }
+            for &tid in &tids {
+                black_box(fq.dequeue(tid, now, &params));
+            }
+        });
+    });
+}
+
 criterion_group!(
     benches,
     enqueue_dequeue_cycle,
     telemetry_cost,
     overlimit_drop_path,
-    many_tids
+    many_tids,
+    scale_round
 );
 criterion_main!(benches);

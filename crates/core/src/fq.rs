@@ -126,6 +126,9 @@ struct TidState {
     overflow_flow: usize,
     backlog_packets: usize,
     backlog_bytes: u64,
+    /// False once the TID has been detached; the slot (and its overflow
+    /// queue) is parked on the free list until the next `register_tid`.
+    registered: bool,
 }
 
 /// Counters exposed for tests and experiment telemetry.
@@ -142,6 +145,9 @@ pub struct FqStats {
     /// Packets redirected to an overflow queue by a cross-TID hash
     /// collision.
     pub collisions: u64,
+    /// Packets discarded because their TID was detached
+    /// ([`MacFq::unregister_tid`]) while they were still queued.
+    pub drops_detached: u64,
 }
 
 /// The MAC-layer FQ-CoDel structure (paper Algorithms 1 and 2).
@@ -184,6 +190,9 @@ pub struct MacFq<P> {
     /// Indices of flows that currently hold packets (for the
     /// longest-queue search without scanning the whole pool).
     nonempty: Vec<usize>,
+    /// Detached TID slots awaiting reuse (LIFO), each keeping its
+    /// dedicated overflow queue so churn does not grow the flow pool.
+    free_tids: Vec<usize>,
     total_packets: usize,
     /// Telemetry counters.
     pub stats: FqStats,
@@ -207,6 +216,7 @@ impl<P: FqPacket> MacFq<P> {
             flows: (0..params.flows).map(|_| Flow::new()).collect(),
             tids: Vec::new(),
             nonempty: Vec::new(),
+            free_tids: Vec::new(),
             total_packets: 0,
             stats: FqStats::default(),
             tele: Telemetry::disabled(),
@@ -223,16 +233,114 @@ impl<P: FqPacket> MacFq<P> {
     }
 
     /// Registers a TID (one station × traffic-identifier pair), allocating
-    /// its dedicated overflow queue.
+    /// its dedicated overflow queue. A slot freed by
+    /// [`MacFq::unregister_tid`] is reused (most recently freed first)
+    /// together with its overflow queue, so a churning roster does not
+    /// grow the flow pool without bound.
     pub fn register_tid(&mut self) -> TidHandle {
+        if let Some(idx) = self.free_tids.pop() {
+            let overflow = self.tids[idx].overflow_flow;
+            self.tids[idx] = TidState {
+                overflow_flow: overflow,
+                registered: true,
+                ..TidState::default()
+            };
+            return TidHandle(idx);
+        }
         let overflow = self.flows.len();
         self.flows.push(Flow::new());
         let idx = self.tids.len();
         self.tids.push(TidState {
             overflow_flow: overflow,
+            registered: true,
             ..TidState::default()
         });
         TidHandle(idx)
+    }
+
+    /// Detaches a TID, discarding its queued packets and returning its
+    /// flow queues to the shared pool — the departure half of station
+    /// churn. Returns the number of packets discarded (they leave the
+    /// global count and are recorded as `drops_detached`).
+    ///
+    /// The slot (and its dedicated overflow queue) is parked for reuse by
+    /// the next [`MacFq::register_tid`]; the handle must not be used again
+    /// until then.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is unregistered or already detached.
+    pub fn unregister_tid(&mut self, tid: TidHandle, now: Nanos) -> usize {
+        let ti = tid.0;
+        assert!(ti < self.tids.len(), "unregistered TID handle");
+        assert!(self.tids[ti].registered, "TID already detached");
+
+        // Every flow holding this TID's packets sits on exactly one of its
+        // DRR lists (enqueue activates Idle flows; only full drain at
+        // dequeue releases them), so draining the lists drains the TID.
+        let members: Vec<usize> = self.tids[ti]
+            .new_flows
+            .iter()
+            .chain(self.tids[ti].old_flows.iter())
+            .copied()
+            .collect();
+        let mut dropped = 0usize;
+        let mut dropped_bytes = 0u64;
+        for fi in members {
+            let flow = &mut self.flows[fi];
+            debug_assert_eq!(flow.tid, Some(ti), "flow on a foreign TID list");
+            while let Some(pkt) = flow.queue.pop_front() {
+                flow.backlog_bytes -= pkt.wire_len();
+                dropped_bytes += pkt.wire_len();
+                dropped += 1;
+            }
+            flow.deficit = 0;
+            flow.codel = CodelState::new();
+            flow.tid = None;
+            flow.membership = Membership::Idle;
+            self.unmark_if_empty(fi);
+        }
+        // The overflow queue may be idle-but-stale (drained earlier this
+        // round); reset its CoDel state so the next owner starts clean.
+        let of = self.tids[ti].overflow_flow;
+        self.flows[of].codel = CodelState::new();
+
+        self.total_packets -= dropped;
+        self.stats.drops_detached += dropped as u64;
+        let t = &mut self.tids[ti];
+        debug_assert_eq!(t.backlog_packets, dropped, "TID packet count drifted");
+        debug_assert_eq!(t.backlog_bytes, dropped_bytes, "TID byte count drifted");
+        t.new_flows.clear();
+        t.old_flows.clear();
+        t.backlog_packets = 0;
+        t.backlog_bytes = 0;
+        t.registered = false;
+        self.free_tids.push(ti);
+
+        if self.tele.is_enabled() && dropped > 0 {
+            self.tele.count(
+                self.component,
+                "drops_detached",
+                Label::Tid(ti as u32),
+                dropped as u64,
+            );
+            self.tele.event(
+                now,
+                self.component,
+                EventKind::Drop {
+                    label: Label::Tid(ti as u32),
+                    bytes: dropped_bytes.min(u32::MAX as u64) as u32,
+                    reason: DropReason::Detached,
+                },
+            );
+        }
+        dropped
+    }
+
+    /// True if the handle refers to a currently registered (not detached)
+    /// TID slot.
+    pub fn tid_is_registered(&self, tid: TidHandle) -> bool {
+        self.tids.get(tid.0).is_some_and(|t| t.registered)
     }
 
     /// Total packets queued across all TIDs.
@@ -329,6 +437,7 @@ impl<P: FqPacket> MacFq<P> {
     pub fn enqueue(&mut self, pkt: P, tid: TidHandle, now: Nanos) -> Option<P> {
         let ti = tid.0;
         assert!(ti < self.tids.len(), "unregistered TID handle");
+        assert!(self.tids[ti].registered, "detached TID handle");
 
         // Global limit (Algorithm 1 lines 2–4).
         let dropped = if self.total_packets >= self.params.limit {
@@ -423,6 +532,7 @@ impl<P: FqPacket> MacFq<P> {
     pub fn dequeue(&mut self, tid: TidHandle, now: Nanos, codel_params: &CodelParams) -> Option<P> {
         let ti = tid.0;
         assert!(ti < self.tids.len(), "unregistered TID handle");
+        assert!(self.tids[ti].registered, "detached TID handle");
 
         // Cheap Rc clone so CoDel can record drops while `self.flows` is
         // mutably borrowed; a no-op when telemetry is disabled.

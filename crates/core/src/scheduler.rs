@@ -77,6 +77,9 @@ struct StationState {
     /// weight — the weighted-ATF extension that followed the paper into
     /// mainline.
     weight: u32,
+    /// False once the station has been removed; the slot is parked on the
+    /// free list until the next `register_station`.
+    registered: bool,
 }
 
 #[derive(Debug, Default)]
@@ -124,6 +127,8 @@ pub struct AirtimeScheduler {
     params: AirtimeParams,
     stations: Vec<StationState>,
     acs: [AcLists; QOS_LEVELS],
+    /// Removed station slots awaiting reuse (LIFO).
+    free_stations: Vec<usize>,
     /// Telemetry counters.
     pub stats: AirtimeStats,
 }
@@ -135,6 +140,7 @@ impl AirtimeScheduler {
             params,
             stations: Vec::new(),
             acs: Default::default(),
+            free_stations: Vec::new(),
             stats: AirtimeStats::default(),
         }
     }
@@ -149,14 +155,57 @@ impl AirtimeScheduler {
     /// used upstream airtime while absent from the scheduling lists keeps
     /// owing that airtime.
     pub fn register_station(&mut self) -> StationHandle {
-        let idx = self.stations.len();
         let q = self.params.quantum.as_nanos() as i64;
-        self.stations.push(StationState {
+        let fresh = StationState {
             deficit: [q; QOS_LEVELS],
             membership: [Membership::Idle; QOS_LEVELS],
             weight: WEIGHT_NEUTRAL,
-        });
+            registered: true,
+        };
+        // Reuse the most recently removed slot so handles stay dense and
+        // station churn does not grow the table without bound.
+        if let Some(idx) = self.free_stations.pop() {
+            self.stations[idx] = fresh;
+            return StationHandle(idx);
+        }
+        let idx = self.stations.len();
+        self.stations.push(fresh);
         StationHandle(idx)
+    }
+
+    /// Removes a station mid-round: it is deleted from every QoS level's
+    /// scheduling list (front-of-list rotation state and the other
+    /// stations' deficits are untouched) and its slot is parked for reuse
+    /// by the next [`register_station`](Self::register_station). The
+    /// handle must not be used again until the slot is re-registered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the station is unregistered or already removed.
+    pub fn remove_station(&mut self, sta: StationHandle) {
+        let si = sta.0;
+        assert!(
+            self.stations.get(si).is_some_and(|s| s.registered),
+            "removing unregistered station"
+        );
+        for ac in 0..QOS_LEVELS {
+            if self.stations[si].membership[ac] != Membership::Idle {
+                // `retain` keeps the relative order of the survivors, so a
+                // removal in the middle of a DRR round does not perturb
+                // whose turn comes next.
+                self.acs[ac].new_stations.retain(|&x| x != si);
+                self.acs[ac].old_stations.retain(|&x| x != si);
+                self.stations[si].membership[ac] = Membership::Idle;
+            }
+        }
+        self.stations[si].registered = false;
+        self.free_stations.push(si);
+    }
+
+    /// True if the handle refers to a currently registered (not removed)
+    /// station slot.
+    pub fn is_registered(&self, sta: StationHandle) -> bool {
+        self.stations.get(sta.0).is_some_and(|s| s.registered)
     }
 
     /// Sets a station's airtime weight (default [`WEIGHT_NEUTRAL`]).
@@ -207,6 +256,7 @@ impl AirtimeScheduler {
     pub fn notify_active(&mut self, sta: StationHandle, ac: usize) {
         assert!(ac < QOS_LEVELS, "QoS level out of range");
         let st = &mut self.stations[sta.0];
+        assert!(st.registered, "removed station handle");
         if st.membership[ac] == Membership::Idle {
             if self.params.sparse_stations {
                 st.membership[ac] = Membership::New;
@@ -226,6 +276,7 @@ impl AirtimeScheduler {
     /// upstream traffic it cannot directly control (§4.1.2).
     pub fn charge(&mut self, sta: StationHandle, ac: usize, airtime: Nanos) {
         assert!(ac < QOS_LEVELS, "QoS level out of range");
+        assert!(self.stations[sta.0].registered, "removed station handle");
         self.stations[sta.0].deficit[ac] -= airtime.as_nanos() as i64;
         self.stats.charged += airtime;
     }

@@ -42,7 +42,7 @@
 
 mod codec;
 mod key;
-mod pool;
+pub mod pool;
 mod sha256;
 mod store;
 
@@ -58,6 +58,7 @@ use wifiq_telemetry::{Label, Telemetry};
 
 pub use codec::JsonCodec;
 pub use key::{binary_fingerprint, cell_key_hash, cell_key_json, CellDef, SweepMeta};
+pub use pool::Queues;
 pub use sha256::sha256_hex;
 pub use store::{results_dir, Journal, JournalEntry};
 

@@ -66,6 +66,20 @@ impl AirtimeMeter {
         }
     }
 
+    /// Grows the meter table through slot `i` (new slots zeroed) — used
+    /// when a station joins after construction.
+    pub fn ensure_station(&mut self, i: usize) {
+        if i >= self.stations.len() {
+            self.stations.resize(i + 1, StationMeter::default());
+        }
+    }
+
+    /// Zeroes slot `i`, so a rejoining station's meter starts fresh
+    /// rather than inheriting the departed occupant's totals.
+    pub fn reset_station(&mut self, i: usize) {
+        self.stations[i] = StationMeter::default();
+    }
+
     /// Mutable access to one station's meter.
     pub fn station_mut(&mut self, i: usize) -> &mut StationMeter {
         &mut self.stations[i]

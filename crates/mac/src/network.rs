@@ -68,6 +68,22 @@ pub struct WifiNetwork<M> {
     /// Per-station downlink rate controllers (only when
     /// `cfg.rate_control`; legacy-rate stations never adapt).
     ratectrl: Vec<Option<Minstrel>>,
+    /// Which station slots host an associated station. Departed slots stay
+    /// in every per-station table as tombstones until a join reuses them.
+    active: Vec<bool>,
+    /// Stations removed while their exchange was on the air; detached as
+    /// soon as that exchange completes.
+    pending_detach: Vec<StationIdx>,
+    /// Monotonic join counter — gives every join (including slot reuse) a
+    /// fresh RNG fork salt, so a rejoining station never replays its
+    /// predecessor's stream.
+    join_seq: u64,
+    /// Packets discarded because their station departed (queued at
+    /// removal, or committed to hardware and purged).
+    churn_drops: u64,
+    /// Packets discarded on arrival because they addressed a slot with no
+    /// associated station.
+    absent_drops: u64,
     in_flight: Option<Vec<Participant>>,
     meter: AirtimeMeter,
     /// Optional monitor-mode sink receiving every transmission record.
@@ -116,6 +132,11 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
             ratectrl,
             hw: Default::default(),
             ap_cw: AccessCategory::ALL.map(|ac| ac.edca().cw_min),
+            active: vec![true; stations.len()],
+            pending_detach: Vec::new(),
+            join_seq: stations.len() as u64,
+            churn_drops: 0,
+            absent_drops: 0,
             stations,
             in_flight: None,
             meter: AirtimeMeter::new(cfg.num_stations()),
@@ -210,6 +231,139 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
         self.queue.push(at, Event::AppTimer(token));
     }
 
+    /// Associates a new station mid-run, reusing the most recently vacated
+    /// slot when one exists (the AP transmit path's LIFO free list governs
+    /// slot choice). Returns the slot the station occupies. Safe to call
+    /// between [`run`](Self::run) windows.
+    pub fn add_station(&mut self, station: crate::config::StationCfg) -> StationIdx {
+        let sta = self.ap.add_station(&station);
+        self.join_seq += 1;
+        let mut up = StationUplink::new(sta, station.rate, self.cfg.station_fifo_limit);
+        if self.cfg.station_fq {
+            up.enable_fq();
+        }
+        if self.cfg.rate_control {
+            up.enable_rate_control(self.rng.fork(self.join_seq));
+        }
+        up.set_telemetry(self.tele.clone());
+        let rc = if self.cfg.rate_control && matches!(station.rate, wifiq_phy::PhyRate::Ht { .. }) {
+            Some(Minstrel::new(station.rate))
+        } else {
+            None
+        };
+        if sta == self.stations.len() {
+            self.stations.push(up);
+            self.ratectrl.push(rc);
+            self.cfg.stations.push(station);
+            self.active.push(true);
+        } else {
+            self.stations[sta] = up;
+            self.ratectrl[sta] = rc;
+            self.cfg.stations[sta] = station;
+            self.active[sta] = true;
+        }
+        self.meter.ensure_station(sta);
+        self.meter.reset_station(sta);
+        self.tele.count("mac", "station_joins", Label::Global, 1);
+        sta
+    }
+
+    /// Disassociates a station. It immediately stops contending and
+    /// receiving; its queued packets (AP-side and uplink) are dropped and
+    /// counted in [`churn_drops`](Self::churn_drops). If the station's
+    /// exchange is on the air right now, the teardown is deferred until
+    /// that exchange completes — aggregates already committed to hardware
+    /// finish (or retry out) normally, as on real hardware.
+    pub fn remove_station(&mut self, sta: StationIdx) {
+        assert!(
+            self.active.get(sta).copied().unwrap_or(false),
+            "removing unknown or already-removed station {sta}"
+        );
+        self.active[sta] = false;
+        self.tele.count("mac", "station_leaves", Label::Global, 1);
+        if self.station_in_flight(sta) {
+            self.pending_detach.push(sta);
+        } else {
+            self.detach_station(sta);
+        }
+    }
+
+    /// Whether the current in-flight exchange involves `sta`, either as
+    /// the uplink transmitter or as the target of the AP's head-of-line
+    /// aggregate.
+    fn station_in_flight(&self, sta: StationIdx) -> bool {
+        let Some(parts) = &self.in_flight else {
+            return false;
+        };
+        parts.iter().any(|p| match *p {
+            Participant::Station { idx, .. } => idx == sta,
+            Participant::Ap { ac } => self.hw[ac.index()].front().map(|a| a.station) == Some(sta),
+        })
+    }
+
+    /// Tears down a departed station's state: purges its hardware-queued
+    /// aggregates (sparing one that is on the air), detaches its TIDs and
+    /// scheduler slot at the AP, and discards its uplink backlog.
+    fn detach_station(&mut self, sta: StationIdx) {
+        let now = self.queue.now();
+        let mut inflight_ap = [false; AccessCategory::COUNT];
+        if let Some(parts) = &self.in_flight {
+            for p in parts {
+                if let Participant::Ap { ac } = p {
+                    inflight_ap[ac.index()] = true;
+                }
+            }
+        }
+        for (aci, &on_air) in inflight_ap.iter().enumerate() {
+            let q = std::mem::take(&mut self.hw[aci]);
+            for (i, agg) in q.into_iter().enumerate() {
+                if agg.station != sta || (i == 0 && on_air) {
+                    self.hw[aci].push_back(agg);
+                } else {
+                    self.churn_drops += agg.frames.len() as u64;
+                }
+            }
+        }
+        self.churn_drops += self.ap.remove_station(sta, now) as u64;
+        self.churn_drops += self.stations[sta].backlog() as u64;
+        // Replacing the whole uplink discards its queues, stash and any
+        // non-in-flight pending aggregate; `active` keeps the inert
+        // replacement out of contention.
+        self.stations[sta] = StationUplink::new(
+            sta,
+            self.cfg.stations[sta].rate,
+            self.cfg.station_fifo_limit,
+        );
+        self.ratectrl[sta] = None;
+    }
+
+    /// Whether slot `sta` currently hosts an associated station.
+    pub fn station_active(&self, sta: StationIdx) -> bool {
+        self.active.get(sta).copied().unwrap_or(false)
+    }
+
+    /// Number of currently associated stations.
+    pub fn active_stations(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Number of station slots ever allocated (associated + tombstoned).
+    pub fn station_slots(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// Packets dropped because their station departed while they were
+    /// queued or committed to hardware.
+    pub fn churn_drops(&self) -> u64 {
+        self.churn_drops
+    }
+
+    /// Packets dropped on arrival for a slot with no associated station
+    /// (traffic sources that have not yet noticed a departure).
+    pub fn absent_drops(&self) -> u64 {
+        self.absent_drops
+    }
+
     /// Runs the event loop until virtual time `until`, driving `app`.
     ///
     /// Returns at the first event time strictly greater than `until` (that
@@ -224,10 +378,16 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
             let mut cmds = Commands::new();
             match ev {
                 Event::WireToAp(mut pkt) => {
-                    pkt.enqueued = now;
-                    let ac = pkt.ac;
-                    self.ap.enqueue(pkt, now);
-                    self.ap_schedule(ac, now);
+                    if !self.station_active(pkt.wireless_peer()) {
+                        // Addressed to a departed (or never-associated)
+                        // station: the AP has no client to send it to.
+                        self.absent_drops += 1;
+                    } else {
+                        pkt.enqueued = now;
+                        let ac = pkt.ac;
+                        self.ap.enqueue(pkt, now);
+                        self.ap_schedule(ac, now);
+                    }
                 }
                 Event::WireToServer(pkt) => {
                     app.on_packet(Delivery::AtServer, pkt, now, &mut cmds);
@@ -258,6 +418,12 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
                 }
                 NodeAddr::Station(i) => {
                     assert!(i < self.stations.len(), "send from unknown station {i}");
+                    if !self.active[i] {
+                        // An application timer outliving its departed
+                        // station; nothing to transmit from.
+                        self.absent_drops += 1;
+                        continue;
+                    }
                     pkt.enqueued = now;
                     self.stations[i].enqueue(pkt);
                 }
@@ -332,6 +498,9 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
         }
         // Each station contends with its highest-priority ready AC.
         for i in 0..self.stations.len() {
+            if !self.active[i] {
+                continue;
+            }
             if let Some(ac) = self.stations[i].best_ready_ac(now) {
                 let e = ac.edca();
                 let cw = self.stations[i].cw[ac.index()];
@@ -390,6 +559,13 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
                 Participant::Station { idx, ac } => {
                     self.finish_station_attempt(idx, ac, collision, now)
                 }
+            }
+        }
+
+        // Removals that waited for this exchange to clear the air.
+        if !self.pending_detach.is_empty() {
+            for sta in std::mem::take(&mut self.pending_detach) {
+                self.detach_station(sta);
             }
         }
     }
@@ -953,6 +1129,65 @@ mod tests {
         assert_eq!(app_a.per_station_bytes, app_b.per_station_bytes);
         assert_eq!(a.events_processed, b.events_processed);
         assert_eq!(a.meter().airtime_shares(), b.meter().airtime_shares());
+    }
+
+    #[test]
+    fn station_churn_mid_run() {
+        for scheme in SchemeKind::ALL {
+            let cfg = NetworkConfig::paper_testbed(scheme);
+            let mut net = WifiNetwork::new(cfg);
+            // The app keeps flooding all 3 slots throughout; it does not
+            // know about the departure (exercises the absent-drop guard).
+            let mut app = FloodApp::new(3, Nanos::from_micros(500));
+            net.seed_timer(0, Nanos::ZERO);
+            net.run(Nanos::from_secs(1), &mut app);
+            net.remove_station(2);
+            assert!(!net.station_active(2), "{scheme}");
+            assert_eq!(net.active_stations(), 2, "{scheme}");
+            let at_removal = app.per_station_bytes[2];
+            let survivor = app.per_station_bytes[0];
+            net.run(Nanos::from_secs(2), &mut app);
+            // Only frames already committed to hardware may dribble out.
+            assert!(
+                app.per_station_bytes[2] - at_removal <= 64 * 1500,
+                "{scheme}: departed station kept receiving"
+            );
+            assert!(
+                app.per_station_bytes[0] > survivor,
+                "{scheme}: survivors starved by the removal"
+            );
+            assert!(net.absent_drops() > 0, "{scheme}: no absent drops counted");
+            // Rejoin reuses the vacated slot and traffic resumes.
+            let slot = net.add_station(crate::config::StationCfg::clean(
+                wifiq_phy::PhyRate::fast_station(),
+            ));
+            assert_eq!(slot, 2, "{scheme}: slot not reused");
+            let at_rejoin = app.per_station_bytes[2];
+            net.run(Nanos::from_secs(3), &mut app);
+            assert!(
+                app.per_station_bytes[2] > at_rejoin + 100 * 1500,
+                "{scheme}: rejoined station starved"
+            );
+        }
+    }
+
+    #[test]
+    fn churn_determinism_same_schedule_same_result() {
+        let run = || {
+            let cfg = NetworkConfig::paper_testbed(SchemeKind::AirtimeFair);
+            let mut net = WifiNetwork::new(cfg);
+            let mut app = FloodApp::new(3, Nanos::from_micros(500));
+            net.seed_timer(0, Nanos::ZERO);
+            net.run(Nanos::from_millis(500), &mut app);
+            net.remove_station(1);
+            net.run(Nanos::from_secs(1), &mut app);
+            net.add_station(crate::config::StationCfg::clean(
+                wifiq_phy::PhyRate::slow_station(),
+            ));
+            net.run(Nanos::from_secs(2), &mut app);
+            (app.per_station_bytes.clone(), net.events_processed)
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

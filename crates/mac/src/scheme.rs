@@ -24,7 +24,7 @@ use wifiq_sim::Nanos;
 use wifiq_telemetry::Telemetry;
 
 use crate::aggregation::{build_aggregate, Aggregate};
-use crate::config::{NetworkConfig, SchemeKind};
+use crate::config::{NetworkConfig, SchemeKind, StationCfg};
 use crate::packet::{Packet, StationIdx};
 
 /// Dense TID index: one per (station, access category).
@@ -108,10 +108,33 @@ pub struct ApTxPath<M> {
     /// Per-station CoDel parameter selection (§3.1.1).
     codel: Vec<StationCodelParams>,
     rates: Vec<PhyRate>,
+    /// Whether each station slot currently hosts a station.
+    active: Vec<bool>,
+    /// Removed station slots awaiting reuse (LIFO, kept in lockstep with
+    /// the FQ structure's TID free list and the scheduler's slot list).
+    free_slots: Vec<StationIdx>,
+    /// Remembered so stations added after construction get the same CoDel
+    /// parameter policy as the initial roster.
+    adaptive_codel: bool,
     /// Packets dropped at AP queueing layers (qdisc tail-drop, FQ
     /// overlimit; CoDel drops are counted by the FQ structures).
     pub queue_drops: u64,
     tele: Telemetry,
+}
+
+/// CoDel parameter state for one station under the configured policy.
+fn codel_params_for(adaptive: bool) -> StationCodelParams {
+    if adaptive {
+        StationCodelParams::new()
+    } else {
+        // Ablation: pin the global defaults regardless of rate.
+        StationCodelParams::with_config(
+            CodelParams::wifi_default(),
+            CodelParams::wifi_default(),
+            0,
+            Nanos::ZERO,
+        )
+    }
 }
 
 impl<M: std::fmt::Debug> ApTxPath<M> {
@@ -155,19 +178,7 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
             }
         };
         let codel = (0..n)
-            .map(|_| {
-                if cfg.adaptive_codel {
-                    StationCodelParams::new()
-                } else {
-                    // Ablation: pin the global defaults regardless of rate.
-                    StationCodelParams::with_config(
-                        CodelParams::wifi_default(),
-                        CodelParams::wifi_default(),
-                        0,
-                        Nanos::ZERO,
-                    )
-                }
-            })
+            .map(|_| codel_params_for(cfg.adaptive_codel))
             .collect();
         ApTxPath {
             kind: cfg.scheme,
@@ -175,9 +186,150 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
             stash: (0..n_tids).map(|_| None).collect(),
             codel,
             rates,
+            active: vec![true; n],
+            free_slots: Vec::new(),
+            adaptive_codel: cfg.adaptive_codel,
             queue_drops: 0,
             tele: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a station to the transmit path, reusing the most recently
+    /// removed slot when one is free (otherwise growing every per-slot
+    /// table). Returns the slot index the station now occupies.
+    ///
+    /// Slot reuse relies on the LIFO lockstep between this free list, the
+    /// FQ structure's TID free list, and the airtime scheduler's station
+    /// free list: all three are pushed/popped only from here, so a reused
+    /// slot `s` always reclaims exactly TID set `{4s..4s+3}` and scheduler
+    /// slot `s` (debug-asserted below).
+    pub fn add_station(&mut self, station: &StationCfg) -> StationIdx {
+        let sta = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                let s = self.codel.len();
+                for _ in 0..AccessCategory::COUNT {
+                    self.stash.push(None);
+                }
+                self.codel.push(codel_params_for(self.adaptive_codel));
+                self.rates.push(station.rate);
+                self.active.push(false);
+                match &mut self.inner {
+                    PathInner::Legacy { bufq, listed, .. } => {
+                        for _ in 0..AccessCategory::COUNT {
+                            bufq.push(VecDeque::new());
+                            listed.push(false);
+                        }
+                    }
+                    PathInner::Fq { sched, .. } => {
+                        if let StaSched::Rr { listed, .. } = sched {
+                            listed.push([false; AccessCategory::COUNT]);
+                        }
+                    }
+                }
+                s
+            }
+        };
+        debug_assert!(!self.active[sta], "free slot still marked active");
+        debug_assert!(
+            (0..AccessCategory::COUNT)
+                .all(|a| self.stash[sta * AccessCategory::COUNT + a].is_none()),
+            "reused slot has stashed frames"
+        );
+        self.rates[sta] = station.rate;
+        self.codel[sta] = codel_params_for(self.adaptive_codel);
+        self.active[sta] = true;
+        if let PathInner::Fq { fq, sched } = &mut self.inner {
+            for _ in 0..AccessCategory::COUNT {
+                let h = fq.register_tid();
+                debug_assert_eq!(
+                    h.0 / AccessCategory::COUNT,
+                    sta,
+                    "TID free list out of lockstep with station slots"
+                );
+            }
+            match sched {
+                StaSched::Rr { listed, .. } => listed[sta] = [false; AccessCategory::COUNT],
+                StaSched::Airtime(s) => {
+                    let h = s.register_station();
+                    debug_assert_eq!(h.0, sta, "scheduler free list out of lockstep");
+                    s.set_weight(h, station.airtime_weight);
+                }
+            }
+        }
+        sta
+    }
+
+    /// Detaches a station: drops every frame of its queued at the AP
+    /// (stash, driver FIFOs or FQ flows), pulls its TIDs/slot out of all
+    /// scheduling lists mid-round without disturbing the survivors'
+    /// rotation order or deficits, and parks the slot for reuse. Returns
+    /// the number of packets dropped.
+    pub fn remove_station(&mut self, sta: StationIdx, now: Nanos) -> usize {
+        assert!(
+            self.active.get(sta).copied().unwrap_or(false),
+            "removing an inactive station slot"
+        );
+        let mut dropped = 0usize;
+        for ac in AccessCategory::ALL {
+            if self.stash[tid_index(sta, ac)].take().is_some() {
+                dropped += 1;
+            }
+        }
+        match &mut self.inner {
+            PathInner::Legacy {
+                bufq,
+                buf_total,
+                rr,
+                listed,
+                ..
+            } => {
+                // Packets for the station may still sit in the shared
+                // qdisc; those surface into bufq via pull_from_qdisc and
+                // are only discarded when addressed to an inactive slot at
+                // the network layer. Here we clear the driver FIFOs, which
+                // also releases the shared frame budget they pinned.
+                for ac in AccessCategory::ALL {
+                    let tid = tid_index(sta, ac);
+                    dropped += bufq[tid].len();
+                    *buf_total -= bufq[tid].len();
+                    bufq[tid].clear();
+                    if listed[tid] {
+                        rr[ac.index()].retain(|&t| t != tid);
+                        listed[tid] = false;
+                    }
+                }
+            }
+            PathInner::Fq { fq, sched } => {
+                for ac in AccessCategory::ALL {
+                    dropped += fq.unregister_tid(TidHandle(tid_index(sta, ac)), now);
+                }
+                match sched {
+                    StaSched::Rr { lists, listed } => {
+                        for (aci, l) in lists.iter_mut().enumerate() {
+                            if listed[sta][aci] {
+                                l.retain(|&x| x != sta);
+                                listed[sta][aci] = false;
+                            }
+                        }
+                    }
+                    StaSched::Airtime(s) => s.remove_station(StationHandle(sta)),
+                }
+            }
+        }
+        self.active[sta] = false;
+        self.free_slots.push(sta);
+        dropped
+    }
+
+    /// Whether slot `sta` currently hosts a station.
+    pub fn station_active(&self, sta: StationIdx) -> bool {
+        self.active.get(sta).copied().unwrap_or(false)
+    }
+
+    /// Number of station slots ever allocated (active + tombstoned).
+    pub fn station_slots(&self) -> usize {
+        self.codel.len()
     }
 
     /// Attaches a telemetry handle, propagating it to the MAC FQ structure
@@ -221,6 +373,7 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
     pub fn enqueue(&mut self, pkt: Packet<M>, now: Nanos) {
         let sta = pkt.wireless_peer();
         let ac = pkt.ac;
+        debug_assert!(self.active[sta], "enqueue for a removed station");
         match &mut self.inner {
             PathInner::Legacy { qdisc, .. } => {
                 if qdisc.enqueue(pkt, now).is_some() {
@@ -263,6 +416,12 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
         };
         while *buf_total < *buf_cap {
             let Some(pkt) = qdisc.dequeue(now) else { break };
+            // The shared qdisc cannot be filtered on removal; frames for a
+            // since-departed station are discarded as they surface.
+            if !self.active[pkt.wireless_peer()] {
+                self.queue_drops += 1;
+                continue;
+            }
             let tid = tid_index(pkt.wireless_peer(), pkt.ac);
             let ac = pkt.ac.index();
             bufq[tid].push_back(pkt);
@@ -444,6 +603,13 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
         now: Nanos,
         rate_estimate_bps: u64,
     ) {
+        // An exchange can complete after its target departed (removal is
+        // deferred past in-flight exchanges at the network layer, but a
+        // retry chain may outlive that); the tombstoned slot takes no
+        // charges.
+        if !self.active[sta] {
+            return;
+        }
         if let PathInner::Fq {
             sched: StaSched::Airtime(s),
             ..
@@ -469,6 +635,9 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
     /// "also accounting the airtime from received frames"), unless the
     /// scheduler is configured for TX-only accounting (ablation).
     pub fn on_rx_airtime(&mut self, sta: StationIdx, ac: AccessCategory, airtime: Nanos) {
+        if !self.active[sta] {
+            return;
+        }
         if let PathInner::Fq {
             sched: StaSched::Airtime(s),
             ..
@@ -660,6 +829,43 @@ mod tests {
         assert!(drained >= 1);
         path.reactivate(0, AccessCategory::Be);
         assert_eq!(path.next_tx(AccessCategory::Be, now, |_| true), None);
+    }
+
+    #[test]
+    fn remove_then_readd_station_reuses_slot() {
+        for scheme in SchemeKind::ALL {
+            let mut path: ApTxPath<()> = ApTxPath::new(&cfg(scheme));
+            let now = Nanos::ZERO;
+            for i in 0..30 {
+                path.enqueue(pkt(0, 1, Nanos::from_nanos(i)), now);
+                path.enqueue(pkt(1, 2, Nanos::from_nanos(i)), now);
+            }
+            path.remove_station(1, now);
+            assert!(!path.station_active(1), "{scheme}");
+            while let Some(agg) = drain_one(&mut path, now) {
+                assert_ne!(agg.station, 1, "{scheme}: removed station was scheduled");
+            }
+            assert_eq!(path.backlog(), 0, "{scheme}: backlog left behind");
+            let slot = path.add_station(&StationCfg::clean(PhyRate::fast_station()));
+            assert_eq!(slot, 1, "{scheme}: LIFO slot reuse");
+            assert_eq!(path.station_slots(), 3, "{scheme}: slot table grew");
+            path.enqueue(pkt(1, 3, now), now);
+            let agg = drain_one(&mut path, now).expect("readded station must transmit");
+            assert_eq!(agg.station, 1, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn add_station_grows_roster() {
+        for scheme in SchemeKind::ALL {
+            let mut path: ApTxPath<()> = ApTxPath::new(&cfg(scheme));
+            let now = Nanos::ZERO;
+            let slot = path.add_station(&StationCfg::clean(PhyRate::slow_station()));
+            assert_eq!(slot, 3, "{scheme}: new slot appended");
+            path.enqueue(pkt(3, 9, now), now);
+            let agg = drain_one(&mut path, now).expect("new station must transmit");
+            assert_eq!(agg.station, 3, "{scheme}");
+        }
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub enum DropReason {
     QueueFull,
     /// Retry budget exhausted at the MAC.
     RetryLimit,
+    /// The owning TID/station was detached (station churn) while packets
+    /// were still queued.
+    Detached,
 }
 
 impl DropReason {
@@ -33,6 +36,7 @@ impl DropReason {
             DropReason::Overlimit => "overlimit",
             DropReason::QueueFull => "queue_full",
             DropReason::RetryLimit => "retry_limit",
+            DropReason::Detached => "detached",
         }
     }
 }

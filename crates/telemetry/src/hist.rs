@@ -85,6 +85,23 @@ impl Histogram {
         }
     }
 
+    /// Folds another histogram into this one. Buckets are summed, so the
+    /// merge of per-shard histograms answers quantile queries exactly as
+    /// if every sample had been recorded here.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (c, &o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count

@@ -145,6 +145,25 @@ impl Telemetry {
         self.0.as_ref().map(|hub| f(&hub.registry.borrow()))
     }
 
+    /// Takes the recorded registry out of this handle, leaving an empty
+    /// one behind; `None` when disabled. Lets a shard worker hand its
+    /// metrics (a plain `Send` value, unlike the `Rc`-based handle) to a
+    /// coordinator for rollup.
+    pub fn take_registry(&self) -> Option<Registry> {
+        self.0
+            .as_ref()
+            .map(|hub| std::mem::take(&mut *hub.registry.borrow_mut()))
+    }
+
+    /// Folds a detached registry into this handle's registry, rewriting
+    /// each label through `relabel` — the cross-shard rollup. No-op when
+    /// disabled.
+    pub fn absorb_registry(&self, other: &Registry, relabel: impl Fn(Label) -> Label) {
+        if let Some(hub) = &self.0 {
+            hub.registry.borrow_mut().merge_relabeled(other, relabel);
+        }
+    }
+
     /// Reads a counter, 0 when disabled or never touched.
     pub fn counter(&self, component: &str, metric: &str, label: Label) -> u64 {
         self.with_registry(|r| r.counter(component, metric, label))

@@ -22,6 +22,8 @@ pub enum Label {
     Flow(u64),
     /// Per-access-category / TID metric.
     Tid(u32),
+    /// Per-shard metric (one BSS instance in a sharded multi-BSS run).
+    Shard(u32),
 }
 
 impl fmt::Display for Label {
@@ -31,6 +33,7 @@ impl fmt::Display for Label {
             Label::Station(s) => write!(f, "sta{s}"),
             Label::Flow(id) => write!(f, "flow{id}"),
             Label::Tid(t) => write!(f, "tid{t}"),
+            Label::Shard(s) => write!(f, "shard{s}"),
         }
     }
 }
@@ -124,6 +127,22 @@ impl Registry {
             .filter(|((c, m, _), _)| *c == component && *m == metric)
             .map(|(_, v)| *v)
             .sum()
+    }
+
+    /// Folds `other` into this registry, rewriting each key's label
+    /// through `relabel` — the cross-shard rollup primitive. Counters and
+    /// histograms accumulate; a gauge takes the incoming value (last merge
+    /// wins), so merge shards in a deterministic order.
+    pub fn merge_relabeled(&mut self, other: &Registry, relabel: impl Fn(Label) -> Label) {
+        for (&(c, m, l), &v) in &other.counters {
+            self.counter_add(c, m, relabel(l), v);
+        }
+        for (&(c, m, l), &v) in &other.gauges {
+            self.gauge_set(c, m, relabel(l), v);
+        }
+        for (&(c, m, l), h) in &other.hists {
+            self.hists.entry((c, m, relabel(l))).or_default().merge(h);
+        }
     }
 
     /// True if nothing has been recorded.

@@ -64,6 +64,34 @@ def check_harness_snapshot(path, reg, counters):
         )
 
 
+def check_shard_snapshot(path, reg):
+    """Sharded rollups relabel every per-shard metric to shardN: the shard
+    labels must form a contiguous 0..N-1 range and every shard must report
+    MAC transmit activity."""
+    shards = set()
+    for c in reg.get("counters", []):
+        label = c["label"]
+        if label.startswith("shard"):
+            try:
+                shards.add(int(label[len("shard"):]))
+            except ValueError:
+                fail(f"{path.name}: malformed shard label {label!r}")
+    if shards != set(range(len(shards))):
+        fail(f"{path.name}: shard labels not contiguous from 0: {sorted(shards)}")
+    for shard in sorted(shards):
+        active = [
+            c
+            for c in reg.get("counters", [])
+            if c["component"] == "mac"
+            and c["metric"] == "tx_airtime_ns"
+            and c["label"] == f"shard{shard}"
+            and c["value"] > 0
+        ]
+        if not active:
+            fail(f"{path.name}: shard{shard} has no mac/tx_airtime_ns activity")
+    return len(shards)
+
+
 def check_snapshot(path):
     with open(path) as f:
         snap = json.load(f)
@@ -78,6 +106,9 @@ def check_snapshot(path):
         for c in reg.get("counters", [])
         if c["component"] == "harness"
     }
+    sharded = any(
+        c["label"].startswith("shard") for c in reg.get("counters", [])
+    )
     airtime = [
         c
         for c in reg.get("counters", [])
@@ -86,7 +117,9 @@ def check_snapshot(path):
         and c["label"].startswith("sta")
         and c["value"] > 0
     ]
-    if harness_counters:
+    if sharded:
+        check_shard_snapshot(path, reg)
+    elif harness_counters:
         check_harness_snapshot(path, reg, harness_counters)
     elif not airtime:
         fail(f"{path.name}: no non-zero mac/tx_airtime_ns/staN counters")

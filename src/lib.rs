@@ -22,6 +22,8 @@
 //! - [`harness`](mod@crate::harness) — parallel, cached, resumable
 //!   experiment orchestration (worker pool, content-addressed result
 //!   cache, journal),
+//! - [`scale`](mod@crate::scale) — deterministic station churn and the
+//!   sharded multi-BSS engine with cross-shard telemetry rollup,
 //! - [`experiments`](mod@crate::experiments) — harnesses for every table and
 //!   figure in the paper's evaluation.
 //!
@@ -36,6 +38,7 @@ pub use wifiq_mac as mac;
 pub use wifiq_model as model;
 pub use wifiq_phy as phy;
 pub use wifiq_qdisc as qdisc;
+pub use wifiq_scale as scale;
 pub use wifiq_sim as sim;
 pub use wifiq_stats as stats;
 pub use wifiq_telemetry as telemetry;

@@ -228,4 +228,238 @@ proptest! {
         prop_assert!(j <= 1.0 + 1e-9);
         prop_assert!(j >= 1.0 / n - 1e-9);
     }
+
+    /// TID churn leaks nothing: under any interleaving of register /
+    /// unregister / enqueue / dequeue, the global packet count equals the
+    /// sum of live per-TID backlogs, every packet is accounted for
+    /// (delivered, dropped, detached, or still queued), and unregistering
+    /// every TID empties the structure.
+    #[test]
+    fn fq_churn_leaks_nothing(ops in proptest::collection::vec(churn_op_strategy(), 1..300)) {
+        let mut fq: MacFq<Pkt> = MacFq::new(FqParams { flows: 16, limit: 64, quantum: 300, ..FqParams::default() });
+        let mut live: Vec<_> = (0..2).map(|_| fq.register_tid()).collect();
+        let params = CodelParams::wifi_default();
+        let mut now = Nanos::ZERO;
+        for op in ops {
+            match op {
+                ChurnOp::Register => {
+                    live.push(fq.register_tid());
+                }
+                ChurnOp::Unregister { k } => {
+                    if !live.is_empty() {
+                        let tid = live.swap_remove(k % live.len());
+                        fq.unregister_tid(tid, now);
+                        prop_assert!(!fq.tid_is_registered(tid));
+                    }
+                }
+                ChurnOp::Enqueue { k, flow, len } => {
+                    if !live.is_empty() {
+                        let tid = live[k % live.len()];
+                        fq.enqueue(Pkt { flow, len, t: now }, tid, now);
+                    }
+                }
+                ChurnOp::Dequeue { k } => {
+                    if !live.is_empty() {
+                        fq.dequeue(live[k % live.len()], now, &params);
+                    }
+                }
+                ChurnOp::Advance { micros } => now += Nanos::from_micros(micros),
+            }
+            let per_tid: usize = live.iter().map(|&t| fq.tid_backlog_packets(t)).sum();
+            prop_assert_eq!(per_tid, fq.total_packets(), "live TID sums diverge from global count");
+        }
+        for tid in live.drain(..) {
+            fq.unregister_tid(tid, now);
+        }
+        prop_assert_eq!(fq.total_packets(), 0, "flow queues leaked after full detach");
+        let s = fq.stats;
+        prop_assert_eq!(
+            s.enqueued,
+            s.dequeued + s.drops_overlimit + s.drops_codel + s.drops_detached
+        );
+    }
+
+    /// A removed station never reappears in a DRR round, no matter how
+    /// registrations, removals and scheduling rounds interleave.
+    #[test]
+    fn scheduler_never_schedules_removed(ops in proptest::collection::vec(sched_op_strategy(), 1..300)) {
+        let mut sched = AirtimeScheduler::new(AirtimeParams::default());
+        let mut live: Vec<_> = (0..2).map(|_| {
+            let h = sched.register_station();
+            sched.notify_active(h, 2);
+            h
+        }).collect();
+        for op in ops {
+            match op {
+                SchedOp::Add => {
+                    let h = sched.register_station();
+                    sched.notify_active(h, 2);
+                    live.push(h);
+                }
+                SchedOp::Remove { k } => {
+                    if !live.is_empty() {
+                        let h = live.swap_remove(k % live.len());
+                        sched.remove_station(h);
+                        prop_assert!(!sched.is_registered(h));
+                    }
+                }
+                SchedOp::Round { cost_us } => {
+                    if let Some(st) = sched.next_station(2, |_| true) {
+                        prop_assert!(
+                            live.contains(&st),
+                            "DRR round offered removed station {:?}", st
+                        );
+                        sched.charge(st, 2, Nanos::from_micros(cost_us));
+                        sched.notify_active(st, 2);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Station churn through the full network leaks nothing: after any
+    /// join/leave sequence with saturating downlink traffic, removing the
+    /// whole roster leaves zero AP backlog and zero station backlogs.
+    #[test]
+    fn network_churn_leaves_no_backlog(ops in proptest::collection::vec(net_op_strategy(), 1..10)) {
+        use ending_anomaly::mac::{NetworkConfig, SchemeKind, StationCfg, WifiNetwork};
+
+        let mut cfg = NetworkConfig::paper_testbed(SchemeKind::AirtimeFair);
+        cfg.seed = 7;
+        let mut net: WifiNetwork<()> = WifiNetwork::new(cfg);
+        let mut app = ChurnFlood { slots: 3, cursor: 0, next_id: 0 };
+        net.seed_timer(0, Nanos::ZERO);
+        let mut deadline = Nanos::ZERO;
+        for op in ops {
+            match op {
+                NetOp::Join => {
+                    let slot = net.add_station(StationCfg::clean(PhyRate::fast_station()));
+                    app.slots = app.slots.max(slot + 1);
+                }
+                NetOp::Leave { k } => {
+                    let n = net.active_stations();
+                    if n > 0 {
+                        let slot = (0..net.station_slots())
+                            .filter(|&s| net.station_active(s))
+                            .nth(k % n)
+                            .unwrap();
+                        net.remove_station(slot);
+                    }
+                }
+                NetOp::Run { ms } => {
+                    deadline += Nanos::from_millis(ms);
+                    net.run(deadline, &mut app);
+                }
+            }
+        }
+        // Tear the whole roster down and let in-flight exchanges land.
+        for slot in 0..net.station_slots() {
+            if net.station_active(slot) {
+                net.remove_station(slot);
+            }
+        }
+        deadline += Nanos::from_millis(50);
+        net.run(deadline, &mut app);
+        prop_assert_eq!(net.active_stations(), 0);
+        prop_assert_eq!(net.ap_backlog(), 0, "AP queues leaked after full churn-out");
+        for slot in 0..net.station_slots() {
+            prop_assert_eq!(net.station_backlog(slot), 0, "station {} uplink leaked", slot);
+        }
+    }
+}
+
+/// One step of the random TID-churn workload.
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    Register,
+    Unregister { k: usize },
+    Enqueue { k: usize, flow: u64, len: u64 },
+    Dequeue { k: usize },
+    Advance { micros: u64 },
+}
+
+fn churn_op_strategy() -> impl Strategy<Value = ChurnOp> {
+    prop_oneof![
+        Just(ChurnOp::Register),
+        (0usize..1_000_000).prop_map(|k| ChurnOp::Unregister { k }),
+        ((0usize..1_000_000), 0u64..20, 64u64..1500).prop_map(|(k, flow, len)| ChurnOp::Enqueue {
+            k,
+            flow,
+            len
+        }),
+        (0usize..1_000_000).prop_map(|k| ChurnOp::Dequeue { k }),
+        (1u64..10_000).prop_map(|micros| ChurnOp::Advance { micros }),
+    ]
+}
+
+/// One step of the random scheduler-churn workload.
+#[derive(Debug, Clone)]
+enum SchedOp {
+    Add,
+    Remove { k: usize },
+    Round { cost_us: u64 },
+}
+
+fn sched_op_strategy() -> impl Strategy<Value = SchedOp> {
+    prop_oneof![
+        Just(SchedOp::Add),
+        (0usize..1_000_000).prop_map(|k| SchedOp::Remove { k }),
+        (50u64..4_000).prop_map(|cost_us| SchedOp::Round { cost_us }),
+    ]
+}
+
+/// One step of the random network-churn workload.
+#[derive(Debug, Clone)]
+enum NetOp {
+    Join,
+    Leave { k: usize },
+    Run { ms: u64 },
+}
+
+fn net_op_strategy() -> impl Strategy<Value = NetOp> {
+    prop_oneof![
+        Just(NetOp::Join),
+        (0usize..1_000_000).prop_map(|k| NetOp::Leave { k }),
+        (1u64..15).prop_map(|ms| NetOp::Run { ms }),
+    ]
+}
+
+/// Minimal saturating downlink app for the network churn property.
+struct ChurnFlood {
+    slots: usize,
+    cursor: usize,
+    next_id: u64,
+}
+
+impl ending_anomaly::mac::App<()> for ChurnFlood {
+    fn on_packet(
+        &mut self,
+        _at: ending_anomaly::mac::Delivery,
+        _pkt: ending_anomaly::mac::Packet<()>,
+        _now: Nanos,
+        _cmds: &mut ending_anomaly::mac::Commands<()>,
+    ) {
+    }
+
+    fn on_timer(&mut self, _token: u64, now: Nanos, cmds: &mut ending_anomaly::mac::Commands<()>) {
+        use ending_anomaly::mac::{NodeAddr, Packet};
+        use ending_anomaly::phy::AccessCategory;
+        for _ in 0..4 {
+            let dst = self.cursor % self.slots;
+            self.cursor += 1;
+            self.next_id += 1;
+            cmds.send(Packet {
+                id: self.next_id,
+                src: NodeAddr::Server,
+                dst: NodeAddr::Station(dst),
+                flow: dst as u64,
+                len: 1500,
+                ac: AccessCategory::Be,
+                created: now,
+                enqueued: now,
+                payload: (),
+            });
+        }
+        cmds.set_timer(0, now + Nanos::from_micros(500));
+    }
 }
