@@ -77,6 +77,39 @@ fn overlimit_drop_path(c: &mut Criterion) {
     });
 }
 
+fn overload_regime(c: &mut Criterion) {
+    // The paper's Algorithm 1 overload regime: the structure is pinned at
+    // its global limit (256 packets) and every enqueue must first evict
+    // from the globally longest queue. The distinct-flow count sets the
+    // size of the nonempty set the longest-queue search works over —
+    // 64 flows × 4 packets vs 256 flows × 1 packet — which is exactly
+    // what separates a linear max-scan from an indexed structure.
+    let mut g = c.benchmark_group("fq_overload");
+    for distinct in [64u64, 256] {
+        g.bench_function(format!("drop_longest_{distinct}_nonempty"), |b| {
+            let mut fq: MacFq<BenchPkt> = MacFq::new(FqParams {
+                flows: 1024,
+                limit: 256,
+                quantum: 300,
+                ..FqParams::default()
+            });
+            let tid = fq.register_tid();
+            let now = Nanos::ZERO;
+            // Saturate: fill to the limit so every bench iteration takes
+            // the drop-from-longest path.
+            for i in 0..256 {
+                fq.enqueue(BenchPkt::new(i % distinct, now), tid, now);
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                black_box(fq.enqueue(BenchPkt::new(i % distinct, now), tid, now));
+            });
+        });
+    }
+    g.finish();
+}
+
 fn many_tids(c: &mut Criterion) {
     c.bench_function("fq_30_stations_round", |b| {
         // 30 stations × BE: enqueue one packet each, dequeue one each —
@@ -128,6 +161,7 @@ criterion_group!(
     enqueue_dequeue_cycle,
     telemetry_cost,
     overlimit_drop_path,
+    overload_regime,
     many_tids,
     scale_round
 );

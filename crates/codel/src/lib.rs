@@ -14,4 +14,4 @@ pub mod params;
 pub mod state;
 
 pub use params::{CodelParams, StationCodelParams};
-pub use state::{CodelQueue, CodelState, QueuedPacket};
+pub use state::{CodelQueue, CodelState, CodelTele, QueuedPacket};

@@ -10,9 +10,65 @@
 //! TCP's throughput-vs-drop-rate response converge to the target delay.
 
 use wifiq_sim::Nanos;
-use wifiq_telemetry::{DropReason, EventKind, Label, Telemetry};
+use wifiq_telemetry::{CounterHandle, DropReason, EventKind, HistHandle, Label, Telemetry};
 
 use crate::params::CodelParams;
+
+/// Pre-resolved telemetry instruments for one CoDel-managed queue — the
+/// per-packet fast path of [`CodelState::dequeue_tracked`]. Resolve once
+/// per queue (at TID registration / `set_telemetry` time), never per
+/// dequeue: each resolve registers a permanent accumulation slot with the
+/// telemetry hub.
+#[derive(Debug, Clone)]
+pub struct CodelTele {
+    /// Counts packets the control law dropped.
+    pub drops: CounterHandle,
+    /// Counts entries into dropping state (the congestion signal).
+    pub marks: CounterHandle,
+    /// Sojourn time of each delivered packet.
+    pub sojourn: HistHandle,
+    /// Ring-event sink; events need no key lookup, so they stay on the
+    /// plain handle.
+    pub tele: Telemetry,
+    /// Component naming this queue in events.
+    pub component: &'static str,
+    /// Label naming this queue in events.
+    pub label: Label,
+}
+
+impl Default for CodelTele {
+    fn default() -> CodelTele {
+        CodelTele::disabled()
+    }
+}
+
+impl CodelTele {
+    /// A permanent no-op bundle; [`CodelState::dequeue_tracked`] with this
+    /// is exactly [`CodelState::dequeue`].
+    pub fn disabled() -> CodelTele {
+        CodelTele {
+            drops: CounterHandle::disabled(),
+            marks: CounterHandle::disabled(),
+            sojourn: HistHandle::disabled(),
+            tele: Telemetry::disabled(),
+            component: "codel",
+            label: Label::Global,
+        }
+    }
+
+    /// Resolves the bundle's handles against `tele` under
+    /// `(component, *, label)`.
+    pub fn resolve(tele: &Telemetry, component: &'static str, label: Label) -> CodelTele {
+        CodelTele {
+            drops: tele.counter_handle(component, "drops", label),
+            marks: tele.counter_handle(component, "marks", label),
+            sojourn: tele.hist_handle(component, "sojourn_ns", label),
+            tele: tele.clone(),
+            component,
+            label,
+        }
+    }
+}
 
 /// A packet that can be managed by CoDel: it remembers when it was enqueued
 /// and knows its on-wire length.
@@ -212,6 +268,56 @@ impl CodelState {
                 component,
                 EventKind::Mark {
                     label,
+                    sojourn: self.last_sojourn,
+                },
+            );
+        }
+        pkt
+    }
+
+    /// [`CodelState::dequeue_observed`] over pre-resolved handles: the
+    /// same drops / sojourn / mark instrumentation without any per-call
+    /// `(component, metric, label)` map lookups. With a disabled bundle
+    /// this is exactly [`CodelState::dequeue`].
+    pub fn dequeue_tracked<Q, F>(
+        &mut self,
+        now: Nanos,
+        params: &CodelParams,
+        queue: &mut Q,
+        mut on_drop: F,
+        ct: &CodelTele,
+    ) -> Option<Q::Packet>
+    where
+        Q: CodelQueue,
+        F: FnMut(Q::Packet),
+    {
+        if !ct.tele.is_enabled() {
+            return self.dequeue(now, params, queue, on_drop);
+        }
+        let was_dropping = self.dropping;
+        let pkt = self.dequeue(now, params, queue, |victim| {
+            ct.drops.add(1);
+            ct.tele.event(
+                now,
+                ct.component,
+                EventKind::Drop {
+                    label: ct.label,
+                    bytes: victim.wire_len() as u32,
+                    reason: DropReason::Codel,
+                },
+            );
+            on_drop(victim);
+        });
+        if pkt.is_some() {
+            ct.sojourn.record(self.last_sojourn.as_nanos());
+        }
+        if self.dropping && !was_dropping {
+            ct.marks.add(1);
+            ct.tele.event(
+                now,
+                ct.component,
+                EventKind::Mark {
+                    label: ct.label,
                     sojourn: self.last_sojourn,
                 },
             );

@@ -15,11 +15,16 @@
 
 use std::collections::VecDeque;
 
-use wifiq_codel::{CodelParams, CodelQueue, CodelState, QueuedPacket};
+use wifiq_codel::{CodelParams, CodelQueue, CodelState, CodelTele, QueuedPacket};
 use wifiq_sim::Nanos;
-use wifiq_telemetry::{DropReason, EventKind, Label, Telemetry};
+use wifiq_telemetry::{
+    CounterHandle, DropReason, EventKind, GaugeHandle, HistHandle, Label, Telemetry,
+};
 
 use crate::packet::{FqPacket, TidHandle};
+
+/// Sentinel for "this flow is not in the backlog heap".
+const NOT_IN_HEAP: usize = usize::MAX;
 
 /// What to do when the global packet limit is hit (Algorithm 1
 /// lines 2–4 vs the naive alternative).
@@ -83,6 +88,10 @@ struct Flow<P> {
     /// The TID this queue is currently assigned to, if any.
     tid: Option<usize>,
     membership: Membership,
+    /// This flow's slot in [`MacFq::heap`], or [`NOT_IN_HEAP`] while the
+    /// queue is empty — the intrusive index that makes longest-queue
+    /// lookup O(1) and membership updates O(log n).
+    heap_pos: usize,
 }
 
 impl<P> Flow<P> {
@@ -94,6 +103,7 @@ impl<P> Flow<P> {
             codel: CodelState::new(),
             tid: None,
             membership: Membership::Idle,
+            heap_pos: NOT_IN_HEAP,
         }
     }
 }
@@ -118,6 +128,52 @@ impl<P: QueuedPacket> CodelQueue for FlowQueueRef<'_, P> {
     }
 }
 
+/// Pre-resolved per-TID telemetry instruments. Resolved once at
+/// registration (or [`MacFq::set_telemetry`]) so the per-packet paths pay
+/// no `(component, metric, label)` map lookups; all-disabled handles when
+/// telemetry is off.
+#[derive(Debug, Default)]
+struct TidTele {
+    enqueued: CounterHandle,
+    collisions: CounterHandle,
+    drr_rounds: CounterHandle,
+    sparse_hits: CounterHandle,
+    victims: CounterHandle,
+    codel: CodelTele,
+}
+
+impl TidTele {
+    fn resolve(tele: &Telemetry, component: &'static str, ti: usize) -> TidTele {
+        let label = Label::Tid(ti as u32);
+        TidTele {
+            enqueued: tele.counter_handle(component, "enqueued", label),
+            collisions: tele.counter_handle(component, "hash_collisions", label),
+            drr_rounds: tele.counter_handle(component, "drr_rounds", label),
+            sparse_hits: tele.counter_handle(component, "sparse_hits", label),
+            victims: tele.counter_handle(component, "drop_longest_victims", label),
+            codel: CodelTele::resolve(tele, component, label),
+        }
+    }
+}
+
+/// Pre-resolved structure-wide instruments (see [`TidTele`]).
+#[derive(Debug, Default)]
+struct FqTele {
+    occupancy_gauge: GaugeHandle,
+    occupancy_hist: HistHandle,
+    drops_overlimit: CounterHandle,
+}
+
+impl FqTele {
+    fn resolve(tele: &Telemetry, component: &'static str) -> FqTele {
+        FqTele {
+            occupancy_gauge: tele.gauge_handle(component, "occupancy_packets", Label::Global),
+            occupancy_hist: tele.hist_handle(component, "occupancy_packets", Label::Global),
+            drops_overlimit: tele.counter_handle(component, "drops_overlimit", Label::Global),
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct TidState {
     new_flows: VecDeque<usize>,
@@ -129,6 +185,10 @@ struct TidState {
     /// False once the TID has been detached; the slot (and its overflow
     /// queue) is parked on the free list until the next `register_tid`.
     registered: bool,
+    /// Handles survive detach/reattach — the slot index (and therefore the
+    /// `Tid` label) is stable, so a churning roster resolves each
+    /// instrument once, not once per join.
+    tele: TidTele,
 }
 
 /// Counters exposed for tests and experiment telemetry.
@@ -187,9 +247,11 @@ pub struct MacFq<P> {
     params: FqParams,
     flows: Vec<Flow<P>>,
     tids: Vec<TidState>,
-    /// Indices of flows that currently hold packets (for the
-    /// longest-queue search without scanning the whole pool).
-    nonempty: Vec<usize>,
+    /// Indices of flows that currently hold packets, arranged as a binary
+    /// max-heap on `backlog_bytes` with each flow's slot stored
+    /// intrusively in [`Flow::heap_pos`] — the longest queue is the root
+    /// (O(1)) and any backlog change re-heapifies in O(log n).
+    heap: Vec<usize>,
     /// Detached TID slots awaiting reuse (LIFO), each keeping its
     /// dedicated overflow queue so churn does not grow the flow pool.
     free_tids: Vec<usize>,
@@ -197,6 +259,8 @@ pub struct MacFq<P> {
     /// Telemetry counters.
     pub stats: FqStats,
     tele: Telemetry,
+    /// Pre-resolved structure-wide instruments.
+    fq_tele: FqTele,
     /// Names this instance in metric keys ("fq" at the AP; the client-side
     /// structure uses "client_fq").
     component: &'static str,
@@ -215,11 +279,12 @@ impl<P: FqPacket> MacFq<P> {
             params,
             flows: (0..params.flows).map(|_| Flow::new()).collect(),
             tids: Vec::new(),
-            nonempty: Vec::new(),
+            heap: Vec::new(),
             free_tids: Vec::new(),
             total_packets: 0,
             stats: FqStats::default(),
             tele: Telemetry::disabled(),
+            fq_tele: FqTele::default(),
             component: "fq",
         }
     }
@@ -230,6 +295,13 @@ impl<P: FqPacket> MacFq<P> {
     pub fn set_telemetry(&mut self, tele: Telemetry, component: &'static str) {
         self.tele = tele;
         self.component = component;
+        // Re-resolve every pre-resolved instrument against the new hub —
+        // including parked (detached) slots, whose handles would otherwise
+        // go stale and record into the old hub after a reattach.
+        self.fq_tele = FqTele::resolve(&self.tele, component);
+        for ti in 0..self.tids.len() {
+            self.tids[ti].tele = TidTele::resolve(&self.tele, component, ti);
+        }
     }
 
     /// Registers a TID (one station × traffic-identifier pair), allocating
@@ -239,12 +311,19 @@ impl<P: FqPacket> MacFq<P> {
     /// grow the flow pool without bound.
     pub fn register_tid(&mut self) -> TidHandle {
         if let Some(idx) = self.free_tids.pop() {
-            let overflow = self.tids[idx].overflow_flow;
-            self.tids[idx] = TidState {
-                overflow_flow: overflow,
-                registered: true,
-                ..TidState::default()
-            };
+            // Revive the slot in place: the DRR list deques (emptied but
+            // not shrunk by `unregister_tid`) and the resolved telemetry
+            // handles are kept, so a detach/reattach cycle allocates
+            // nothing.
+            let t = &mut self.tids[idx];
+            debug_assert!(!t.registered, "free-listed TID still registered");
+            debug_assert!(
+                t.new_flows.is_empty() && t.old_flows.is_empty(),
+                "detached TID kept flows scheduled"
+            );
+            t.backlog_packets = 0;
+            t.backlog_bytes = 0;
+            t.registered = true;
             return TidHandle(idx);
         }
         let overflow = self.flows.len();
@@ -253,6 +332,7 @@ impl<P: FqPacket> MacFq<P> {
         self.tids.push(TidState {
             overflow_flow: overflow,
             registered: true,
+            tele: TidTele::resolve(&self.tele, self.component, idx),
             ..TidState::default()
         });
         TidHandle(idx)
@@ -278,15 +358,13 @@ impl<P: FqPacket> MacFq<P> {
         // Every flow holding this TID's packets sits on exactly one of its
         // DRR lists (enqueue activates Idle flows; only full drain at
         // dequeue releases them), so draining the lists drains the TID.
-        let members: Vec<usize> = self.tids[ti]
-            .new_flows
-            .iter()
-            .chain(self.tids[ti].old_flows.iter())
-            .copied()
-            .collect();
+        // The lists are taken out to walk without aliasing `self` and put
+        // back empty — capacity intact, no scratch allocation.
+        let mut new_flows = std::mem::take(&mut self.tids[ti].new_flows);
+        let mut old_flows = std::mem::take(&mut self.tids[ti].old_flows);
         let mut dropped = 0usize;
         let mut dropped_bytes = 0u64;
-        for fi in members {
+        for fi in new_flows.drain(..).chain(old_flows.drain(..)) {
             let flow = &mut self.flows[fi];
             debug_assert_eq!(flow.tid, Some(ti), "flow on a foreign TID list");
             while let Some(pkt) = flow.queue.pop_front() {
@@ -298,7 +376,7 @@ impl<P: FqPacket> MacFq<P> {
             flow.codel = CodelState::new();
             flow.tid = None;
             flow.membership = Membership::Idle;
-            self.unmark_if_empty(fi);
+            self.heap_shrank(fi);
         }
         // The overflow queue may be idle-but-stale (drained earlier this
         // round); reset its CoDel state so the next owner starts clean.
@@ -310,8 +388,8 @@ impl<P: FqPacket> MacFq<P> {
         let t = &mut self.tids[ti];
         debug_assert_eq!(t.backlog_packets, dropped, "TID packet count drifted");
         debug_assert_eq!(t.backlog_bytes, dropped_bytes, "TID byte count drifted");
-        t.new_flows.clear();
-        t.old_flows.clear();
+        t.new_flows = new_flows;
+        t.old_flows = old_flows;
         t.backlog_packets = 0;
         t.backlog_bytes = 0;
         t.registered = false;
@@ -368,26 +446,190 @@ impl<P: FqPacket> MacFq<P> {
         self.params
     }
 
-    fn mark_nonempty(&mut self, fi: usize) {
-        if self.flows[fi].queue.len() == 1 {
-            self.nonempty.push(fi);
-        }
+    /// Capacity probe for the churn-reuse tests: (new-list, old-list,
+    /// overflow-queue) capacities for one TID slot.
+    #[doc(hidden)]
+    pub fn churn_capacity_probe(&self, tid: TidHandle) -> (usize, usize, usize) {
+        let t = &self.tids[tid.0];
+        (
+            t.new_flows.capacity(),
+            t.old_flows.capacity(),
+            self.flows[t.overflow_flow].queue.capacity(),
+        )
     }
 
-    fn unmark_if_empty(&mut self, fi: usize) {
-        if self.flows[fi].queue.is_empty() {
-            if let Some(pos) = self.nonempty.iter().position(|&x| x == fi) {
-                self.nonempty.swap_remove(pos);
+    /// Recomputes every derived structure from the ground-truth flow
+    /// queues and panics on any inconsistency: the backlog heap (property,
+    /// intrusive positions, exact nonempty membership), per-flow byte
+    /// counts, per-TID packet/byte counts, DRR-list membership, and the
+    /// global packet count. Test-only support for the interleaving
+    /// proptests; O(flows), never call it from a hot path.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let mut total = 0usize;
+        for (fi, flow) in self.flows.iter().enumerate() {
+            total += flow.queue.len();
+            let bytes: u64 = flow.queue.iter().map(|p| p.wire_len()).sum();
+            assert_eq!(
+                bytes, flow.backlog_bytes,
+                "flow {fi}: backlog_bytes drifted"
+            );
+            if flow.queue.is_empty() {
+                assert_eq!(
+                    flow.heap_pos, NOT_IN_HEAP,
+                    "flow {fi}: empty but still in the backlog heap"
+                );
+            } else {
+                assert!(
+                    flow.heap_pos < self.heap.len() && self.heap[flow.heap_pos] == fi,
+                    "flow {fi}: nonempty but heap_pos {} is stale",
+                    flow.heap_pos
+                );
+                assert!(
+                    flow.tid.is_some(),
+                    "flow {fi}: holds packets but is unassigned"
+                );
+            }
+            if flow.membership == Membership::Idle {
+                assert!(flow.queue.is_empty(), "flow {fi}: idle with packets queued");
             }
         }
+        assert_eq!(total, self.total_packets, "total_packets drifted");
+        for (i, &fi) in self.heap.iter().enumerate() {
+            assert!(
+                !self.flows[fi].queue.is_empty(),
+                "heap slot {i}: flow {fi} is empty"
+            );
+            if i > 0 {
+                let parent = self.heap[(i - 1) / 2];
+                assert!(
+                    self.flows[parent].backlog_bytes >= self.flows[fi].backlog_bytes,
+                    "heap property violated at slot {i}"
+                );
+            }
+        }
+        let mut scheduled = vec![0u32; self.flows.len()];
+        for (ti, t) in self.tids.iter().enumerate() {
+            let mut pkts = 0usize;
+            let mut bytes = 0u64;
+            for (&fi, on_new) in t
+                .new_flows
+                .iter()
+                .map(|fi| (fi, true))
+                .chain(t.old_flows.iter().map(|fi| (fi, false)))
+            {
+                assert!(t.registered, "detached TID {ti} still schedules flows");
+                scheduled[fi] += 1;
+                let flow = &self.flows[fi];
+                assert_eq!(flow.tid, Some(ti), "TID {ti} schedules a foreign flow {fi}");
+                let expect = if on_new {
+                    Membership::New
+                } else {
+                    Membership::Old
+                };
+                assert_eq!(flow.membership, expect, "flow {fi}: membership drifted");
+                pkts += flow.queue.len();
+                bytes += flow.backlog_bytes;
+            }
+            assert_eq!(pkts, t.backlog_packets, "TID {ti}: packet count drifted");
+            assert_eq!(bytes, t.backlog_bytes, "TID {ti}: byte count drifted");
+        }
+        for (fi, &n) in scheduled.iter().enumerate() {
+            let expect = u32::from(self.flows[fi].membership != Membership::Idle);
+            assert_eq!(
+                n, expect,
+                "flow {fi}: scheduled {n} times with membership {:?}",
+                self.flows[fi].membership
+            );
+        }
     }
 
-    /// Finds the flow with the largest byte backlog (Algorithm 1 line 3).
+    /// Swaps two heap slots, keeping the intrusive positions in sync.
+    #[inline]
+    fn heap_swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.flows[self.heap[i]].heap_pos = i;
+        self.flows[self.heap[j]].heap_pos = j;
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.flows[self.heap[i]].backlog_bytes <= self.flows[self.heap[parent]].backlog_bytes
+            {
+                break;
+            }
+            self.heap_swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let left = 2 * i + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let mut child = left;
+            if right < self.heap.len()
+                && self.flows[self.heap[right]].backlog_bytes
+                    > self.flows[self.heap[left]].backlog_bytes
+            {
+                child = right;
+            }
+            if self.flows[self.heap[child]].backlog_bytes <= self.flows[self.heap[i]].backlog_bytes
+            {
+                break;
+            }
+            self.heap_swap(i, child);
+            i = child;
+        }
+    }
+
+    /// Records a backlog increase for `fi`: inserts the flow into the
+    /// backlog heap if it just became nonempty, else restores the heap
+    /// property upward from its stored slot.
+    fn heap_grew(&mut self, fi: usize) {
+        let pos = self.flows[fi].heap_pos;
+        if pos == NOT_IN_HEAP {
+            let i = self.heap.len();
+            self.heap.push(fi);
+            self.flows[fi].heap_pos = i;
+            self.sift_up(i);
+        } else {
+            self.sift_up(pos);
+        }
+    }
+
+    /// Records a backlog decrease for `fi`: removes the flow from the heap
+    /// once its queue is empty, else restores the heap property downward.
+    fn heap_shrank(&mut self, fi: usize) {
+        let pos = self.flows[fi].heap_pos;
+        if pos == NOT_IN_HEAP {
+            return;
+        }
+        if self.flows[fi].queue.is_empty() {
+            self.heap.swap_remove(pos);
+            self.flows[fi].heap_pos = NOT_IN_HEAP;
+            if pos < self.heap.len() {
+                let moved = self.heap[pos];
+                self.flows[moved].heap_pos = pos;
+                // The filler came off a leaf: it can be smaller than the
+                // new children or larger than the new parent, never both,
+                // so one of these is a no-op.
+                self.sift_down(pos);
+                self.sift_up(self.flows[moved].heap_pos);
+            }
+        } else {
+            self.sift_down(pos);
+        }
+    }
+
+    /// The flow with the largest byte backlog (Algorithm 1 line 3): the
+    /// heap root, O(1).
     fn find_longest_queue(&self) -> Option<usize> {
-        self.nonempty
-            .iter()
-            .copied()
-            .max_by_key(|&fi| self.flows[fi].backlog_bytes)
+        self.heap.first().copied()
     }
 
     /// Drops the head packet of the globally longest queue, returning it.
@@ -408,11 +650,18 @@ impl<P: FqPacket> MacFq<P> {
             self.tids[ti].backlog_bytes -= pkt.wire_len();
         }
         if self.tele.is_enabled() {
-            let label = victim_tid.map_or(Label::Global, |ti| Label::Tid(ti as u32));
-            self.tele
-                .count(self.component, "drops_overlimit", Label::Global, 1);
-            self.tele
-                .count(self.component, "drop_longest_victims", label, 1);
+            self.fq_tele.drops_overlimit.add(1);
+            let label = match victim_tid {
+                Some(ti) => {
+                    self.tids[ti].tele.victims.add(1);
+                    Label::Tid(ti as u32)
+                }
+                None => {
+                    self.tele
+                        .count(self.component, "drop_longest_victims", Label::Global, 1);
+                    Label::Global
+                }
+            };
             self.tele.event(
                 now,
                 self.component,
@@ -423,7 +672,7 @@ impl<P: FqPacket> MacFq<P> {
                 },
             );
         }
-        self.unmark_if_empty(fi);
+        self.heap_shrank(fi);
         Some(pkt)
     }
 
@@ -446,8 +695,7 @@ impl<P: FqPacket> MacFq<P> {
                 DropPolicy::TailDrop => {
                     self.stats.drops_overlimit += 1;
                     if self.tele.is_enabled() {
-                        self.tele
-                            .count(self.component, "drops_overlimit", Label::Global, 1);
+                        self.fq_tele.drops_overlimit.add(1);
                         self.tele.event(
                             now,
                             self.component,
@@ -471,8 +719,7 @@ impl<P: FqPacket> MacFq<P> {
         if self.flows[fi].tid.is_some_and(|t| t != ti) {
             fi = self.tids[ti].overflow_flow;
             self.stats.collisions += 1;
-            self.tele
-                .count(self.component, "hash_collisions", Label::Tid(ti as u32), 1);
+            self.tids[ti].tele.collisions.add(1);
         }
         self.flows[fi].tid = Some(ti);
 
@@ -495,23 +742,14 @@ impl<P: FqPacket> MacFq<P> {
             self.flows[fi].deficit = self.params.quantum as i64;
             self.tids[ti].new_flows.push_back(fi);
         }
-        self.mark_nonempty(fi);
+        self.heap_grew(fi);
 
         if self.tele.is_enabled() {
-            self.tele
-                .count(self.component, "enqueued", Label::Tid(ti as u32), 1);
-            self.tele.gauge(
-                self.component,
-                "occupancy_packets",
-                Label::Global,
-                self.total_packets as f64,
-            );
-            self.tele.observe_value(
-                self.component,
-                "occupancy_packets",
-                Label::Global,
-                self.total_packets as u64,
-            );
+            self.tids[ti].tele.enqueued.add(1);
+            self.fq_tele.occupancy_gauge.set(self.total_packets as f64);
+            self.fq_tele
+                .occupancy_hist
+                .record(self.total_packets as u64);
             self.tele.event(
                 now,
                 self.component,
@@ -533,11 +771,6 @@ impl<P: FqPacket> MacFq<P> {
         let ti = tid.0;
         assert!(ti < self.tids.len(), "unregistered TID handle");
         assert!(self.tids[ti].registered, "detached TID handle");
-
-        // Cheap Rc clone so CoDel can record drops while `self.flows` is
-        // mutably borrowed; a no-op when telemetry is disabled.
-        let tele = self.tele.clone();
-        let component = self.component;
 
         loop {
             // Pick the head of new_flows, else old_flows (lines 2–7).
@@ -563,7 +796,7 @@ impl<P: FqPacket> MacFq<P> {
                 }
                 t.old_flows.push_back(fi);
                 self.flows[fi].membership = Membership::Old;
-                tele.count(component, "drr_rounds", Label::Tid(ti as u32), 1);
+                self.tids[ti].tele.drr_rounds.add(1);
                 continue;
             }
 
@@ -576,7 +809,7 @@ impl<P: FqPacket> MacFq<P> {
                     queue: &mut flow.queue,
                     backlog_bytes: &mut flow.backlog_bytes,
                 };
-                flow.codel.dequeue_observed(
+                flow.codel.dequeue_tracked(
                     now,
                     codel_params,
                     &mut qref,
@@ -584,9 +817,7 @@ impl<P: FqPacket> MacFq<P> {
                         codel_drops += 1;
                         codel_drop_bytes += p.wire_len();
                     },
-                    &tele,
-                    component,
-                    Label::Tid(ti as u32),
+                    &self.tids[ti].tele.codel,
                 )
             };
             self.total_packets -= codel_drops;
@@ -601,7 +832,7 @@ impl<P: FqPacket> MacFq<P> {
                 None => {
                     // Queue empty (lines 13–19): new flows get demoted to
                     // old (the anti-gaming rule); old flows are released.
-                    self.unmark_if_empty(fi);
+                    self.heap_shrank(fi);
                     let t = &mut self.tids[ti];
                     if from_new {
                         t.new_flows.pop_front();
@@ -622,12 +853,12 @@ impl<P: FqPacket> MacFq<P> {
                     self.total_packets -= 1;
                     self.stats.dequeued += 1;
                     if from_new {
-                        tele.count(component, "sparse_hits", Label::Tid(ti as u32), 1);
+                        self.tids[ti].tele.sparse_hits.add(1);
                     }
                     let t = &mut self.tids[ti];
                     t.backlog_packets -= 1;
                     t.backlog_bytes -= len;
-                    self.unmark_if_empty(fi);
+                    self.heap_shrank(fi);
                     return Some(pkt);
                 }
             }
@@ -936,6 +1167,73 @@ mod tests {
     fn unregistered_tid_panics() {
         let mut fq: MacFq<Pkt> = MacFq::new(FqParams::default());
         fq.enqueue(pkt(1, Nanos::ZERO, 0), TidHandle(3), Nanos::ZERO);
+    }
+
+    #[test]
+    fn detach_reattach_reuses_capacity() {
+        let fqp = FqParams {
+            flows: 256,
+            limit: 8192,
+            quantum: 300,
+            ..FqParams::default()
+        };
+        let mut fq = MacFq::new(fqp);
+        let tid_a = fq.register_tid();
+        let tid_b = fq.register_tid();
+        let now = Nanos::ZERO;
+        // tid_a claims hash target 0 so tid_b's flow 0 collides into its
+        // overflow queue; tid_b's other 99 flows grow its new-flows list.
+        fq.enqueue(pkt(0, now, 0), tid_a, now);
+        for seq in 0..100 {
+            fq.enqueue(pkt(seq as u64, now, seq), tid_b, now);
+        }
+        let before = fq.churn_capacity_probe(tid_b);
+        assert!(before.0 >= 99, "new-flows list never grew: {before:?}");
+        assert!(before.2 >= 1, "overflow queue never grew: {before:?}");
+
+        fq.unregister_tid(tid_b, now);
+        // LIFO slot reuse: the fresh handle revives tid_b's slot, and the
+        // round-trip must not have released any of its capacity.
+        let tid_b2 = fq.register_tid();
+        assert_eq!(tid_b2.0, tid_b.0, "slot not reused");
+        let after = fq.churn_capacity_probe(tid_b2);
+        assert_eq!(before, after, "detach/reattach reallocated");
+
+        fq.enqueue(pkt(7, now, 0), tid_b2, now);
+        assert_eq!(fq.tid_backlog_packets(tid_b2), 1);
+        fq.check_invariants();
+    }
+
+    #[test]
+    fn invariants_hold_across_mixed_workload() {
+        // Enqueue / DRR dequeue / overlimit drop / detach interleaving with
+        // the full structural audit after every round.
+        let mut fq = MacFq::new(FqParams {
+            flows: 16,
+            limit: 64,
+            quantum: 300,
+            ..FqParams::default()
+        });
+        let tid_a = fq.register_tid();
+        let tid_b = fq.register_tid();
+        let mut now = Nanos::ZERO;
+        for round in 0..50u32 {
+            for seq in 0..8 {
+                fq.enqueue(pkt((round * 8 + seq) as u64 % 11, now, seq), tid_a, now);
+                fq.enqueue(pkt((round * 5 + seq) as u64 % 7, now, seq), tid_b, now);
+            }
+            now += Nanos::from_millis(3);
+            for _ in 0..5 {
+                fq.dequeue(tid_a, now, &params());
+            }
+            for _ in 0..3 {
+                fq.dequeue(tid_b, now, &params());
+            }
+            fq.check_invariants();
+        }
+        assert!(fq.stats.drops_overlimit > 0, "never hit the global limit");
+        fq.unregister_tid(tid_b, now);
+        fq.check_invariants();
     }
 
     #[test]

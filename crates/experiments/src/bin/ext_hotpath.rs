@@ -1,0 +1,304 @@
+//! Extension experiment: hot-path cost trajectory.
+//!
+//! Times the per-operation cost of every structure on the packet hot
+//! path — the MAC FQ enqueue/dequeue pair at several roster sizes, the
+//! overload drop-from-longest regime, the telemetry-enabled pair (the
+//! pre-resolved handle fast path), the simulator event queue's front-lane
+//! and spill regimes, and the full network event loop — and writes them
+//! to `results/BENCH_hotpath.json`, the repo's persistent perf-trajectory
+//! artifact. CI re-emits the file on every run, archives it, and gates
+//! the `fq_ns_per_pkt` row against the checked-in baseline
+//! (`scripts/bench_hotpath_baseline.json`, compared by
+//! `scripts/check_bench.py` with a 50% regression tolerance — wide
+//! enough for cross-machine and shared-runner noise, tight enough to
+//! catch a reintroduced linear scan).
+//!
+//! # Artifact schema
+//!
+//! `BENCH_hotpath.json` is a JSON array of rows, one per timed case:
+//!
+//! ```json
+//! [{"case": "fq_ns_per_pkt", "ns_per_op": 64.8, "ops": 200000}, ...]
+//! ```
+//!
+//! * `case` — stable identifier; new cases may be appended, existing
+//!   names must keep their meaning so trajectories stay comparable.
+//! * `ns_per_op` — wall-clock nanoseconds per operation: the mean over
+//!   one repetition's operations, minimum across [`REPS`] repetitions.
+//! * `ops` — operations timed in the reported repetition.
+//!
+//! Unlike the sim artifacts these numbers are wall-clock measurements and
+//! are NOT expected to be byte-identical across runs; they are trend
+//! data, not determinism fixtures. `run_all` may serve this cell's
+//! *console output* from the harness cache, but CI's dedicated
+//! benchmark step invokes the binary directly, so the archived artifact
+//! is always a fresh measurement.
+
+use std::time::Instant;
+
+use wifiq_codel::CodelParams;
+use wifiq_core::fq::{FqParams, MacFq};
+use wifiq_experiments::report::{write_json, Table};
+use wifiq_mac::{
+    App, Commands, Delivery, NetworkConfig, NodeAddr, Packet, SchemeKind, WifiNetwork,
+};
+use wifiq_phy::AccessCategory;
+use wifiq_sim::{EventQueue, Nanos};
+use wifiq_telemetry::Telemetry;
+
+const PKT_LEN: u64 = 1500;
+
+fn pkt(flow: u64, id: u64, t: Nanos) -> Packet<()> {
+    Packet {
+        id,
+        src: NodeAddr::Server,
+        dst: NodeAddr::Station((flow as usize) % 4096),
+        flow,
+        len: PKT_LEN,
+        ac: AccessCategory::Be,
+        created: t,
+        enqueued: t,
+        payload: (),
+    }
+}
+
+/// Steady-state FQ cost: one enqueue+dequeue pair per packet, packets
+/// round-robined over one TID per station. The telemetry variant
+/// exercises the pre-resolved handle fast path.
+fn fq_pair_ns(stations: usize, pairs: usize, tele: Option<Telemetry>) -> (f64, u64) {
+    let mut fq: MacFq<Packet<()>> = MacFq::new(FqParams {
+        flows: 4096,
+        limit: 16384,
+        ..FqParams::default()
+    });
+    if let Some(t) = tele {
+        fq.set_telemetry(t, "fq");
+    }
+    let tids: Vec<_> = (0..stations).map(|_| fq.register_tid()).collect();
+    let params = CodelParams::wifi_default();
+    let batch = 1024.min(pairs);
+    let rounds = pairs.div_ceil(batch);
+    let mut id = 0u64;
+    let mut done = 0u64;
+    let start = Instant::now();
+    for r in 0..rounds {
+        let base = r * batch;
+        for k in 0..batch {
+            let i = (base + k) % stations;
+            id += 1;
+            fq.enqueue(
+                pkt(i as u64, id, Nanos::from_nanos(id)),
+                tids[i],
+                Nanos::from_nanos(id),
+            );
+        }
+        for k in 0..batch {
+            let i = (base + k) % stations;
+            std::hint::black_box(fq.dequeue(tids[i], Nanos::from_nanos(id), &params));
+        }
+        done += batch as u64;
+    }
+    (start.elapsed().as_nanos() as f64 / done as f64, done)
+}
+
+/// Overload regime: the structure is pinned at its global limit, so every
+/// enqueue triggers a drop-from-longest-queue — the paper's Algorithm 1
+/// eviction, served by the intrusive longest-queue heap.
+fn fq_overload_ns(ops: usize) -> (f64, u64) {
+    const DISTINCT: u64 = 256;
+    let mut fq: MacFq<Packet<()>> = MacFq::new(FqParams {
+        flows: 1024,
+        limit: 256,
+        quantum: 300,
+        ..FqParams::default()
+    });
+    let tid = fq.register_tid();
+    let now = Nanos::ZERO;
+    for i in 0..256u64 {
+        fq.enqueue(pkt(i % DISTINCT, i, now), tid, now);
+    }
+    let mut id = 256u64;
+    let start = Instant::now();
+    for _ in 0..ops {
+        id += 1;
+        std::hint::black_box(fq.enqueue(pkt(id % DISTINCT, id, now), tid, now));
+    }
+    (start.elapsed().as_nanos() as f64 / ops as f64, ops as u64)
+}
+
+/// Event queue cost per push+pop. `spill` = false keeps every push in
+/// time order (the front-lane fast path of TX-completion chains);
+/// `spill` = true jitters push times so the heap lane and the spill path
+/// are exercised.
+fn event_queue_ns(ops: usize, spill: bool) -> (f64, u64) {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    // Keep ~64 events live so pops interleave with pushes.
+    for i in 0..64u64 {
+        q.push(Nanos::from_nanos(i * 100), i);
+    }
+    let start = Instant::now();
+    for i in 0..ops as u64 {
+        let (t, _) = q.pop().expect("queue kept non-empty");
+        let at = if spill {
+            // Deterministic jitter: pushes land out of order, forcing
+            // front-lane spills into the heap.
+            t + Nanos::from_nanos((i.wrapping_mul(2_654_435_761)) % 5_000)
+        } else {
+            // In-order: each push lands at/after every pending event
+            // (the TX-completion-chain pattern), so the FIFO front lane
+            // absorbs it without touching the heap.
+            t + Nanos::from_nanos(64 * 100)
+        };
+        std::hint::black_box(q.push(at.max(q.now()), i));
+    }
+    (start.elapsed().as_nanos() as f64 / ops as f64, ops as u64)
+}
+
+/// Downlink flood app for the end-to-end event-loop measurement.
+struct Flood {
+    next_id: u64,
+    stations: usize,
+}
+
+impl App<()> for Flood {
+    fn on_packet(
+        &mut self,
+        _at: Delivery,
+        _pkt: Packet<()>,
+        _now: Nanos,
+        _cmds: &mut Commands<()>,
+    ) {
+    }
+
+    fn on_timer(&mut self, token: u64, now: Nanos, cmds: &mut Commands<()>) {
+        for i in 0..self.stations {
+            self.next_id += 1;
+            cmds.send(Packet {
+                id: self.next_id,
+                src: NodeAddr::Server,
+                dst: NodeAddr::Station(i),
+                flow: i as u64 + 1,
+                len: PKT_LEN,
+                ac: AccessCategory::Be,
+                created: now,
+                enqueued: now,
+                payload: (),
+            });
+        }
+        cmds.set_timer(token, now + Nanos::from_micros(200));
+    }
+}
+
+/// Full MAC event loop: ns of wall time per processed event on the
+/// saturated paper testbed (covers contention, aggregation with the
+/// recycled frame pool, and the reused command buffer).
+fn mac_event_ns(sim: Nanos) -> (f64, u64) {
+    let cfg = NetworkConfig::paper_testbed(SchemeKind::AirtimeFair);
+    let mut net: WifiNetwork<()> = WifiNetwork::new(cfg);
+    let mut app = Flood {
+        next_id: 0,
+        stations: 3,
+    };
+    net.seed_timer(0, Nanos::ZERO);
+    let start = Instant::now();
+    net.run(sim, &mut app);
+    let events = net.events_processed;
+    (start.elapsed().as_nanos() as f64 / events as f64, events)
+}
+
+#[derive(serde::Serialize)]
+struct Row {
+    case: &'static str,
+    ns_per_op: f64,
+    ops: u64,
+}
+
+/// Repetitions per case; the minimum is reported. The min is the
+/// standard noise floor for wall-clock microbenchmarks — scheduler
+/// preemption and cache pollution only ever add time, so the fastest
+/// repetition is the closest to the structure's true cost, which is
+/// what the CI gate needs to compare stably across runs.
+const REPS: usize = 3;
+
+fn best_of(mut f: impl FnMut() -> (f64, u64)) -> (f64, u64) {
+    let mut best = f();
+    for _ in 1..REPS {
+        let run = f();
+        if run.0 < best.0 {
+            best = run;
+        }
+    }
+    best
+}
+
+fn main() {
+    let quick = std::env::var("WIFIQ_QUICK").is_ok_and(|v| v == "1");
+    let (pairs, ov_ops, eq_ops, sim) = if quick {
+        (100_000, 50_000, 200_000, Nanos::from_millis(200))
+    } else {
+        (400_000, 200_000, 1_000_000, Nanos::from_secs(1))
+    };
+    println!(
+        "Extension: hot-path cost trajectory ({} pairs per FQ case)\n",
+        pairs
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut push = |case: &'static str, (ns, ops): (f64, u64)| {
+        rows.push(Row {
+            case,
+            ns_per_op: ns,
+            ops,
+        });
+    };
+
+    // The CI-gated headline number: steady-state FQ pair cost at the
+    // paper-scale roster.
+    push("fq_ns_per_pkt", best_of(|| fq_pair_ns(256, pairs, None)));
+    push(
+        "fq_pair_16_stations",
+        best_of(|| fq_pair_ns(16, pairs, None)),
+    );
+    push(
+        "fq_pair_1024_stations",
+        best_of(|| fq_pair_ns(1024, pairs, None)),
+    );
+    push(
+        "fq_overload_drop_longest",
+        best_of(|| fq_overload_ns(ov_ops)),
+    );
+    push(
+        "fq_pair_telemetry_on",
+        best_of(|| fq_pair_ns(256, pairs, Some(Telemetry::enabled()))),
+    );
+    push(
+        "event_queue_front_lane",
+        best_of(|| event_queue_ns(eq_ops, false)),
+    );
+    push(
+        "event_queue_spill",
+        best_of(|| event_queue_ns(eq_ops, true)),
+    );
+    push("mac_event_loop", best_of(|| mac_event_ns(sim)));
+
+    let mut t = Table::new(vec!["Case", "ns/op", "Ops"]);
+    for r in &rows {
+        t.row(vec![
+            r.case.to_string(),
+            format!("{:.1}", r.ns_per_op),
+            r.ops.to_string(),
+        ]);
+    }
+    t.print();
+
+    write_json("BENCH_hotpath", &rows);
+    let headline = rows
+        .iter()
+        .find(|r| r.case == "fq_ns_per_pkt")
+        .expect("headline row present");
+    println!(
+        "\nhotpath summary: cases={} fq_ns_per_pkt={:.1}",
+        rows.len(),
+        headline.ns_per_op
+    );
+}

@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use wifiq_experiments::runner::{export_metrics, metrics_telemetry};
 use wifiq_harness::{CellDef, Harness, SweepMeta};
 
-const BINS: [&str; 19] = [
+const BINS: [&str; 20] = [
     "fig04_latency_tcp",
     "table1_model_validation",
     "fig05_airtime_udp",
@@ -38,6 +38,7 @@ const BINS: [&str; 19] = [
     "ext_aql",
     "ext_lossy_channel",
     "ext_scale",
+    "ext_hotpath",
 ];
 
 /// Wall-clock budget for one experiment binary; past it the child is

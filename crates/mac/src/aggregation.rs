@@ -91,10 +91,34 @@ pub fn build_aggregate<M>(
     station: StationIdx,
     ac: AccessCategory,
     rate: PhyRate,
-    mut next: impl FnMut() -> Option<Packet<M>>,
+    next: impl FnMut() -> Option<Packet<M>>,
 ) -> (Option<Aggregate<M>>, Option<Packet<M>>) {
+    match build_aggregate_into(station, ac, rate, Vec::new(), next) {
+        (Ok(agg), stash) => (Some(agg), stash),
+        (Err(_), stash) => (None, stash),
+    }
+}
+
+/// What [`build_aggregate_into`] produced: the aggregate on success, or
+/// the untouched (still-empty) frame buffer handed back for re-pooling,
+/// plus an over-size packet the caller must stash and offer first next
+/// time.
+pub type BuildOutcome<M> = (Result<Aggregate<M>, Vec<Packet<M>>>, Option<Packet<M>>);
+
+/// [`build_aggregate`] with a caller-supplied frame buffer, so hot paths
+/// can recycle the `frames` allocation across aggregates instead of
+/// allocating one per A-MPDU. `frames` must be empty; its capacity is
+/// kept. If no packet was available the buffer is handed back in the
+/// `Err` variant for the caller to pool.
+pub fn build_aggregate_into<M>(
+    station: StationIdx,
+    ac: AccessCategory,
+    rate: PhyRate,
+    mut frames: Vec<Packet<M>>,
+    mut next: impl FnMut() -> Option<Packet<M>>,
+) -> BuildOutcome<M> {
+    debug_assert!(frames.is_empty(), "recycled frame buffer not drained");
     let may_aggregate = ac.edca().may_aggregate && rate.supports_aggregation();
-    let mut frames: Vec<Packet<M>> = Vec::new();
     let mut ampdu_bytes: u64 = 0;
     let mut stash = None;
 
@@ -119,7 +143,7 @@ pub fn build_aggregate<M>(
     }
 
     if frames.is_empty() {
-        return (None, stash);
+        return (Err(frames), stash);
     }
 
     let (data_duration, ack_duration) = if may_aggregate {
@@ -137,7 +161,7 @@ pub fn build_aggregate<M>(
     };
 
     (
-        Some(Aggregate {
+        Ok(Aggregate {
             frames,
             station,
             ac,
@@ -284,6 +308,39 @@ mod tests {
             agg.data_duration + consts::SIFS + agg.ack_duration
         );
         assert_eq!(agg.payload_bytes(), 5 * 1500);
+    }
+
+    #[test]
+    fn recycled_buffer_is_reused_and_returned_when_empty() {
+        // A buffer with capacity goes in; the aggregate's frames Vec must
+        // be the same allocation (no realloc for a small aggregate).
+        let buf: Vec<Packet<()>> = Vec::with_capacity(64);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        let (agg, _) = build_aggregate_into(
+            0,
+            AccessCategory::Be,
+            PhyRate::fast_station(),
+            buf,
+            source(5, 1500),
+        );
+        let agg = agg.expect("packets available");
+        assert_eq!(agg.frames.len(), 5);
+        assert_eq!(agg.frames.capacity(), cap);
+        assert_eq!(agg.frames.as_ptr(), ptr);
+        // An empty source hands the buffer back via Err for pooling.
+        let buf: Vec<Packet<()>> = Vec::with_capacity(64);
+        let cap = buf.capacity();
+        let (agg, stash) = build_aggregate_into(
+            0,
+            AccessCategory::Be,
+            PhyRate::fast_station(),
+            buf,
+            source(0, 1500),
+        );
+        let buf = agg.expect_err("no packets: buffer returned");
+        assert_eq!(buf.capacity(), cap);
+        assert!(stash.is_none());
     }
 
     #[test]

@@ -23,7 +23,7 @@
 use wifiq_phy::consts::SLOT_TIME;
 use wifiq_phy::AccessCategory;
 use wifiq_sim::{EventQueue, Nanos, SimRng};
-use wifiq_telemetry::{DropReason, EventKind, Label, Telemetry};
+use wifiq_telemetry::{DropReason, EventKind, GaugeHandle, HistHandle, Label, Telemetry};
 
 use crate::aggregation::Aggregate;
 use crate::app::{App, Commands, Delivery};
@@ -84,11 +84,19 @@ pub struct WifiNetwork<M> {
     /// Packets discarded on arrival because they addressed a slot with no
     /// associated station.
     absent_drops: u64,
-    in_flight: Option<Vec<Participant>>,
+    /// Participants of the exchange currently on the air; empty when the
+    /// medium is idle. The buffer is reused across exchanges.
+    in_flight: Vec<Participant>,
+    /// Scratch buffer for contention rounds (reused every round).
+    contenders: Vec<(Participant, Nanos)>,
     meter: AirtimeMeter,
     /// Optional monitor-mode sink receiving every transmission record.
     monitor: Option<Box<dyn TxMonitor>>,
     tele: Telemetry,
+    /// Pre-resolved handles for the hardware-depth metrics recorded on
+    /// every refill round (hot path under enabled telemetry).
+    hw_depth_gauge: GaugeHandle,
+    hw_depth_hist: HistHandle,
     /// Total events processed (telemetry / runaway guard).
     pub events_processed: u64,
 }
@@ -138,10 +146,13 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
             churn_drops: 0,
             absent_drops: 0,
             stations,
-            in_flight: None,
+            in_flight: Vec::new(),
+            contenders: Vec::new(),
             meter: AirtimeMeter::new(cfg.num_stations()),
             monitor: None,
             tele: Telemetry::disabled(),
+            hw_depth_gauge: GaugeHandle::disabled(),
+            hw_depth_hist: HistHandle::disabled(),
             queue: EventQueue::new(),
             rng,
             cfg,
@@ -168,6 +179,8 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
         for sta in &mut self.stations {
             sta.set_telemetry(tele.clone());
         }
+        self.hw_depth_gauge = tele.gauge_handle("mac", "hw_queue_depth", Label::Global);
+        self.hw_depth_hist = tele.hist_handle("mac", "hw_queue_depth", Label::Global);
         self.tele = tele;
     }
 
@@ -292,10 +305,7 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
     /// the uplink transmitter or as the target of the AP's head-of-line
     /// aggregate.
     fn station_in_flight(&self, sta: StationIdx) -> bool {
-        let Some(parts) = &self.in_flight else {
-            return false;
-        };
-        parts.iter().any(|p| match *p {
+        self.in_flight.iter().any(|p| match *p {
             Participant::Station { idx, .. } => idx == sta,
             Participant::Ap { ac } => self.hw[ac.index()].front().map(|a| a.station) == Some(sta),
         })
@@ -307,11 +317,9 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
     fn detach_station(&mut self, sta: StationIdx) {
         let now = self.queue.now();
         let mut inflight_ap = [false; AccessCategory::COUNT];
-        if let Some(parts) = &self.in_flight {
-            for p in parts {
-                if let Participant::Ap { ac } = p {
-                    inflight_ap[ac.index()] = true;
-                }
+        for p in &self.in_flight {
+            if let Participant::Ap { ac } = p {
+                inflight_ap[ac.index()] = true;
             }
         }
         for (aci, &on_air) in inflight_ap.iter().enumerate() {
@@ -369,13 +377,17 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
     /// Returns at the first event time strictly greater than `until` (that
     /// event remains queued for a later `run` call).
     pub fn run<A: App<M>>(&mut self, until: Nanos, app: &mut A) {
+        // One command buffer for the whole run: `apply` drains it after
+        // each event, so the Vecs' capacity is reused instead of
+        // reallocated per event.
+        let mut cmds = Commands::new();
         while let Some(t) = self.queue.peek_time() {
             if t > until {
                 break;
             }
             let (now, ev) = self.queue.pop().expect("peeked event vanished");
             self.events_processed += 1;
-            let mut cmds = Commands::new();
+            debug_assert!(cmds.is_empty(), "command buffer not drained");
             match ev {
                 Event::WireToAp(mut pkt) => {
                     if !self.station_active(pkt.wireless_peer()) {
@@ -399,17 +411,17 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
                     self.handle_tx_end(now, app, &mut cmds);
                 }
             }
-            self.apply(cmds, now);
+            self.apply(&mut cmds, now);
             self.try_contend(now);
         }
     }
 
-    /// Applies buffered application commands.
-    fn apply(&mut self, cmds: Commands<M>, now: Nanos) {
+    /// Applies and drains buffered application commands.
+    fn apply(&mut self, cmds: &mut Commands<M>, now: Nanos) {
         if cmds.is_empty() {
             return;
         }
-        for mut pkt in cmds.sends {
+        for mut pkt in cmds.sends.drain(..) {
             match pkt.src {
                 NodeAddr::Server => {
                     // Wire hop: propagation + 1 Gbps serialisation.
@@ -429,7 +441,7 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
                 }
             }
         }
-        for (token, at) in cmds.timers {
+        for (token, at) in cmds.timers.drain(..) {
             self.queue.push(at.max(now), Event::AppTimer(token));
         }
     }
@@ -472,21 +484,20 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
         }
         if self.tele.is_enabled() {
             let total: usize = self.hw.iter().map(|q| q.len()).sum();
-            self.tele
-                .gauge("mac", "hw_queue_depth", Label::Global, total as f64);
-            self.tele
-                .observe_value("mac", "hw_queue_depth", Label::Global, total as u64);
+            self.hw_depth_gauge.set(total as f64);
+            self.hw_depth_hist.record(total as u64);
         }
     }
 
     /// Runs one contention round if the medium is idle and anyone has a
     /// frame ready.
     fn try_contend(&mut self, now: Nanos) {
-        if self.in_flight.is_some() {
+        if !self.in_flight.is_empty() {
             return;
         }
 
-        let mut best: Vec<(Participant, Nanos)> = Vec::new();
+        let mut best = std::mem::take(&mut self.contenders);
+        best.clear();
         // The AP contends with its highest-priority non-empty hw queue.
         if let Some(ac) = AccessCategory::ALL
             .into_iter()
@@ -509,22 +520,24 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
             }
         }
         let Some(&(_, t_min)) = best.iter().min_by_key(|(_, t)| *t) else {
+            self.contenders = best;
             return;
         };
-        let winners: Vec<Participant> = best
-            .into_iter()
-            .filter(|&(_, t)| t == t_min)
-            .map(|(p, _)| p)
-            .collect();
+        for &(p, t) in &best {
+            if t == t_min {
+                self.in_flight.push(p);
+            }
+        }
+        self.contenders = best;
 
         // The exchange occupies the medium until the slowest tied
         // transmission (plus its ack slot) completes.
-        let dur = winners
+        let dur = self
+            .in_flight
             .iter()
             .map(|p| self.participant_airtime(*p))
             .max()
             .expect("winners is non-empty");
-        self.in_flight = Some(winners);
         self.queue.push(now + t_min + dur, Event::TxEnd);
     }
 
@@ -542,7 +555,8 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
     }
 
     fn handle_tx_end<A: App<M>>(&mut self, now: Nanos, app: &mut A, cmds: &mut Commands<M>) {
-        let participants = self.in_flight.take().expect("TxEnd with nothing in flight");
+        let mut participants = std::mem::take(&mut self.in_flight);
+        assert!(!participants.is_empty(), "TxEnd with nothing in flight");
         let collision = participants.len() > 1;
         if collision {
             self.tele.count(
@@ -553,7 +567,7 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
             );
         }
 
-        for p in participants {
+        for p in participants.drain(..) {
             match p {
                 Participant::Ap { ac } => self.finish_ap_attempt(ac, collision, now, app, cmds),
                 Participant::Station { idx, ac } => {
@@ -568,6 +582,8 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
                 self.detach_station(sta);
             }
         }
+        // Hand the emptied buffer back for the next exchange.
+        self.in_flight = participants;
     }
 
     fn finish_ap_attempt<A: App<M>>(
@@ -676,6 +692,7 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
                     );
                 }
                 self.ap_cw[aci] = ac.edca().cw_min;
+                self.ap.recycle_frames(agg.frames);
             }
         } else {
             self.ap_cw[aci] = ac.edca().cw_min;
@@ -683,12 +700,14 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
             let m = self.meter.station_mut(sta);
             m.tx_aggregates += 1;
             m.tx_aggregate_frames += agg.frames.len() as u64;
-            for pkt in agg.frames {
+            let mut frames = agg.frames;
+            for pkt in frames.drain(..) {
                 let m = self.meter.station_mut(sta);
                 m.tx_frames += 1;
                 m.tx_bytes += pkt.len;
                 app.on_packet(Delivery::AtStation(sta), pkt, now, cmds);
             }
+            self.ap.recycle_frames(frames);
         }
         // A station vetoed by AQL may have been rotated off the lists
         // while still holding traffic; now that hardware airtime drained,
@@ -784,12 +803,14 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
                         },
                     );
                 }
+                self.stations[idx].recycle_frames(agg.frames);
             }
         } else {
             let agg = self.stations[idx].take_success(ac, now);
             let m = self.meter.station_mut(idx);
             m.rx_frames += agg.frames.len() as u64;
-            for pkt in agg.frames {
+            let mut frames = agg.frames;
+            for pkt in frames.drain(..) {
                 // Station-to-station forwarding through the AP is not
                 // modelled; every uplink frame terminates at the server.
                 debug_assert!(
@@ -802,6 +823,7 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
                 let delay = self.cfg.wire_delay + Nanos::for_bits(pkt.len * 8, 1_000_000_000);
                 self.queue.push(now + delay, Event::WireToServer(pkt));
             }
+            self.stations[idx].recycle_frames(frames);
         }
     }
 }

@@ -23,9 +23,13 @@ use wifiq_qdisc::{FqCodelQdisc, PfifoFastQdisc, Qdisc};
 use wifiq_sim::Nanos;
 use wifiq_telemetry::Telemetry;
 
-use crate::aggregation::{build_aggregate, Aggregate};
+use crate::aggregation::{build_aggregate_into, Aggregate};
 use crate::config::{NetworkConfig, SchemeKind, StationCfg};
 use crate::packet::{Packet, StationIdx};
+
+/// Upper bound on pooled frame buffers; enough to cover every hardware
+/// queue slot plus in-flight recycling without holding memory forever.
+const FRAME_POOL_CAP: usize = 32;
 
 /// Dense TID index: one per (station, access category).
 fn tid_index(sta: StationIdx, ac: AccessCategory) -> usize {
@@ -34,7 +38,10 @@ fn tid_index(sta: StationIdx, ac: AccessCategory) -> usize {
 
 enum LegacyQdisc<M> {
     Pfifo(PfifoFastQdisc<Packet<M>>),
-    FqCodel(FqCodelQdisc<Packet<M>>),
+    // Boxed: the FQ-CoDel qdisc is hundreds of bytes of flow state, the
+    // pfifo variant a few pointers; one qdisc exists per network, so the
+    // indirection is off the per-packet path.
+    FqCodel(Box<FqCodelQdisc<Packet<M>>>),
 }
 
 /// `pfifo_fast`'s three-band 802.1d classification, by access category:
@@ -80,6 +87,10 @@ enum StaSched {
     Airtime(AirtimeScheduler),
 }
 
+// One instance exists per network and the `fq` field sits on the
+// per-packet path, so boxing to shrink the enum would trade a few
+// hundred one-off bytes for an extra pointer chase per packet.
+#[allow(clippy::large_enum_variant)]
 enum PathInner<M> {
     Legacy {
         qdisc: LegacyQdisc<M>,
@@ -119,6 +130,10 @@ pub struct ApTxPath<M> {
     /// Packets dropped at AP queueing layers (qdisc tail-drop, FQ
     /// overlimit; CoDel drops are counted by the FQ structures).
     pub queue_drops: u64,
+    /// Recycled `Aggregate::frames` buffers: built aggregates draw from
+    /// here and the network layer returns the emptied Vec after TX, so
+    /// the steady state allocates no frame buffers at all.
+    frame_pool: Vec<Vec<Packet<M>>>,
     tele: Telemetry,
 }
 
@@ -148,7 +163,7 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
                 qdisc: if cfg.scheme == SchemeKind::Fifo {
                     LegacyQdisc::Pfifo(PfifoFastQdisc::new(3, cfg.pfifo_limit, pfifo_fast_band))
                 } else {
-                    LegacyQdisc::FqCodel(FqCodelQdisc::with_defaults())
+                    LegacyQdisc::FqCodel(Box::new(FqCodelQdisc::with_defaults()))
                 },
                 bufq: (0..n_tids).map(|_| VecDeque::new()).collect(),
                 buf_total: 0,
@@ -190,8 +205,25 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
             free_slots: Vec::new(),
             adaptive_codel: cfg.adaptive_codel,
             queue_drops: 0,
+            frame_pool: Vec::new(),
             tele: Telemetry::disabled(),
         }
+    }
+
+    /// Returns an emptied `Aggregate::frames` buffer to the pool for the
+    /// next [`build`](Self::build) to reuse. Buffers beyond the pool cap
+    /// are simply dropped.
+    pub fn recycle_frames(&mut self, mut frames: Vec<Packet<M>>) {
+        frames.clear();
+        if self.frame_pool.len() < FRAME_POOL_CAP && frames.capacity() > 0 {
+            self.frame_pool.push(frames);
+        }
+    }
+
+    /// Pooled frame buffers currently available (test probe).
+    #[doc(hidden)]
+    pub fn frame_pool_len(&self) -> usize {
+        self.frame_pool.len()
     }
 
     /// Attaches a station to the transmit path, reusing the most recently
@@ -531,14 +563,15 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
         let rate = self.rates[sta];
         let codel_params = self.codel[sta].current();
         let stash_slot = &mut self.stash[tid];
+        let frames_buf = self.frame_pool.pop().unwrap_or_default();
 
-        let (agg, leftover) = match &mut self.inner {
+        let (built, leftover) = match &mut self.inner {
             PathInner::Legacy {
                 bufq, buf_total, ..
             } => {
                 let q = &mut bufq[tid];
                 let mut taken = 0usize;
-                let (agg, leftover) = build_aggregate(sta, ac, rate, || {
+                let (built, leftover) = build_aggregate_into(sta, ac, rate, frames_buf, || {
                     if let Some(p) = stash_slot.take() {
                         return Some(p);
                     }
@@ -549,9 +582,9 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
                     p
                 });
                 *buf_total -= taken;
-                (agg, leftover)
+                (built, leftover)
             }
-            PathInner::Fq { fq, .. } => build_aggregate(sta, ac, rate, || {
+            PathInner::Fq { fq, .. } => build_aggregate_into(sta, ac, rate, frames_buf, || {
                 if let Some(p) = stash_slot.take() {
                     return Some(p);
                 }
@@ -559,6 +592,16 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
             }),
         };
         self.stash[tid] = leftover;
+        let agg = match built {
+            Ok(agg) => Some(agg),
+            Err(buf) => {
+                // Nothing to send: hand the untouched buffer back.
+                if self.frame_pool.len() < FRAME_POOL_CAP && buf.capacity() > 0 {
+                    self.frame_pool.push(buf);
+                }
+                None
+            }
+        };
 
         // Post-build rotation for the round-robin schemes; the airtime
         // scheduler rotates via deficits instead.
@@ -866,6 +909,35 @@ mod tests {
             let agg = drain_one(&mut path, now).expect("new station must transmit");
             assert_eq!(agg.station, 3, "{scheme}");
         }
+    }
+
+    #[test]
+    fn frame_pool_round_trip_reuses_buffers() {
+        let mut path: ApTxPath<()> = ApTxPath::new(&cfg(SchemeKind::FqMac));
+        let now = Nanos::ZERO;
+        for i in 0..10 {
+            path.enqueue(pkt(0, 1, Nanos::from_nanos(i)), now);
+        }
+        let agg = drain_one(&mut path, now).unwrap();
+        assert_eq!(path.frame_pool_len(), 0, "pool starts empty");
+        let mut frames = agg.frames;
+        frames.drain(..);
+        let cap = frames.capacity();
+        let ptr = frames.as_ptr();
+        path.recycle_frames(frames);
+        assert_eq!(path.frame_pool_len(), 1);
+        // The next build must draw the recycled buffer, not allocate.
+        for i in 0..5 {
+            path.enqueue(pkt(0, 1, Nanos::from_nanos(100 + i)), now);
+        }
+        let agg = drain_one(&mut path, now).unwrap();
+        assert_eq!(agg.frames.as_ptr(), ptr);
+        assert_eq!(agg.frames.capacity(), cap);
+        assert_eq!(path.frame_pool_len(), 0);
+        // A build that finds nothing returns the buffer to the pool.
+        path.recycle_frames(agg.frames);
+        assert!(path.build(0, AccessCategory::Be, now).is_none());
+        assert_eq!(path.frame_pool_len(), 1, "empty build re-pools its buffer");
     }
 
     #[test]

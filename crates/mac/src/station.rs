@@ -14,9 +14,13 @@ use wifiq_phy::{AccessCategory, PhyRate};
 use wifiq_sim::{Nanos, SimRng};
 use wifiq_telemetry::Telemetry;
 
-use crate::aggregation::{build_aggregate, Aggregate};
+use crate::aggregation::{build_aggregate_into, Aggregate};
 use crate::packet::{Packet, StationIdx};
 use crate::ratectrl::Minstrel;
+
+/// Pooled frame buffers per station: one pending aggregate per AC plus a
+/// little slack for the recycle round-trip.
+const FRAME_POOL_CAP: usize = 8;
 
 /// The client's uplink queueing: the stock per-AC FIFO, or the paper's
 /// FQ-CoDel structure ("WiFi client devices can also benefit from the
@@ -96,6 +100,9 @@ pub struct StationUplink<M> {
     rc: Option<Minstrel>,
     /// Private RNG stream for rate sampling.
     rng: SimRng,
+    /// Recycled `Aggregate::frames` buffers (see
+    /// [`recycle_frames`](Self::recycle_frames)).
+    frame_pool: Vec<Vec<Packet<M>>>,
 }
 
 impl<M: std::fmt::Debug> StationUplink<M> {
@@ -115,6 +122,17 @@ impl<M: std::fmt::Debug> StationUplink<M> {
             drops: 0,
             rc: None,
             rng: SimRng::new(idx as u64),
+            frame_pool: Vec::new(),
+        }
+    }
+
+    /// Returns an emptied `Aggregate::frames` buffer for the next
+    /// aggregate build to reuse (the network layer calls this after
+    /// delivering or dropping an uplink aggregate).
+    pub fn recycle_frames(&mut self, mut frames: Vec<Packet<M>>) {
+        frames.clear();
+        if self.frame_pool.len() < FRAME_POOL_CAP && frames.capacity() > 0 {
+            self.frame_pool.push(frames);
         }
     }
 
@@ -194,11 +212,21 @@ impl<M: std::fmt::Debug> StationUplink<M> {
                 };
                 let queues = &mut self.queues;
                 let stash = &mut self.stash[aci];
-                let (agg, leftover) = build_aggregate(self.idx, ac, rate, || {
-                    stash.take().or_else(|| queues.pop(ac, now))
-                });
+                let frames_buf = self.frame_pool.pop().unwrap_or_default();
+                let (built, leftover) =
+                    build_aggregate_into(self.idx, ac, rate, frames_buf, || {
+                        stash.take().or_else(|| queues.pop(ac, now))
+                    });
                 self.stash[aci] = leftover;
-                self.pending[aci] = agg;
+                self.pending[aci] = match built {
+                    Ok(agg) => Some(agg),
+                    Err(buf) => {
+                        if self.frame_pool.len() < FRAME_POOL_CAP && buf.capacity() > 0 {
+                            self.frame_pool.push(buf);
+                        }
+                        None
+                    }
+                };
             }
             if self.pending[aci].is_some() {
                 return Some(ac);

@@ -6,7 +6,7 @@
 //! internals.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 
 use crate::time::Nanos;
 
@@ -46,6 +46,14 @@ impl<E> Ord for Entry<E> {
 
 /// A deterministic, cancellable priority queue of simulation events.
 ///
+/// Internally the queue is two-lane: a FIFO *front lane* absorbs the event
+/// loop's common case — a handler scheduling the very next thing to fire
+/// (same-timestamp TX completion chains, monotonic timer trains) — as an
+/// O(1) append/pop, while everything else takes the binary heap. The lanes
+/// maintain the invariant that every front-lane event orders strictly
+/// before every heap event, so pop order (time, then insertion order) is
+/// byte-identical to the single-heap implementation.
+///
 /// # Examples
 ///
 /// ```
@@ -63,6 +71,9 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
+    /// In-order lane: non-decreasing times, all strictly earlier than
+    /// every heap entry, popped front-first with no heap churn.
+    front: VecDeque<Entry<E>>,
     heap: BinaryHeap<Entry<E>>,
     cancelled: HashSet<u64>,
     /// Sequence numbers currently in the heap; guards `cancel` against
@@ -83,6 +94,7 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at zero.
     pub fn new() -> Self {
         EventQueue {
+            front: VecDeque::new(),
             heap: BinaryHeap::new(),
             cancelled: HashSet::new(),
             pending: HashSet::new(),
@@ -112,11 +124,28 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pending.insert(seq);
-        self.heap.push(Entry {
+        let entry = Entry {
             time: at,
             seq,
             payload,
-        });
+        };
+        // Front-lane admission: the push keeps the lane's times
+        // non-decreasing (new seqs are larger, so an equal time preserves
+        // FIFO) and must fire strictly before the earliest heap entry (an
+        // equal-time heap entry holds an older seq and goes first).
+        let after_front = self.front.back().is_none_or(|back| at >= back.time);
+        let before_heap = self.heap.peek().is_none_or(|top| at < top.time);
+        if after_front && before_heap {
+            self.front.push_back(entry);
+        } else {
+            // Out-of-order push: spill the lane into the heap so the
+            // two-lane invariant (front strictly before heap) survives,
+            // then take the heap path.
+            if !after_front {
+                self.heap.extend(self.front.drain(..));
+            }
+            self.heap.push(entry);
+        }
         EventId(seq)
     }
 
@@ -143,6 +172,17 @@ impl<E> EventQueue<E> {
 
     /// Pops the next pending event, advancing the virtual clock to its time.
     pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        // Every front-lane event fires before every heap event, so drain
+        // the lane first — the common case, with no heap churn at all.
+        while let Some(entry) = self.front.pop_front() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.pending.remove(&entry.seq);
+            debug_assert!(entry.time >= self.now, "event queue went backwards");
+            self.now = entry.time;
+            return Some((entry.time, entry.payload));
+        }
         while let Some(entry) = self.heap.pop() {
             if self.cancelled.remove(&entry.seq) {
                 continue;
@@ -158,6 +198,15 @@ impl<E> EventQueue<E> {
     /// The firing time of the next live event, if any, without popping it.
     pub fn peek_time(&mut self) -> Option<Nanos> {
         // Drop cancelled entries so the peek reflects a live event.
+        while let Some(entry) = self.front.front() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.front.pop_front();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.time);
+            }
+        }
         while let Some(entry) = self.heap.peek() {
             if self.cancelled.contains(&entry.seq) {
                 let seq = entry.seq;
@@ -172,7 +221,7 @@ impl<E> EventQueue<E> {
 
     /// Number of scheduled events, including not-yet-skipped cancelled ones.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.front.len() + self.heap.len() - self.cancelled.len()
     }
 
     /// True if no live events remain.
@@ -273,6 +322,128 @@ mod tests {
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(Nanos(20)));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn monotonic_chain_stays_ordered() {
+        // The front-lane fast path: each handler schedules the next event
+        // in time order, interleaved with pops.
+        let mut q = EventQueue::new();
+        q.push(Nanos(10), 0);
+        for i in 1..200u64 {
+            let (t, got) = q.pop().unwrap();
+            assert_eq!(got, i - 1);
+            // Same-timestamp chain every 4th event, else strictly later.
+            let at = if i % 4 == 0 { t } else { t + Nanos(7) };
+            q.push(at, i);
+        }
+        assert_eq!(q.pop().map(|(_, v)| v), Some(199));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_push_spills_front_lane() {
+        let mut q = EventQueue::new();
+        // Build a front lane, then push an earlier event: the earlier one
+        // must still pop first.
+        q.push(Nanos(50), "lane1");
+        q.push(Nanos(60), "lane2");
+        q.push(Nanos(10), "early");
+        q.push(Nanos(55), "mid");
+        assert_eq!(q.pop(), Some((Nanos(10), "early")));
+        assert_eq!(q.pop(), Some((Nanos(50), "lane1")));
+        assert_eq!(q.pop(), Some((Nanos(55), "mid")));
+        assert_eq!(q.pop(), Some((Nanos(60), "lane2")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_time_fifo_across_lanes() {
+        let mut q = EventQueue::new();
+        // "a" lands in the front lane; "b" at the same time would break
+        // FIFO if it joined the lane after a heap entry arrived between.
+        q.push(Nanos(20), "a");
+        q.push(Nanos(5), "x");
+        q.push(Nanos(20), "b");
+        assert_eq!(q.pop(), Some((Nanos(5), "x")));
+        assert_eq!(q.pop(), Some((Nanos(20), "a")));
+        assert_eq!(q.pop(), Some((Nanos(20), "b")));
+    }
+
+    #[test]
+    fn cancel_front_lane_entry() {
+        let mut q = EventQueue::new();
+        let a = q.push(Nanos(10), 1);
+        q.push(Nanos(10), 2);
+        q.push(Nanos(20), 3);
+        assert!(q.cancel(a));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Nanos(10)));
+        assert_eq!(q.pop(), Some((Nanos(10), 2)));
+        assert_eq!(q.pop(), Some((Nanos(20), 3)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn two_lane_order_matches_reference_model() {
+        // Randomised push/pop/cancel workload cross-checked against a
+        // plain sorted model: the two-lane queue must pop in exactly
+        // (time, insertion-order) sequence.
+        let mut q = EventQueue::new();
+        let mut model: Vec<(Nanos, u64, EventId)> = Vec::new();
+        let mut rng: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = |span: u64| {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (rng >> 33) % span
+        };
+        let mut payload = 0u64;
+        for _ in 0..5000 {
+            match next(10) {
+                0..=5 => {
+                    // Jitter of 0 creates same-timestamp chains; larger
+                    // jitter creates out-of-order pushes that force spills.
+                    let at = q.now() + Nanos(next(5) * 10);
+                    let id = q.push(at, payload);
+                    model.push((at, payload, id));
+                    payload += 1;
+                }
+                6..=8 => {
+                    let expect = model
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(i, (t, _, _))| (*t, *i))
+                        .map(|(i, _)| i);
+                    match expect {
+                        None => assert_eq!(q.pop(), None),
+                        Some(i) => {
+                            let (t, p, _) = model.remove(i);
+                            assert_eq!(q.pop(), Some((t, p)));
+                        }
+                    }
+                }
+                _ => {
+                    if !model.is_empty() {
+                        let i = next(model.len() as u64) as usize;
+                        let (_, _, id) = model.remove(i);
+                        assert!(q.cancel(id), "live event refused cancellation");
+                    }
+                }
+            }
+            assert_eq!(q.len(), model.len(), "live-event count drifted");
+        }
+        while let Some((t, p)) = q.pop() {
+            let i = model
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, (t, _, _))| (*t, *i))
+                .map(|(i, _)| i)
+                .expect("queue outlived the model");
+            let (mt, mp, _) = model.remove(i);
+            assert_eq!((t, p), (mt, mp));
+        }
+        assert!(model.is_empty(), "model outlived the queue");
     }
 
     #[test]

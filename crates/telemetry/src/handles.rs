@@ -1,0 +1,262 @@
+//! Pre-resolved metric handles — the per-packet fast path.
+//!
+//! The addressed API ([`crate::Telemetry::count`] and friends) walks a
+//! `BTreeMap` keyed by `(component, metric, label)` on every call. That is
+//! fine for per-repetition bookkeeping but dominates the cost of an enabled
+//! sink on per-packet paths (measured 64.6 ns → 268.5 ns on the 256-flow
+//! FQ cycle). A handle resolves the address once, accumulates into its own
+//! private cell, and is folded into the registry lazily the next time the
+//! registry is read (snapshot, CSV, `with_registry`, `take_registry`), so
+//! exported artifacts are byte-identical to the addressed slow path.
+//!
+//! Ownership rules:
+//!
+//! - A handle is bound to the [`crate::Telemetry`] hub that resolved it;
+//!   handles resolved from a disabled hub are permanent no-ops (one
+//!   untaken branch per record, same as the addressed API).
+//! - Resolving registers the accumulation slot with the hub for the hub's
+//!   lifetime, so resolve once per instrument — at registration /
+//!   `set_telemetry` time — never per packet.
+//! - Counter and histogram flushes are commutative (sums / bucket merges),
+//!   so several handles may share one key. Gauge flush is last-writer-wins
+//!   in handle registration order; keep one gauge handle per key.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use crate::hist::Histogram;
+use crate::registry::{Key, Registry};
+
+#[derive(Debug)]
+pub(crate) struct CounterSlot {
+    key: Key,
+    pending: Cell<u64>,
+}
+
+#[derive(Debug)]
+pub(crate) struct GaugeSlot {
+    key: Key,
+    pending: Cell<f64>,
+    dirty: Cell<bool>,
+}
+
+#[derive(Debug)]
+pub(crate) struct HistSlot {
+    key: Key,
+    pending: RefCell<Histogram>,
+}
+
+/// Every accumulation slot a hub has handed out; the flush side of the
+/// handle fast path.
+#[derive(Debug, Default)]
+pub(crate) struct HandleSet {
+    counters: Vec<Rc<CounterSlot>>,
+    gauges: Vec<Rc<GaugeSlot>>,
+    hists: Vec<Rc<HistSlot>>,
+}
+
+impl HandleSet {
+    pub(crate) fn new_counter(&mut self, key: Key) -> CounterHandle {
+        let slot = Rc::new(CounterSlot {
+            key,
+            pending: Cell::new(0),
+        });
+        self.counters.push(Rc::clone(&slot));
+        CounterHandle(Some(slot))
+    }
+
+    pub(crate) fn new_gauge(&mut self, key: Key) -> GaugeHandle {
+        let slot = Rc::new(GaugeSlot {
+            key,
+            pending: Cell::new(0.0),
+            dirty: Cell::new(false),
+        });
+        self.gauges.push(Rc::clone(&slot));
+        GaugeHandle(Some(slot))
+    }
+
+    pub(crate) fn new_hist(&mut self, key: Key) -> HistHandle {
+        let slot = Rc::new(HistSlot {
+            key,
+            pending: RefCell::new(Histogram::new()),
+        });
+        self.hists.push(Rc::clone(&slot));
+        HistHandle(Some(slot))
+    }
+
+    /// Drains every slot's accumulation into the registry. Untouched slots
+    /// leave no trace, so a resolved-but-never-recorded handle does not
+    /// invent registry keys and snapshots stay identical to the addressed
+    /// path.
+    pub(crate) fn flush_into(&self, reg: &mut Registry) {
+        for c in &self.counters {
+            let v = c.pending.replace(0);
+            if v != 0 {
+                reg.counter_add(c.key.0, c.key.1, c.key.2, v);
+            }
+        }
+        for g in &self.gauges {
+            if g.dirty.replace(false) {
+                reg.gauge_set(g.key.0, g.key.1, g.key.2, g.pending.get());
+            }
+        }
+        for h in &self.hists {
+            let mut pending = h.pending.borrow_mut();
+            if pending.count() > 0 {
+                reg.hist_merge(h.key.0, h.key.1, h.key.2, &pending);
+                pending.clear();
+            }
+        }
+    }
+}
+
+/// Pre-resolved monotonic counter; [`CounterHandle::add`] is a single
+/// `Cell` addition (plus one untaken branch when disabled).
+#[derive(Debug, Clone, Default)]
+pub struct CounterHandle(Option<Rc<CounterSlot>>);
+
+impl CounterHandle {
+    /// A permanent no-op handle (what a disabled hub resolves).
+    pub fn disabled() -> CounterHandle {
+        CounterHandle(None)
+    }
+
+    /// Adds `delta` to the counter.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if let Some(slot) = &self.0 {
+            slot.pending.set(slot.pending.get().wrapping_add(delta));
+        }
+    }
+}
+
+/// Pre-resolved gauge; [`GaugeHandle::set`] is two `Cell` stores.
+#[derive(Debug, Clone, Default)]
+pub struct GaugeHandle(Option<Rc<GaugeSlot>>);
+
+impl GaugeHandle {
+    /// A permanent no-op handle.
+    pub fn disabled() -> GaugeHandle {
+        GaugeHandle(None)
+    }
+
+    /// Sets the gauge to its latest value.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if let Some(slot) = &self.0 {
+            slot.pending.set(value);
+            slot.dirty.set(true);
+        }
+    }
+}
+
+/// Pre-resolved histogram; [`HistHandle::record`] is an O(1) bucket
+/// increment with no map lookup.
+#[derive(Debug, Clone, Default)]
+pub struct HistHandle(Option<Rc<HistSlot>>);
+
+impl HistHandle {
+    /// A permanent no-op handle.
+    pub fn disabled() -> HistHandle {
+        HistHandle(None)
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(slot) = &self.0 {
+            slot.pending.borrow_mut().record(value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Label, Telemetry};
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let t = Telemetry::disabled();
+        let c = t.counter_handle("fq", "enqueued", Label::Tid(0));
+        let g = t.gauge_handle("fq", "occupancy_packets", Label::Global);
+        let h = t.hist_handle("fq", "occupancy_packets", Label::Global);
+        c.add(3);
+        g.set(1.0);
+        h.record(7);
+        assert_eq!(t.counter("fq", "enqueued", Label::Tid(0)), 0);
+    }
+
+    #[test]
+    fn handle_records_flush_on_read() {
+        let t = Telemetry::enabled();
+        let c = t.counter_handle("fq", "enqueued", Label::Tid(2));
+        c.add(5);
+        c.add(7);
+        assert_eq!(t.counter("fq", "enqueued", Label::Tid(2)), 12);
+        // Flush drained the pending cell; further reads don't double-count.
+        assert_eq!(t.counter("fq", "enqueued", Label::Tid(2)), 12);
+        c.add(1);
+        assert_eq!(t.counter("fq", "enqueued", Label::Tid(2)), 13);
+    }
+
+    #[test]
+    fn handle_and_addressed_writes_share_a_key() {
+        let t = Telemetry::enabled();
+        let c = t.counter_handle("fq", "drops", Label::Global);
+        t.count("fq", "drops", Label::Global, 2);
+        c.add(3);
+        assert_eq!(t.counter("fq", "drops", Label::Global), 5);
+    }
+
+    #[test]
+    fn gauge_handle_last_write_wins() {
+        let t = Telemetry::enabled();
+        let g = t.gauge_handle("fq", "occupancy_packets", Label::Global);
+        g.set(4.0);
+        g.set(9.0);
+        let v = t
+            .with_registry(|r| r.gauge("fq", "occupancy_packets", Label::Global))
+            .flatten();
+        assert_eq!(v, Some(9.0));
+    }
+
+    #[test]
+    fn hist_handle_merges_into_snapshot() {
+        let t = Telemetry::enabled();
+        let h = t.hist_handle("codel", "sojourn_ns", Label::Tid(1));
+        for v in [100u64, 200, 400] {
+            h.record(v);
+        }
+        let count = t
+            .with_registry(|r| {
+                r.hist("codel", "sojourn_ns", Label::Tid(1))
+                    .map(|h| h.count())
+            })
+            .flatten();
+        assert_eq!(count, Some(3));
+        let text = t.snapshot("run", 0).pretty();
+        assert!(text.contains("sojourn_ns"));
+    }
+
+    #[test]
+    fn untouched_handles_leave_no_keys() {
+        let t = Telemetry::enabled();
+        let _c = t.counter_handle("fq", "enqueued", Label::Tid(0));
+        let _g = t.gauge_handle("fq", "occupancy_packets", Label::Global);
+        let _h = t.hist_handle("fq", "occupancy_packets", Label::Global);
+        assert!(t.with_registry(|r| r.is_empty()).unwrap());
+    }
+
+    #[test]
+    fn take_registry_captures_pending_handle_state() {
+        let t = Telemetry::enabled();
+        let c = t.counter_handle("fq", "enqueued", Label::Tid(0));
+        c.add(4);
+        let taken = t.take_registry().unwrap();
+        assert_eq!(taken.counter("fq", "enqueued", Label::Tid(0)), 4);
+        // The handle survives the take and accumulates into the fresh
+        // registry left behind.
+        c.add(2);
+        assert_eq!(t.counter("fq", "enqueued", Label::Tid(0)), 2);
+    }
+}

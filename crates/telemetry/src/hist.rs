@@ -85,6 +85,17 @@ impl Histogram {
         }
     }
 
+    /// Empties the histogram in place, keeping the bucket allocation — the
+    /// reset half of the handle flush cycle.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.overflow = 0;
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
     /// Folds another histogram into this one. Buckets are summed, so the
     /// merge of per-shard histograms answers quantile queries exactly as
     /// if every sample had been recorded here.

@@ -32,6 +32,7 @@
 //! ```
 
 pub mod events;
+pub mod handles;
 pub mod hist;
 pub mod registry;
 
@@ -39,7 +40,10 @@ use std::cell::RefCell;
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
 
+use handles::HandleSet;
+
 pub use events::{DropReason, Event, EventKind, EventRing, EventSink};
+pub use handles::{CounterHandle, GaugeHandle, HistHandle};
 pub use hist::Histogram;
 pub use registry::{Label, Registry};
 pub use serde::Json;
@@ -54,6 +58,19 @@ pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
 pub struct Hub {
     registry: RefCell<Registry>,
     events: RefCell<EventRing>,
+    /// Accumulation slots behind pre-resolved handles; folded into
+    /// `registry` on every read so snapshots never miss pending records.
+    handles: RefCell<HandleSet>,
+}
+
+impl Hub {
+    /// Drains pending handle accumulations into the registry. Must run
+    /// before any registry read.
+    fn flush_handles(&self) {
+        self.handles
+            .borrow()
+            .flush_into(&mut self.registry.borrow_mut());
+    }
 }
 
 /// A cheaply clonable telemetry handle; `disabled()` makes every operation
@@ -77,6 +94,7 @@ impl Telemetry {
         Telemetry(Some(Rc::new(Hub {
             registry: RefCell::new(Registry::new()),
             events: RefCell::new(EventRing::new(capacity)),
+            handles: RefCell::new(HandleSet::default()),
         })))
     }
 
@@ -140,9 +158,65 @@ impl Telemetry {
         }
     }
 
+    /// Resolves a counter handle once; [`CounterHandle::add`] then skips
+    /// the per-call key lookup. Resolve at instrument-registration time,
+    /// never per packet — the accumulation slot lives as long as the hub.
+    pub fn counter_handle(
+        &self,
+        component: &'static str,
+        metric: &'static str,
+        label: Label,
+    ) -> CounterHandle {
+        match &self.0 {
+            None => CounterHandle::disabled(),
+            Some(hub) => hub
+                .handles
+                .borrow_mut()
+                .new_counter((component, metric, label)),
+        }
+    }
+
+    /// Resolves a gauge handle once (see [`Telemetry::counter_handle`]).
+    /// Keep a single gauge handle per key: flush is last-writer-wins in
+    /// registration order.
+    pub fn gauge_handle(
+        &self,
+        component: &'static str,
+        metric: &'static str,
+        label: Label,
+    ) -> GaugeHandle {
+        match &self.0 {
+            None => GaugeHandle::disabled(),
+            Some(hub) => hub
+                .handles
+                .borrow_mut()
+                .new_gauge((component, metric, label)),
+        }
+    }
+
+    /// Resolves a histogram handle once (see
+    /// [`Telemetry::counter_handle`]).
+    pub fn hist_handle(
+        &self,
+        component: &'static str,
+        metric: &'static str,
+        label: Label,
+    ) -> HistHandle {
+        match &self.0 {
+            None => HistHandle::disabled(),
+            Some(hub) => hub
+                .handles
+                .borrow_mut()
+                .new_hist((component, metric, label)),
+        }
+    }
+
     /// Runs `f` against the registry (read-only), if enabled.
     pub fn with_registry<R>(&self, f: impl FnOnce(&Registry) -> R) -> Option<R> {
-        self.0.as_ref().map(|hub| f(&hub.registry.borrow()))
+        self.0.as_ref().map(|hub| {
+            hub.flush_handles();
+            f(&hub.registry.borrow())
+        })
     }
 
     /// Takes the recorded registry out of this handle, leaving an empty
@@ -150,9 +224,10 @@ impl Telemetry {
     /// metrics (a plain `Send` value, unlike the `Rc`-based handle) to a
     /// coordinator for rollup.
     pub fn take_registry(&self) -> Option<Registry> {
-        self.0
-            .as_ref()
-            .map(|hub| std::mem::take(&mut *hub.registry.borrow_mut()))
+        self.0.as_ref().map(|hub| {
+            hub.flush_handles();
+            std::mem::take(&mut *hub.registry.borrow_mut())
+        })
     }
 
     /// Folds a detached registry into this handle's registry, rewriting
@@ -179,6 +254,7 @@ impl Telemetry {
             ("enabled".into(), Json::Bool(self.is_enabled())),
         ];
         if let Some(hub) = &self.0 {
+            hub.flush_handles();
             fields.push(("registry".into(), hub.registry.borrow().to_json()));
             fields.push(("events".into(), hub.events.borrow().to_json()));
         }
@@ -191,6 +267,7 @@ impl Telemetry {
         out.push_str(&format!("meta,run,,,name,{run}\n"));
         out.push_str(&format!("meta,run,,,seed,{seed}\n"));
         if let Some(hub) = &self.0 {
+            hub.flush_handles();
             hub.registry.borrow().write_csv(&mut out);
             let events = hub.events.borrow();
             out.push_str(&format!("meta,events,,,total,{}\n", events.total()));

@@ -77,6 +77,21 @@ impl Registry {
         self.gauges.insert((component, metric, label), value);
     }
 
+    /// Folds a detached histogram into the one at this key (bucket-wise
+    /// sum) — how handle-accumulated samples reach the registry.
+    pub fn hist_merge(
+        &mut self,
+        component: &'static str,
+        metric: &'static str,
+        label: Label,
+        h: &Histogram,
+    ) {
+        self.hists
+            .entry((component, metric, label))
+            .or_default()
+            .merge(h);
+    }
+
     /// Records a sample into a histogram.
     pub fn hist_record(
         &mut self,

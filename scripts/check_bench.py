@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Gate the hot-path benchmark trajectory against the checked-in baseline.
+
+Usage: check_bench.py <current.json> <baseline.json> [tolerance]
+
+Both files follow the BENCH_hotpath.json schema: a JSON array of
+{"case": str, "ns_per_op": float, "ops": int} rows.
+
+Only the cases in GATED fail the build: a gated case regressing by more
+than `tolerance` (default 0.50 = +50% ns/op) over the baseline, or
+missing from the current run, exits 1. Everything else is reported for
+trend visibility but never fails — wall-clock microbenchmarks on shared
+CI runners are too noisy to gate broadly, and the baseline was captured
+on a different machine than the runner, so the gate is one headline
+number with a generous margin: it catches accidental O(n) reintroduction
+(multiple-times regressions), not percent-level drift.
+"""
+
+import json
+import sys
+
+GATED = ["fq_ns_per_pkt"]
+
+
+def load(path):
+    with open(path) as f:
+        rows = json.load(f)
+    return {r["case"]: float(r["ns_per_op"]) for r in rows}
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    cur = load(sys.argv[1])
+    base = load(sys.argv[2])
+    tol = float(sys.argv[3]) if len(sys.argv) > 3 else 0.50
+    failed = False
+    for case in GATED:
+        if case not in base:
+            print(f"note: gated case {case} not in baseline; skipping")
+            continue
+        if case not in cur:
+            print(f"FAIL: gated case {case} missing from current run")
+            failed = True
+            continue
+        ratio = cur[case] / base[case]
+        ok = ratio <= 1 + tol
+        status = "ok" if ok else "FAIL"
+        failed = failed or not ok
+        print(
+            f"{status}: {case} baseline {base[case]:.1f} -> current "
+            f"{cur[case]:.1f} ns/op ({ratio:.2f}x, tolerance {1 + tol:.2f}x)"
+        )
+    for case in sorted(cur):
+        if case in GATED:
+            continue
+        if case in base:
+            print(
+                f"info: {case} baseline {base[case]:.1f} -> current "
+                f"{cur[case]:.1f} ns/op ({cur[case] / base[case]:.2f}x)"
+            )
+        else:
+            print(f"info: {case} current {cur[case]:.1f} ns/op (new case)")
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()
