@@ -3,8 +3,7 @@
 //! configuration. These bound how expensive the experiment suite is.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use wifiq_mac::{NetworkConfig, SchemeKind, StationCfg, WifiNetwork};
-use wifiq_phy::{LegacyRate, PhyRate};
+use wifiq_mac::{NetworkConfig, Preset, SchemeKind, WifiNetwork};
 use wifiq_sim::Nanos;
 use wifiq_traffic::{AppMsg, TrafficApp};
 
@@ -37,11 +36,10 @@ fn thirty_station_second(c: &mut Criterion) {
     g.bench_function("airtime_tcp", |b| {
         b.iter_batched(
             || {
-                let mut stations = vec![StationCfg::clean(PhyRate::Legacy(LegacyRate::Dsss1))];
-                for _ in 0..29 {
-                    stations.push(StationCfg::clean(PhyRate::fast_station()));
-                }
-                let cfg = NetworkConfig::new(stations, SchemeKind::AirtimeFair);
+                let cfg = NetworkConfig::builder()
+                    .preset(Preset::Testbed30)
+                    .scheme(SchemeKind::AirtimeFair)
+                    .build();
                 let mut net: WifiNetwork<AppMsg> = WifiNetwork::new(cfg);
                 let mut app = TrafficApp::new();
                 for sta in 0..29 {

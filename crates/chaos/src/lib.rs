@@ -1,0 +1,37 @@
+//! Deterministic, seeded fault injection for the wifiq stack.
+//!
+//! The paper's queueing structure is specifically designed to stay
+//! well-behaved when conditions degrade: CoDel parameters switch to
+//! (target 50 ms, interval 300 ms) when a station's rate estimate drops
+//! below 12 Mbps with 2 s hysteresis (§3.1.1), and the airtime scheduler
+//! must hold Jain fairness when a link collapses — the exact regime the
+//! anomaly literature studies. This crate drives the simulator into
+//! those regimes systematically instead of ad hoc per binary.
+//!
+//! # Model
+//!
+//! A [`FaultSchedule`] is a list of [`FaultEntry`] items: a sim-time
+//! window, a [`FaultTarget`], and an [`Impairment`]. The schedule is
+//! plain data — it can be built in code (via the `ScenarioBuilder` in
+//! wifiq-mac) or decoded from a scenario file — and is interpreted at
+//! run time by a [`ChaosInjector`] owned by the network event loop.
+//!
+//! # Determinism
+//!
+//! All chaos randomness comes from streams forked from the *master*
+//! seed with a chaos-private salt, one stream per station. The main
+//! simulation RNG never sees a chaos draw, so:
+//!
+//! - a run with an empty (or zero-intensity) schedule is byte-identical
+//!   to a run with no chaos at all (`chaos-off == chaos-absent`), and
+//! - results are independent of shard/worker count, exactly like
+//!   wifiq-scale's per-shard seed split.
+//!
+//! Per-station streams also mean an impairment aimed at station A never
+//! perturbs the loss pattern seen by station B.
+
+mod inject;
+mod schedule;
+
+pub use inject::ChaosInjector;
+pub use schedule::{FaultEntry, FaultSchedule, FaultTarget, Impairment};

@@ -1,0 +1,352 @@
+//! The fault schedule: plain-data description of what goes wrong, when,
+//! and to whom.
+
+use wifiq_phy::PhyRate;
+use wifiq_sim::Nanos;
+
+/// Who an impairment applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// One station, by slot index.
+    Station(usize),
+    /// Every associated station.
+    AllStations,
+}
+
+impl FaultTarget {
+    /// Whether this target covers station `sta`.
+    pub fn covers(&self, sta: usize) -> bool {
+        match *self {
+            FaultTarget::Station(s) => s == sta,
+            FaultTarget::AllStations => true,
+        }
+    }
+}
+
+/// One kind of induced degradation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Impairment {
+    /// Gilbert–Elliott two-state burst loss on the station's channel.
+    /// Each exchange first moves the chain (`p_enter`: good→bad,
+    /// `p_exit`: bad→good), then fails with the current state's loss
+    /// probability. `p_exit = 1, p_enter = 0` degenerates to uniform
+    /// i.i.d. loss at `loss_good`.
+    BurstLoss {
+        /// Probability of entering the bad state per exchange.
+        p_enter: f64,
+        /// Probability of leaving the bad state per exchange.
+        p_exit: f64,
+        /// Loss probability while in the good state.
+        loss_good: f64,
+        /// Loss probability while in the bad state.
+        loss_bad: f64,
+    },
+    /// Pin the station's PHY rate to `rate` for the window — the input
+    /// that drives the §3.1.1 CoDel parameter switch when `rate` falls
+    /// below 12 Mbps.
+    RateCollapse {
+        /// Rate during the window.
+        rate: PhyRate,
+    },
+    /// Alternate between `low` and the configured rate every `period`
+    /// of sim time (low phase first).
+    RateOscillate {
+        /// Rate during the low half-periods.
+        low: PhyRate,
+        /// Length of one half-period.
+        period: Nanos,
+    },
+    /// Black-hole window: every exchange involving the station fails.
+    Stall,
+    /// Hardware backpressure spike: the AP's hardware queue depth is
+    /// clamped to `depth` aggregates (global, target is ignored).
+    HwBackpressure {
+        /// Effective queue depth during the window (≥ 1).
+        depth: usize,
+    },
+    /// The data frame arrives but the (Block)ACK is lost with
+    /// probability `prob`; the sender retries as if the exchange failed.
+    AckLoss {
+        /// ACK loss probability per exchange.
+        prob: f64,
+    },
+}
+
+impl Impairment {
+    /// Uniform i.i.d. loss at probability `p`, expressed as a degenerate
+    /// Gilbert–Elliott chain.
+    pub fn uniform_loss(p: f64) -> Impairment {
+        Impairment::BurstLoss {
+            p_enter: 0.0,
+            p_exit: 1.0,
+            loss_good: p,
+            loss_bad: p,
+        }
+    }
+
+    /// Bursty loss with mean burst length `burst_len` exchanges and the
+    /// given loss probability inside a burst; clean between bursts. The
+    /// entry probability is chosen so the long-run fraction of time in
+    /// the bad state is `bad_frac`.
+    pub fn bursty_loss(bad_frac: f64, burst_len: f64, loss_bad: f64) -> Impairment {
+        assert!(burst_len >= 1.0, "burst length below one exchange");
+        assert!((0.0..1.0).contains(&bad_frac), "bad_frac must be in [0,1)");
+        let p_exit = 1.0 / burst_len;
+        // Stationary bad fraction = p_enter / (p_enter + p_exit).
+        let p_enter = if bad_frac == 0.0 {
+            0.0
+        } else {
+            p_exit * bad_frac / (1.0 - bad_frac)
+        };
+        Impairment::BurstLoss {
+            p_enter,
+            p_exit,
+            loss_good: 0.0,
+            loss_bad,
+        }
+    }
+
+    /// Stable identifier used in telemetry counters and scenario files.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Impairment::BurstLoss { .. } => "burst_loss",
+            Impairment::RateCollapse { .. } => "rate_collapse",
+            Impairment::RateOscillate { .. } => "rate_oscillate",
+            Impairment::Stall => "stall",
+            Impairment::HwBackpressure { .. } => "hw_backpressure",
+            Impairment::AckLoss { .. } => "ack_loss",
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let prob = |name: &str, p: f64| {
+            if (0.0..=1.0).contains(&p) {
+                Ok(())
+            } else {
+                Err(format!("{}: probability {p} outside [0, 1]", name))
+            }
+        };
+        match *self {
+            Impairment::BurstLoss {
+                p_enter,
+                p_exit,
+                loss_good,
+                loss_bad,
+            } => {
+                prob("burst_loss.p_enter", p_enter)?;
+                prob("burst_loss.p_exit", p_exit)?;
+                prob("burst_loss.loss_good", loss_good)?;
+                prob("burst_loss.loss_bad", loss_bad)
+            }
+            Impairment::RateOscillate { period, .. } => {
+                if period == Nanos::ZERO {
+                    Err("rate_oscillate: zero period".into())
+                } else {
+                    Ok(())
+                }
+            }
+            Impairment::HwBackpressure { depth } => {
+                if depth == 0 {
+                    Err("hw_backpressure: depth must be ≥ 1".into())
+                } else {
+                    Ok(())
+                }
+            }
+            Impairment::AckLoss { prob: p } => prob("ack_loss.prob", p),
+            Impairment::RateCollapse { .. } | Impairment::Stall => Ok(()),
+        }
+    }
+}
+
+/// One scheduled impairment: a half-open sim-time window `[from, until)`
+/// applied to a target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEntry {
+    /// Window start (inclusive).
+    pub from: Nanos,
+    /// Window end (exclusive).
+    pub until: Nanos,
+    /// Who is impaired.
+    pub target: FaultTarget,
+    /// What goes wrong.
+    pub impairment: Impairment,
+}
+
+impl FaultEntry {
+    /// Creates an entry; `until` may equal `from` for a no-op window.
+    pub fn new(from: Nanos, until: Nanos, target: FaultTarget, impairment: Impairment) -> Self {
+        FaultEntry {
+            from,
+            until,
+            target,
+            impairment,
+        }
+    }
+
+    /// Whether the window covers `now`.
+    pub fn active(&self, now: Nanos) -> bool {
+        self.from <= now && now < self.until
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.until < self.from {
+            return Err(format!(
+                "window ends before it starts: {} .. {}",
+                self.from, self.until
+            ));
+        }
+        self.impairment.validate()
+    }
+}
+
+/// An ordered list of fault entries. Entry order is part of the
+/// contract: chaos RNG draws are made in schedule order per exchange,
+/// so the same schedule always replays the same decisions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    entries: Vec<FaultEntry>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (chaos off).
+    pub fn none() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, entry: FaultEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Builder-style [`push`](Self::push).
+    pub fn with(mut self, entry: FaultEntry) -> FaultSchedule {
+        self.push(entry);
+        self
+    }
+
+    /// Whether the schedule has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries, in declaration order.
+    pub fn entries(&self) -> &[FaultEntry] {
+        &self.entries
+    }
+
+    /// Checks every entry for malformed parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, e) in self.entries.iter().enumerate() {
+            e.validate()
+                .map_err(|msg| format!("fault entry {i}: {msg}"))?;
+        }
+        Ok(())
+    }
+
+    /// The latest rate-fault window for `sta` ending at or before `now`
+    /// — used to measure time-to-recover after a rate restore.
+    pub fn last_rate_restore_before(&self, sta: usize, now: Nanos) -> Option<Nanos> {
+        self.entries
+            .iter()
+            .filter(|e| {
+                e.target.covers(sta)
+                    && matches!(
+                        e.impairment,
+                        Impairment::RateCollapse { .. } | Impairment::RateOscillate { .. }
+                    )
+                    && e.until <= now
+            })
+            .map(|e| e.until)
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_half_open() {
+        let e = FaultEntry::new(
+            Nanos::from_secs(1),
+            Nanos::from_secs(2),
+            FaultTarget::Station(0),
+            Impairment::Stall,
+        );
+        assert!(!e.active(Nanos::from_millis(999)));
+        assert!(e.active(Nanos::from_secs(1)));
+        assert!(e.active(Nanos::from_millis(1999)));
+        assert!(!e.active(Nanos::from_secs(2)));
+    }
+
+    #[test]
+    fn validation_rejects_bad_probabilities() {
+        let sched = FaultSchedule::none().with(FaultEntry::new(
+            Nanos::ZERO,
+            Nanos::from_secs(1),
+            FaultTarget::AllStations,
+            Impairment::AckLoss { prob: 1.5 },
+        ));
+        assert!(sched.validate().is_err());
+        let sched = FaultSchedule::none().with(FaultEntry::new(
+            Nanos::from_secs(2),
+            Nanos::from_secs(1),
+            FaultTarget::Station(0),
+            Impairment::Stall,
+        ));
+        assert!(sched.validate().is_err());
+        let sched = FaultSchedule::none().with(FaultEntry::new(
+            Nanos::ZERO,
+            Nanos::from_secs(1),
+            FaultTarget::AllStations,
+            Impairment::HwBackpressure { depth: 0 },
+        ));
+        assert!(sched.validate().is_err());
+    }
+
+    #[test]
+    fn bursty_loss_stationary_fraction() {
+        let Impairment::BurstLoss {
+            p_enter, p_exit, ..
+        } = Impairment::bursty_loss(0.25, 8.0, 0.9)
+        else {
+            panic!("wrong variant")
+        };
+        let frac = p_enter / (p_enter + p_exit);
+        assert!((frac - 0.25).abs() < 1e-9, "stationary fraction {frac}");
+        assert!((p_exit - 0.125).abs() < 1e-9, "mean burst length mismatch");
+    }
+
+    #[test]
+    fn last_rate_restore_picks_latest_window() {
+        let sched = FaultSchedule::none()
+            .with(FaultEntry::new(
+                Nanos::from_secs(1),
+                Nanos::from_secs(2),
+                FaultTarget::Station(0),
+                Impairment::RateCollapse {
+                    rate: PhyRate::slow_station(),
+                },
+            ))
+            .with(FaultEntry::new(
+                Nanos::from_secs(3),
+                Nanos::from_secs(4),
+                FaultTarget::Station(0),
+                Impairment::RateCollapse {
+                    rate: PhyRate::slow_station(),
+                },
+            ));
+        assert_eq!(
+            sched.last_rate_restore_before(0, Nanos::from_secs(10)),
+            Some(Nanos::from_secs(4))
+        );
+        assert_eq!(
+            sched.last_rate_restore_before(0, Nanos::from_secs(3)),
+            Some(Nanos::from_secs(2))
+        );
+        assert_eq!(
+            sched.last_rate_restore_before(1, Nanos::from_secs(10)),
+            None
+        );
+    }
+}

@@ -6,7 +6,7 @@
 
 use wifiq_experiments::report::{write_json, Table};
 use wifiq_experiments::RunCfg;
-use wifiq_mac::{NetworkConfig, SchemeKind, StationCfg, WifiNetwork};
+use wifiq_mac::{NetworkConfig, SchemeKind, WifiNetwork};
 use wifiq_phy::{PhyRate, VhtWidth};
 use wifiq_sim::Nanos;
 use wifiq_stats::Summary;
@@ -25,15 +25,12 @@ fn run(scheme: SchemeKind, cfg: &RunCfg) -> Row {
     let reps: Vec<(Vec<f64>, Vec<f64>, f64)> =
         wifiq_experiments::runner::run_seeds("ext_80211ac", scheme.slug(), "", cfg, |seed| {
             // Two 866.7 Mbps laptops and one 32.5 Mbps fringe device.
-            let mut net_cfg = NetworkConfig::new(
-                vec![
-                    StationCfg::clean(PhyRate::vht(9, 2, VhtWidth::Mhz80, true)),
-                    StationCfg::clean(PhyRate::vht(9, 2, VhtWidth::Mhz80, true)),
-                    StationCfg::clean(PhyRate::vht(0, 1, VhtWidth::Mhz80, true)),
-                ],
-                scheme,
-            );
-            net_cfg.seed = seed;
+            let net_cfg = NetworkConfig::builder()
+                .stations_at(2, PhyRate::vht(9, 2, VhtWidth::Mhz80, true))
+                .station(PhyRate::vht(0, 1, VhtWidth::Mhz80, true))
+                .scheme(scheme)
+                .seed(seed)
+                .build();
             let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
             let mut app = TrafficApp::new();
             let ping_fast = app.add_ping(0, Nanos::ZERO);

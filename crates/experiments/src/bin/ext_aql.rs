@@ -9,7 +9,7 @@
 
 use wifiq_experiments::report::{write_json, Table};
 use wifiq_experiments::RunCfg;
-use wifiq_mac::{NetworkConfig, SchemeKind, StationCfg, WifiNetwork};
+use wifiq_mac::{NetworkConfig, SchemeKind, WifiNetwork};
 use wifiq_phy::{LegacyRate, PhyRate};
 use wifiq_sim::Nanos;
 use wifiq_stats::Summary;
@@ -31,16 +31,13 @@ fn run(aql: Option<Nanos>, cfg: &RunCfg) -> Row {
         wifiq_experiments::runner::run_seeds("ext_aql", &config, "", cfg, |seed| {
             // Two fast stations and a 1 Mbps legacy device — the worst
             // hardware-queue hog the testbed family produces.
-            let mut net_cfg = NetworkConfig::new(
-                vec![
-                    StationCfg::clean(PhyRate::fast_station()),
-                    StationCfg::clean(PhyRate::fast_station()),
-                    StationCfg::clean(PhyRate::Legacy(LegacyRate::Dsss1)),
-                ],
-                SchemeKind::AirtimeFair,
-            );
-            net_cfg.aql = aql;
-            net_cfg.seed = seed;
+            let net_cfg = NetworkConfig::builder()
+                .stations_at(2, PhyRate::fast_station())
+                .station(PhyRate::Legacy(LegacyRate::Dsss1))
+                .scheme(SchemeKind::AirtimeFair)
+                .aql(aql)
+                .seed(seed)
+                .build();
             let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
             let mut app = TrafficApp::new();
             let ping = app.add_ping(0, Nanos::ZERO);

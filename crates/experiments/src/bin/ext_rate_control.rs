@@ -14,7 +14,7 @@
 use wifiq_experiments::report::{pct, write_json, Table};
 use wifiq_experiments::runner::{mean, meter_delta, run_seeds, shares_of};
 use wifiq_experiments::RunCfg;
-use wifiq_mac::{NetworkConfig, SchemeKind, StationCfg, StationMeter, WifiNetwork};
+use wifiq_mac::{NetworkConfig, SchemeKind, StationMeter, WifiNetwork};
 use wifiq_phy::{ChannelWidth, PhyRate};
 use wifiq_sim::Nanos;
 use wifiq_traffic::TrafficApp;
@@ -32,16 +32,14 @@ fn run(scheme: SchemeKind, cfg: &RunCfg) -> Row {
     // (shares, rate estimates Mbps, goodput Mbps) per repetition.
     type RateRep = (Vec<f64>, Vec<f64>, Vec<f64>);
     let reps: Vec<RateRep> = run_seeds("ext_rate_control", scheme.slug(), "", cfg, |seed| {
-        let mut net_cfg = NetworkConfig::new(
-            vec![
-                StationCfg::with_mcs_cliff(start_rate, 13),
-                StationCfg::with_mcs_cliff(start_rate, 13),
-                StationCfg::with_mcs_cliff(start_rate, 0),
-            ],
-            scheme,
-        );
-        net_cfg.rate_control = true;
-        net_cfg.seed = seed;
+        let net_cfg = NetworkConfig::builder()
+            .cliff_station(start_rate, 13)
+            .cliff_station(start_rate, 13)
+            .cliff_station(start_rate, 0)
+            .scheme(scheme)
+            .rate_control(true)
+            .seed(seed)
+            .build();
         let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
         let mut app = TrafficApp::new();
         let flows: Vec<_> = (0..3).map(|s| app.add_tcp_down(s, Nanos::ZERO)).collect();

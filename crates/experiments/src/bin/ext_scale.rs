@@ -23,7 +23,7 @@ use wifiq_experiments::report::{results_dir, write_json, Table};
 use wifiq_experiments::runner::{export_metrics, mean, metrics_enabled, run_seeds};
 use wifiq_experiments::RunCfg;
 use wifiq_mac::{
-    App, Commands, Delivery, NetworkConfig, NodeAddr, Packet, SchemeKind, StationCfg, WifiNetwork,
+    App, Commands, Delivery, NetworkConfig, NodeAddr, Packet, SchemeKind, WifiNetwork,
 };
 use wifiq_phy::{AccessCategory, PhyRate};
 use wifiq_scale::{ChurnCfg, ChurnDriver, ShardCtx, ShardSet};
@@ -131,11 +131,11 @@ fn run_shard(
     duration: Nanos,
     metrics: bool,
 ) -> (ShardOut, Option<Registry>) {
-    let mut net_cfg = NetworkConfig::new(
-        vec![StationCfg::clean(PhyRate::fast_station()); stations],
-        SchemeKind::AirtimeFair,
-    );
-    net_cfg.seed = ctx.seed;
+    let net_cfg = NetworkConfig::builder()
+        .stations_at(stations, PhyRate::fast_station())
+        .scheme(SchemeKind::AirtimeFair)
+        .seed(ctx.seed)
+        .build();
     let mut net: WifiNetwork<()> = WifiNetwork::new(net_cfg);
     let tele = if metrics {
         Telemetry::enabled()

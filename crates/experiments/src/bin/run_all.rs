@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use wifiq_experiments::runner::{export_metrics, metrics_telemetry};
 use wifiq_harness::{CellDef, Harness, SweepMeta};
 
-const BINS: [&str; 20] = [
+const BINS: [&str; 21] = [
     "fig04_latency_tcp",
     "table1_model_validation",
     "fig05_airtime_udp",
@@ -37,6 +37,7 @@ const BINS: [&str; 20] = [
     "ext_80211ac",
     "ext_aql",
     "ext_lossy_channel",
+    "ext_chaos",
     "ext_scale",
     "ext_hotpath",
 ];

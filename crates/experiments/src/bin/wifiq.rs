@@ -17,7 +17,7 @@
 
 use wifiq_experiments::report::{pct, Table};
 use wifiq_experiments::scenario_file::{InstalledTraffic, ScenarioFile};
-use wifiq_mac::{NetworkConfig, SchemeKind, StationCfg, StationMeter, WifiNetwork};
+use wifiq_mac::{NetworkConfig, SchemeKind, StationMeter, WifiNetwork};
 use wifiq_phy::PhyRate;
 use wifiq_sim::Nanos;
 use wifiq_stats::{jain_index, Summary};
@@ -175,9 +175,9 @@ fn run_config(path: &str) -> Result<(), String> {
     let mut built = scenario.build()?;
     let duration = built.duration;
     let warmup = duration / 6;
-    built.net.run(warmup, &mut built.app);
+    built.run_to(warmup);
     let before: Vec<StationMeter> = built.net.meter().all().to_vec();
-    built.net.run(duration, &mut built.app);
+    built.run_to(duration);
 
     println!(
         "wifiq: scenario {path} | {} | {} stations | {} s
@@ -312,16 +312,15 @@ fn main() {
         }
     };
 
-    let mut cfg = NetworkConfig::new(
-        args.stations
-            .iter()
-            .map(|&r| StationCfg::clean(r))
-            .collect(),
-        args.scheme,
-    );
-    cfg.seed = args.seed;
-    cfg.station_fq = args.station_fq;
-    cfg.rate_control = args.rate_control;
+    let mut builder = NetworkConfig::builder()
+        .scheme(args.scheme)
+        .seed(args.seed)
+        .station_fq(args.station_fq)
+        .rate_control(args.rate_control);
+    for &r in &args.stations {
+        builder = builder.station(r);
+    }
+    let cfg = builder.build();
     let n = cfg.num_stations();
 
     let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(cfg);

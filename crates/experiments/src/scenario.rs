@@ -1,7 +1,7 @@
-//! Scenario builders matching the paper's testbeds.
+//! Scenario builders matching the paper's testbeds — thin wrappers over
+//! [`NetworkConfig::builder`] presets.
 
-use wifiq_mac::{NetworkConfig, SchemeKind, StationCfg};
-use wifiq_phy::{LegacyRate, PhyRate};
+use wifiq_mac::{NetworkConfig, Preset, SchemeKind};
 use wifiq_sim::Nanos;
 
 /// Index of the first fast station in the 3/4-station testbeds.
@@ -16,19 +16,22 @@ pub const EXTRA: usize = 3;
 /// The paper's main testbed: two fast stations (144.4 Mbps) and one slow
 /// station (7.2 Mbps).
 pub fn testbed3(scheme: SchemeKind, seed: u64) -> NetworkConfig {
-    let mut cfg = NetworkConfig::paper_testbed(scheme);
-    cfg.seed = seed;
-    cfg
+    NetworkConfig::builder()
+        .preset(Preset::PaperTestbed)
+        .scheme(scheme)
+        .seed(seed)
+        .build()
 }
 
 /// The 4-station variant: testbed plus one additional (virtual) fast
 /// station, used for the sparse-station and VoIP experiments (§4.1.4,
 /// §4.2.1).
 pub fn testbed4(scheme: SchemeKind, seed: u64) -> NetworkConfig {
-    let mut cfg = testbed3(scheme, seed);
-    cfg.stations
-        .push(StationCfg::clean(PhyRate::fast_station()));
-    cfg
+    NetworkConfig::builder()
+        .preset(Preset::PaperTestbed4)
+        .scheme(scheme)
+        .seed(seed)
+        .build()
 }
 
 /// Disables the sparse-station optimisation (Figure 8's "Disabled" case).
@@ -57,18 +60,17 @@ pub fn bulk30() -> impl Iterator<Item = usize> {
 /// artificially limited to 1 Mbps (HT disabled — no aggregation), on a
 /// 2.4 GHz HT20 channel.
 pub fn testbed30(scheme: SchemeKind, seed: u64) -> NetworkConfig {
-    let mut stations = vec![StationCfg::clean(PhyRate::Legacy(LegacyRate::Dsss1))];
-    for _ in 0..29 {
-        stations.push(StationCfg::clean(PhyRate::fast_station()));
-    }
-    let mut cfg = NetworkConfig::new(stations, scheme);
-    cfg.seed = seed;
-    cfg
+    NetworkConfig::builder()
+        .preset(Preset::Testbed30)
+        .scheme(scheme)
+        .seed(seed)
+        .build()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wifiq_phy::PhyRate;
 
     #[test]
     fn testbed_shapes() {

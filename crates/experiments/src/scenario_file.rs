@@ -3,6 +3,7 @@
 //!
 //! ```json
 //! {
+//!   "version": 2,
 //!   "scheme": "airtime",
 //!   "secs": 30,
 //!   "stations": [
@@ -16,13 +17,29 @@
 //!     { "kind": "ping", "station": 0 },
 //!     { "kind": "voip", "station": 2, "qos": "vo" },
 //!     { "kind": "web", "station": 1, "page": "large" }
-//!   ]
+//!   ],
+//!   "faults": [
+//!     { "kind": "burst_loss", "from_secs": 5, "until_secs": 20,
+//!       "station": 2, "bad_frac": 0.3, "burst_len": 12, "loss_bad": 0.9 },
+//!     { "kind": "rate_collapse", "from_secs": 10, "until_secs": 15,
+//!       "station": 1, "rate": "mcs0" }
+//!   ],
+//!   "churn": { "mean_interval_ms": 500, "min_stations": 2, "max_stations": 3 }
 //! }
 //! ```
+//!
+//! Schema versions: `1` (implicit default) is the original network +
+//! traffic description; `2` adds the `faults` array (a
+//! [`wifiq_chaos`](wifiq_mac::FaultSchedule) schedule) and the optional
+//! `churn` block. Version-1 files using version-2 fields are rejected.
 
 use serde_json::Json;
-use wifiq_mac::{ErrorModel, NetworkConfig, SchemeKind, StationCfg, WifiNetwork};
+use wifiq_mac::{
+    ErrorModel, FaultEntry, FaultSchedule, FaultTarget, Impairment, NetworkConfig, SchemeKind,
+    StationCfg, WifiNetwork,
+};
 use wifiq_phy::{AccessCategory, ChannelWidth, LegacyRate, PhyRate, VhtWidth};
+use wifiq_scale::{ChurnCfg, ChurnDriver};
 use wifiq_sim::Nanos;
 use wifiq_traffic::{AppMsg, FlowHandle, TrafficApp, WebPage};
 
@@ -82,9 +99,36 @@ pub enum TrafficSpec {
     },
 }
 
+/// One fault-schedule entry in a scenario file (schema version ≥ 2).
+#[derive(Debug)]
+pub struct FaultSpec {
+    /// Window start in seconds of sim time (inclusive).
+    pub from_secs: f64,
+    /// Window end in seconds of sim time (exclusive).
+    pub until_secs: f64,
+    /// Target station slot; absent applies to every station.
+    pub station: Option<usize>,
+    /// The decoded impairment.
+    pub impairment: Impairment,
+}
+
+/// Optional station churn (schema version ≥ 2): a seeded join/leave
+/// schedule layered on the run via [`wifiq_scale::ChurnDriver`].
+#[derive(Debug)]
+pub struct ChurnSpec {
+    /// Mean interval between churn events in ms (default 100).
+    pub mean_interval_ms: u64,
+    /// The roster never shrinks below this.
+    pub min_stations: usize,
+    /// The roster never grows beyond this.
+    pub max_stations: usize,
+}
+
 /// A complete scenario file.
 #[derive(Debug)]
 pub struct ScenarioFile {
+    /// Schema version: 1 (legacy, implicit) or 2 (faults + churn).
+    pub version: u64,
     /// Scheme: "fifo", "fqcodel", "fqmac", "airtime" (default "airtime").
     pub scheme: Option<String>,
     /// Simulated seconds (default 20).
@@ -101,6 +145,10 @@ pub struct ScenarioFile {
     pub stations: Vec<StationSpec>,
     /// The traffic mix.
     pub traffic: Vec<TrafficSpec>,
+    /// Scheduled impairments (version ≥ 2).
+    pub faults: Vec<FaultSpec>,
+    /// Station churn (version ≥ 2).
+    pub churn: Option<ChurnSpec>,
 }
 
 // ---- manual JSON decoding -------------------------------------------------
@@ -156,6 +204,15 @@ impl<'a> Fields<'a> {
     fn usize_req(&self, name: &str) -> Result<usize, String> {
         match self.u64_opt(name)? {
             Some(v) => Ok(v as usize),
+            None => Err(format!("{}: missing field `{name}`", self.what)),
+        }
+    }
+
+    fn f64_req(&self, name: &str) -> Result<f64, String> {
+        match self.raw(name) {
+            Some(v) => v
+                .as_f64()
+                .ok_or_else(|| format!("{}: field `{name}` must be a number", self.what)),
             None => Err(format!("{}: missing field `{name}`", self.what)),
         }
     }
@@ -270,6 +327,84 @@ impl TrafficSpec {
     }
 }
 
+impl FaultSpec {
+    fn decode(value: &Json, index: usize) -> Result<FaultSpec, String> {
+        let f = Fields::of(value, format!("faults[{index}]"))?;
+        let kind = f.string_req("kind")?;
+        fn allow<'a>(extra: &[&'a str]) -> Vec<&'a str> {
+            let mut v = vec!["kind", "from_secs", "until_secs", "station"];
+            v.extend_from_slice(extra);
+            v
+        }
+        let impairment = match kind.as_str() {
+            "loss" => {
+                f.deny_unknown(&allow(&["prob"]))?;
+                Impairment::uniform_loss(f.f64_req("prob")?)
+            }
+            "burst_loss" => {
+                f.deny_unknown(&allow(&["bad_frac", "burst_len", "loss_bad"]))?;
+                let bad_frac = f.f64_req("bad_frac")?;
+                let burst_len = f.f64_req("burst_len")?;
+                if !(0.0..1.0).contains(&bad_frac) {
+                    return Err(format!("faults[{index}]: bad_frac must be in [0, 1)"));
+                }
+                if burst_len < 1.0 {
+                    return Err(format!("faults[{index}]: burst_len must be >= 1"));
+                }
+                Impairment::bursty_loss(bad_frac, burst_len, f.f64_or("loss_bad", 0.8)?)
+            }
+            "rate_collapse" => {
+                f.deny_unknown(&allow(&["rate"]))?;
+                Impairment::RateCollapse {
+                    rate: parse_rate(&f.string_req("rate")?)?,
+                }
+            }
+            "rate_oscillate" => {
+                f.deny_unknown(&allow(&["low", "period_ms"]))?;
+                Impairment::RateOscillate {
+                    low: parse_rate(&f.string_req("low")?)?,
+                    period: Nanos::from_millis(f.usize_req("period_ms")? as u64),
+                }
+            }
+            "stall" => {
+                f.deny_unknown(&allow(&[]))?;
+                Impairment::Stall
+            }
+            "hw_backpressure" => {
+                f.deny_unknown(&allow(&["depth"]))?;
+                Impairment::HwBackpressure {
+                    depth: f.usize_req("depth")?,
+                }
+            }
+            "ack_loss" => {
+                f.deny_unknown(&allow(&["prob"]))?;
+                Impairment::AckLoss {
+                    prob: f.f64_req("prob")?,
+                }
+            }
+            other => return Err(format!("faults[{index}]: unknown kind `{other}`")),
+        };
+        Ok(FaultSpec {
+            from_secs: f.f64_req("from_secs")?,
+            until_secs: f.f64_req("until_secs")?,
+            station: f.u64_opt("station")?.map(|v| v as usize),
+            impairment,
+        })
+    }
+}
+
+impl ChurnSpec {
+    fn decode(value: &Json) -> Result<ChurnSpec, String> {
+        let f = Fields::of(value, "churn")?;
+        f.deny_unknown(&["mean_interval_ms", "min_stations", "max_stations"])?;
+        Ok(ChurnSpec {
+            mean_interval_ms: f.u64_opt("mean_interval_ms")?.unwrap_or(100),
+            min_stations: f.usize_req("min_stations")?,
+            max_stations: f.usize_req("max_stations")?,
+        })
+    }
+}
+
 /// A parsed rate spec (shared with the CLI's `--stations` grammar).
 pub fn parse_rate(spec: &str) -> Result<PhyRate, String> {
     if let Some(mcs) = spec.strip_prefix("vht") {
@@ -341,6 +476,19 @@ pub struct BuiltScenario {
     pub traffic: Vec<InstalledTraffic>,
     /// Simulated duration.
     pub duration: Nanos,
+    /// Churn driver, when the scenario declares one.
+    pub churn: Option<ChurnDriver>,
+}
+
+impl BuiltScenario {
+    /// Drives the network to `until`, applying any scheduled churn
+    /// events along the way.
+    pub fn run_to(&mut self, until: Nanos) {
+        match &mut self.churn {
+            Some(d) => d.run_until(&mut self.net, until, &mut self.app),
+            None => self.net.run(until, &mut self.app),
+        }
+    }
 }
 
 impl ScenarioFile {
@@ -349,6 +497,7 @@ impl ScenarioFile {
         let value = serde_json::from_str(text).map_err(|e| format!("scenario parse error: {e}"))?;
         let f = Fields::of(&value, "scenario")?;
         f.deny_unknown(&[
+            "version",
             "scheme",
             "secs",
             "seed",
@@ -357,7 +506,22 @@ impl ScenarioFile {
             "aql_ms",
             "stations",
             "traffic",
+            "faults",
+            "churn",
         ])?;
+        let version = f.u64_opt("version")?.unwrap_or(1);
+        if !(1..=2).contains(&version) {
+            return Err(format!(
+                "unsupported scenario version {version} (this build understands 1 and 2)"
+            ));
+        }
+        if version < 2 {
+            for field in ["faults", "churn"] {
+                if f.raw(field).is_some() {
+                    return Err(format!("`{field}` requires \"version\": 2"));
+                }
+            }
+        }
         let stations = f
             .array_req("stations")?
             .iter()
@@ -370,7 +534,18 @@ impl ScenarioFile {
             .enumerate()
             .map(|(i, v)| TrafficSpec::decode(v, i))
             .collect::<Result<Vec<_>, _>>()?;
+        let faults = match f.raw("faults") {
+            Some(_) => f
+                .array_req("faults")?
+                .iter()
+                .enumerate()
+                .map(|(i, v)| FaultSpec::decode(v, i))
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
+        let churn = f.raw("churn").map(ChurnSpec::decode).transpose()?;
         Ok(ScenarioFile {
+            version,
             scheme: f.string_opt("scheme")?,
             secs: f.u64_opt("secs")?,
             seed: f.u64_opt("seed")?,
@@ -379,6 +554,8 @@ impl ScenarioFile {
             aql_ms: f.u64_opt("aql_ms")?,
             stations,
             traffic,
+            faults,
+            churn,
         })
     }
 
@@ -414,16 +591,62 @@ impl ScenarioFile {
             stations.push(cfg);
         }
         let n = stations.len();
-        let mut cfg = NetworkConfig::new(stations, scheme);
-        cfg.seed = self.seed.unwrap_or(1);
-        cfg.station_fq = self.station_fq;
-        cfg.rate_control = self.rate_control;
+        let mut schedule = FaultSchedule::none();
+        for (i, spec) in self.faults.iter().enumerate() {
+            if let Some(sta) = spec.station {
+                if sta >= n {
+                    return Err(format!(
+                        "faults[{i}] references station {sta}, but there are only {n}"
+                    ));
+                }
+            }
+            schedule.push(FaultEntry::new(
+                Nanos::from_secs_f64(spec.from_secs),
+                Nanos::from_secs_f64(spec.until_secs),
+                spec.station
+                    .map_or(FaultTarget::AllStations, FaultTarget::Station),
+                spec.impairment,
+            ));
+        }
+        schedule
+            .validate()
+            .map_err(|e| format!("fault schedule: {e}"))?;
         if self.aql_ms == Some(0) {
             // A zero budget would make every station permanently
             // ineligible and silently starve all traffic.
             return Err("aql_ms must be positive (omit it to disable AQL)".into());
         }
-        cfg.aql = self.aql_ms.map(Nanos::from_millis);
+        let cfg = NetworkConfig::builder()
+            .stations(stations)
+            .scheme(scheme)
+            .seed(self.seed.unwrap_or(1))
+            .station_fq(self.station_fq)
+            .rate_control(self.rate_control)
+            .aql(self.aql_ms.map(Nanos::from_millis))
+            .faults(schedule)
+            .build();
+        let churn = match &self.churn {
+            Some(c) => {
+                if c.min_stations >= c.max_stations {
+                    return Err("churn: min_stations must be below max_stations".into());
+                }
+                if c.mean_interval_ms == 0 {
+                    return Err("churn: mean_interval_ms must be positive".into());
+                }
+                // Like ext_scale's churn shards: a dedicated RNG stream,
+                // so churn never perturbs the network's own draws.
+                Some(ChurnDriver::new(
+                    ChurnCfg {
+                        mean_interval: Nanos::from_millis(c.mean_interval_ms),
+                        min_stations: c.min_stations,
+                        max_stations: c.max_stations,
+                        ..ChurnCfg::default()
+                    },
+                    cfg.seed ^ 0x00C0_FFEE,
+                ))
+            }
+            None => None,
+        };
 
         let mut app = TrafficApp::with_seed(cfg.seed);
         let mut traffic = Vec::new();
@@ -487,6 +710,7 @@ impl ScenarioFile {
             app,
             traffic,
             duration: Nanos::from_secs(self.secs.unwrap_or(20)),
+            churn,
         })
     }
 }
@@ -583,6 +807,144 @@ mod tests {
             Ok(_) => panic!("zero AQL accepted"),
         };
         assert!(err.contains("aql_ms"), "{err}");
+    }
+
+    const V2: &str = r#"{
+        "version": 2,
+        "scheme": "airtime",
+        "secs": 2,
+        "stations": [
+            { "rate": "mcs15" },
+            { "rate": "mcs15" },
+            { "rate": "mcs0" }
+        ],
+        "traffic": [
+            { "kind": "tcp_down", "station": 0 },
+            { "kind": "tcp_down", "station": 2 },
+            { "kind": "ping", "station": 0 }
+        ],
+        "faults": [
+            { "kind": "burst_loss", "from_secs": 0.5, "until_secs": 1.5,
+              "station": 2, "bad_frac": 0.3, "burst_len": 10, "loss_bad": 0.9 },
+            { "kind": "rate_collapse", "from_secs": 1.0, "until_secs": 1.5,
+              "station": 2, "rate": "mcs0" },
+            { "kind": "ack_loss", "from_secs": 0.0, "until_secs": 2.0, "prob": 0.05 }
+        ],
+        "churn": { "mean_interval_ms": 200, "min_stations": 2, "max_stations": 3 }
+    }"#;
+
+    #[test]
+    fn v2_scenario_with_faults_and_churn_runs() {
+        let sc = ScenarioFile::from_json(V2).unwrap();
+        assert_eq!(sc.version, 2);
+        assert_eq!(sc.faults.len(), 3);
+        let mut built = sc.build().unwrap();
+        assert!(!built.net.config().faults.is_empty());
+        assert!(built.churn.is_some());
+        let duration = built.duration;
+        built.run_to(duration);
+        let churn = built.churn.as_ref().unwrap();
+        assert!(churn.joins + churn.leaves > 0, "churn never fired");
+    }
+
+    #[test]
+    fn v2_fields_rejected_in_v1() {
+        let err = ScenarioFile::from_json(
+            r#"{ "stations": [{ "rate": "mcs15" }], "traffic": [],
+                 "faults": [] }"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("version"), "{err}");
+        let err = ScenarioFile::from_json(
+            r#"{ "stations": [{ "rate": "mcs15" }], "traffic": [],
+                 "churn": { "min_stations": 1, "max_stations": 2 } }"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("version"), "{err}");
+        let err = ScenarioFile::from_json(
+            r#"{ "version": 3, "stations": [{ "rate": "mcs15" }], "traffic": [] }"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("unsupported"), "{err}");
+    }
+
+    fn build_err(sc: &ScenarioFile) -> String {
+        match sc.build() {
+            Err(e) => e,
+            Ok(_) => panic!("invalid scenario accepted"),
+        }
+    }
+
+    #[test]
+    fn bad_faults_rejected() {
+        let base = |fault: &str| {
+            format!(
+                r#"{{ "version": 2, "stations": [{{ "rate": "mcs15" }}],
+                     "traffic": [], "faults": [{fault}] }}"#
+            )
+        };
+        // Unknown kind.
+        let err = ScenarioFile::from_json(&base(
+            r#"{ "kind": "gremlins", "from_secs": 0, "until_secs": 1 }"#,
+        ))
+        .unwrap_err();
+        assert!(err.contains("gremlins"), "{err}");
+        // Probability out of range (caught by schedule validation).
+        let sc = ScenarioFile::from_json(&base(
+            r#"{ "kind": "ack_loss", "from_secs": 0, "until_secs": 1, "prob": 1.5 }"#,
+        ))
+        .unwrap();
+        assert!(build_err(&sc).contains("probability"));
+        // Station out of range.
+        let sc = ScenarioFile::from_json(&base(
+            r#"{ "kind": "stall", "from_secs": 0, "until_secs": 1, "station": 9 }"#,
+        ))
+        .unwrap();
+        assert!(build_err(&sc).contains("station 9"));
+        // Window ends before it starts.
+        let sc = ScenarioFile::from_json(&base(
+            r#"{ "kind": "stall", "from_secs": 2, "until_secs": 1 }"#,
+        ))
+        .unwrap();
+        assert!(build_err(&sc).contains("window"));
+        // Extraneous parameter for the kind.
+        let err = ScenarioFile::from_json(&base(
+            r#"{ "kind": "stall", "from_secs": 0, "until_secs": 1, "prob": 0.5 }"#,
+        ))
+        .unwrap_err();
+        assert!(err.contains("prob"), "{err}");
+    }
+
+    #[test]
+    fn bad_churn_rejected() {
+        let sc = ScenarioFile::from_json(
+            r#"{ "version": 2, "stations": [{ "rate": "mcs15" }], "traffic": [],
+                 "churn": { "min_stations": 2, "max_stations": 2 } }"#,
+        )
+        .unwrap();
+        assert!(build_err(&sc).contains("min_stations"));
+    }
+
+    #[test]
+    fn shipped_scenario_files_validate() {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios");
+        let mut seen = 0;
+        for entry in std::fs::read_dir(dir).expect("scenarios dir") {
+            let path = entry.unwrap().path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let text = std::fs::read_to_string(&path).unwrap();
+            let sc = ScenarioFile::from_json(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            sc.build()
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            seen += 1;
+        }
+        assert!(
+            seen >= 4,
+            "expected the shipped scenario files, found {seen}"
+        );
     }
 
     #[test]

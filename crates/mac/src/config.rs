@@ -1,9 +1,12 @@
 //! Network and scheme configuration.
 
+use wifiq_chaos::FaultSchedule;
 use wifiq_core::scheduler::AirtimeParams;
 use wifiq_core::FqParams;
 use wifiq_phy::PhyRate;
 use wifiq_sim::Nanos;
+
+use crate::builder::ScenarioBuilder;
 
 /// Which AP queue-management scheme to run — the four columns of the
 /// paper's evaluation (§4: "We run all experiments with four queue
@@ -180,6 +183,10 @@ pub struct NetworkConfig {
     /// throughput, obtained from the rate selection algorithm" with a
     /// live estimator.
     pub rate_control: bool,
+    /// Scheduled fault injection (wifiq-chaos). Empty in every baseline
+    /// experiment; entries are replayed deterministically from a
+    /// chaos-private fork of [`seed`](Self::seed).
+    pub faults: FaultSchedule,
 }
 
 impl NetworkConfig {
@@ -202,20 +209,24 @@ impl NetworkConfig {
             station_fq: false,
             aql: None,
             rate_control: false,
+            faults: FaultSchedule::none(),
         }
     }
 
+    /// Starts a fluent [`ScenarioBuilder`] — the single construction
+    /// path for every experiment and scenario file.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::new()
+    }
+
     /// The paper's main testbed: two fast stations (MCS15 HT20 SGI,
-    /// 144.4 Mbps) and one slow station (MCS0, 7.2 Mbps).
+    /// 144.4 Mbps) and one slow station (MCS0, 7.2 Mbps). A preset of
+    /// the builder.
     pub fn paper_testbed(scheme: SchemeKind) -> NetworkConfig {
-        NetworkConfig::new(
-            vec![
-                StationCfg::clean(PhyRate::fast_station()),
-                StationCfg::clean(PhyRate::fast_station()),
-                StationCfg::clean(PhyRate::slow_station()),
-            ],
-            scheme,
-        )
+        NetworkConfig::builder()
+            .preset(crate::builder::Preset::PaperTestbed)
+            .scheme(scheme)
+            .build()
     }
 
     /// Number of configured stations.

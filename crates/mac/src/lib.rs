@@ -20,6 +20,7 @@
 
 pub mod aggregation;
 pub mod app;
+pub mod builder;
 pub mod config;
 pub mod meter;
 pub mod network;
@@ -31,9 +32,13 @@ pub mod trace;
 
 pub use aggregation::Aggregate;
 pub use app::{App, Commands, Delivery};
+pub use builder::{Preset, ScenarioBuilder};
 pub use config::{ErrorModel, NetworkConfig, SchemeKind, StationCfg};
+// Re-exported so scenario authors depend on one crate for the full
+// builder vocabulary (targets, impairments, schedules).
 pub use meter::{AirtimeMeter, StationMeter};
 pub use network::WifiNetwork;
 pub use packet::{NodeAddr, Packet, StationIdx};
 pub use ratectrl::Minstrel;
 pub use trace::{AirtimeCapture, TxDirection, TxMonitor, TxRecord};
+pub use wifiq_chaos::{ChaosInjector, FaultEntry, FaultSchedule, FaultTarget, Impairment};

@@ -20,6 +20,7 @@
 //! the airtime scheme — its scheduler deficit, for *both* directions and
 //! including retries, exactly as §3.2 specifies.
 
+use wifiq_chaos::ChaosInjector;
 use wifiq_phy::consts::SLOT_TIME;
 use wifiq_phy::AccessCategory;
 use wifiq_sim::{EventQueue, Nanos, SimRng};
@@ -68,6 +69,10 @@ pub struct WifiNetwork<M> {
     /// Per-station downlink rate controllers (only when
     /// `cfg.rate_control`; legacy-rate stations never adapt).
     ratectrl: Vec<Option<Minstrel>>,
+    /// Fault injection (off — a `None` branch per query — unless
+    /// `cfg.faults` has entries). Draws from a chaos-private stream, so
+    /// the main RNG sequence is identical with chaos on or off.
+    chaos: ChaosInjector,
     /// Which station slots host an associated station. Departed slots stay
     /// in every per-station table as tombstones until a join reuses them.
     active: Vec<bool>,
@@ -138,6 +143,7 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
         WifiNetwork {
             ap: ApTxPath::new(&cfg),
             ratectrl,
+            chaos: ChaosInjector::from_schedule(&cfg.faults, cfg.seed, cfg.stations.len()),
             hw: Default::default(),
             ap_cw: AccessCategory::ALL.map(|ac| ac.edca().cw_min),
             active: vec![true; stations.len()],
@@ -181,6 +187,7 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
         }
         self.hw_depth_gauge = tele.gauge_handle("mac", "hw_queue_depth", Label::Global);
         self.hw_depth_hist = tele.hist_handle("mac", "hw_queue_depth", Label::Global);
+        self.chaos.set_telemetry(tele.clone());
         self.tele = tele;
     }
 
@@ -277,6 +284,7 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
         }
         self.meter.ensure_station(sta);
         self.meter.reset_station(sta);
+        self.chaos.ensure_station(sta);
         self.tele.count("mac", "station_joins", Label::Global, 1);
         sta
     }
@@ -453,7 +461,13 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
     /// the hardware is skipped for this refill round (its frames stay in
     /// the MAC FQ, where CoDel and the scheduler govern them).
     fn ap_schedule(&mut self, ac: AccessCategory, now: Nanos) {
-        while self.hw[ac.index()].len() < self.cfg.hw_queue_depth {
+        // A chaos backpressure spike narrows the effective depth; it can
+        // never widen it past the configured hardware limit.
+        let depth = match self.chaos.hw_depth_clamp(now) {
+            Some(clamp) => clamp.min(self.cfg.hw_queue_depth),
+            None => self.cfg.hw_queue_depth,
+        };
+        while self.hw[ac.index()].len() < depth {
             // AQL eligibility: stations at their hardware-airtime budget
             // are invisible to the scheduler this round.
             let sta = {
@@ -473,7 +487,21 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
             };
             let Some(sta) = sta else { break };
             if let Some(rc) = self.ratectrl[sta].as_mut() {
+                // The cap makes a chaos rate collapse visible to the
+                // controller itself: it cannot probe above the collapsed
+                // channel while the fault window is open.
+                rc.set_cap(self.chaos.rate_override(sta, now));
                 self.ap.set_rate(sta, rc.rate_for_next(&mut self.rng));
+            } else if self.chaos.is_enabled() {
+                match self.chaos.rate_override(sta, now) {
+                    Some(rate) => {
+                        self.ap.set_rate(sta, rate);
+                        self.chaos.note_rate_override(sta);
+                    }
+                    // Restore the configured rate once the window closes
+                    // (nothing else resets it without a controller).
+                    None => self.ap.set_rate(sta, self.cfg.stations[sta].rate),
+                }
             }
             match self.ap.build(sta, ac, now) {
                 Some(agg) => self.hw[ac.index()].push_back(agg),
@@ -605,7 +633,8 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
         let failed = collision
             || self
                 .rng
-                .chance(self.cfg.stations[sta].errors.exchange_error_prob(tx_rate));
+                .chance(self.cfg.stations[sta].errors.exchange_error_prob(tx_rate))
+            || self.chaos.exchange_lost(sta, now);
 
         // Airtime is consumed whether or not the exchange succeeded.
         self.meter.station_mut(sta).tx_airtime += airtime;
@@ -656,7 +685,18 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
             }
             None => self.cfg.stations[sta].rate.bits_per_second(),
         };
+        // A collapsed channel must drive the §3.1.1 parameter switch:
+        // while a chaos rate fault is active the estimate is the
+        // impaired rate, not the configured/controller one.
+        let rate_estimate = match self.chaos.rate_override(sta, now) {
+            Some(rate) => rate.bits_per_second(),
+            None => rate_estimate,
+        };
         self.ap.on_tx_airtime(sta, ac, airtime, now, rate_estimate);
+        if self.chaos.is_enabled() {
+            self.chaos
+                .observe_codel(sta, self.ap.codel_degraded(sta), now);
+        }
 
         if failed {
             self.meter.station_mut(sta).failures += 1;
@@ -734,7 +774,8 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
         let failed = collision
             || self
                 .rng
-                .chance(self.cfg.stations[idx].errors.exchange_error_prob(up_rate));
+                .chance(self.cfg.stations[idx].errors.exchange_error_prob(up_rate))
+            || self.chaos.exchange_lost(idx, now);
 
         self.meter.station_mut(idx).rx_airtime += airtime;
         if self.tele.is_enabled() {
@@ -1083,16 +1124,12 @@ mod tests {
         // frames interleave and its latency tightens. Compare the fast
         // station's mean delivery latency.
         let run = |aql: Option<Nanos>| {
-            let mut cfg = NetworkConfig::new(
-                vec![
-                    crate::config::StationCfg::clean(wifiq_phy::PhyRate::fast_station()),
-                    crate::config::StationCfg::clean(wifiq_phy::PhyRate::Legacy(
-                        wifiq_phy::LegacyRate::Dsss1,
-                    )),
-                ],
-                SchemeKind::AirtimeFair,
-            );
-            cfg.aql = aql;
+            let cfg = NetworkConfig::builder()
+                .station(wifiq_phy::PhyRate::fast_station())
+                .station(wifiq_phy::PhyRate::Legacy(wifiq_phy::LegacyRate::Dsss1))
+                .scheme(SchemeKind::AirtimeFair)
+                .aql(aql)
+                .build();
             let mut net = WifiNetwork::new(cfg);
             let mut app = FloodApp::new(2, Nanos::from_millis(2));
             net.seed_timer(0, Nanos::ZERO);
@@ -1284,20 +1321,13 @@ mod tests {
     fn rate_control_converges_in_situ() {
         // Stations start at MCS7 but their channels support MCS 12 / 2;
         // the controller should find the cliffs under live traffic.
-        let mut cfg = NetworkConfig::new(
-            vec![
-                crate::config::StationCfg::with_mcs_cliff(
-                    wifiq_phy::PhyRate::ht(7, wifiq_phy::ChannelWidth::Ht20, true),
-                    12,
-                ),
-                crate::config::StationCfg::with_mcs_cliff(
-                    wifiq_phy::PhyRate::ht(7, wifiq_phy::ChannelWidth::Ht20, true),
-                    2,
-                ),
-            ],
-            SchemeKind::AirtimeFair,
-        );
-        cfg.rate_control = true;
+        let start = wifiq_phy::PhyRate::ht(7, wifiq_phy::ChannelWidth::Ht20, true);
+        let cfg = NetworkConfig::builder()
+            .cliff_station(start, 12)
+            .cliff_station(start, 2)
+            .scheme(SchemeKind::AirtimeFair)
+            .rate_control(true)
+            .build();
         let mut net = WifiNetwork::new(cfg);
         let mut app = FloodApp::new(2, Nanos::from_micros(300));
         net.seed_timer(0, Nanos::ZERO);

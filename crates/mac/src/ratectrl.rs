@@ -68,6 +68,10 @@ pub struct Minstrel {
     /// two-stream rate, is slower than MCS7), so neighbourhood sampling
     /// must walk this ladder, not the index space.
     ladder: [u8; N_RATES],
+    /// External rate ceiling in bits/s (chaos rate collapse): while set,
+    /// the controller never picks a rate above it. `None` in normal
+    /// operation.
+    cap_bps: Option<u64>,
 }
 
 impl Minstrel {
@@ -96,7 +100,34 @@ impl Minstrel {
             width,
             short_gi,
             ladder: ladder.try_into().expect("N_RATES entries"),
+            cap_bps: None,
         }
+    }
+
+    /// Imposes (or clears) an external rate ceiling — the fault-injection
+    /// hook: while a chaos rate-collapse window is open the collapsed
+    /// channel cannot carry anything faster, so the controller must not
+    /// probe above it.
+    pub fn set_cap(&mut self, cap: Option<PhyRate>) {
+        self.cap_bps = cap.map(|r| r.bits_per_second());
+    }
+
+    /// The fastest ladder rate not exceeding the cap (bottom of the
+    /// ladder if even that is above it); identity with no cap set.
+    fn clamp_to_cap(&self, rate: PhyRate) -> PhyRate {
+        let Some(cap) = self.cap_bps else { return rate };
+        if rate.bits_per_second() <= cap {
+            return rate;
+        }
+        let mut pick = self.phy(self.ladder[0]);
+        for &m in &self.ladder {
+            let r = self.phy(m);
+            if r.bits_per_second() > cap {
+                break;
+            }
+            pick = r;
+        }
+        pick
     }
 
     fn ladder_pos(&self, mcs: u8) -> usize {
@@ -166,9 +197,9 @@ impl Minstrel {
             };
             // Uniform picks index into the ladder too — any permutation
             // of a uniform choice is uniform, and it keeps one code path.
-            return self.phy(self.ladder[pick]);
+            return self.clamp_to_cap(self.phy(self.ladder[pick]));
         }
-        self.best_rate()
+        self.clamp_to_cap(self.best_rate())
     }
 
     /// Reports the outcome of one transmission exchange at `rate`.
@@ -333,6 +364,25 @@ mod tests {
     #[should_panic(expected = "HT starting rate")]
     fn legacy_rate_rejected() {
         Minstrel::new(PhyRate::Legacy(wifiq_phy::LegacyRate::Dsss1));
+    }
+
+    #[test]
+    fn cap_bounds_every_pick() {
+        let mut rc = Minstrel::new(PhyRate::ht(15, ChannelWidth::Ht20, true));
+        let mut rng = SimRng::new(5);
+        let cap = PhyRate::ht(3, ChannelWidth::Ht20, true);
+        rc.set_cap(Some(cap));
+        for _ in 0..1_000 {
+            let r = rc.rate_for_next(&mut rng);
+            assert!(
+                r.bits_per_second() <= cap.bits_per_second(),
+                "picked {r:?} above the cap"
+            );
+        }
+        rc.set_cap(None);
+        // With the cap cleared the controller is free to pick its best
+        // rate (still MCS15 — the cap never rewrote its statistics).
+        assert_eq!(rc.best_rate(), PhyRate::ht(15, ChannelWidth::Ht20, true));
     }
 
     #[test]

@@ -668,6 +668,12 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
         self.rates[sta]
     }
 
+    /// Whether the §3.1.1 slow-station CoDel parameters are currently
+    /// active for `sta` (recovery tracking for fault injection).
+    pub fn codel_degraded(&self, sta: StationIdx) -> bool {
+        self.codel[sta].is_degraded()
+    }
+
     /// Overrides the downlink rate for `sta` (driven by the rate
     /// controller between aggregates).
     pub fn set_rate(&mut self, sta: StationIdx, rate: PhyRate) {

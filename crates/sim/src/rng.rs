@@ -40,6 +40,15 @@ impl SimRng {
         SimRng::new(base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
+    /// Derives a named side stream directly from a master seed without
+    /// constructing (or advancing) the master's RNG: subsystems that
+    /// must never perturb the main simulation stream — fault injection,
+    /// shard splitting — fork their draws from here. The same
+    /// `(seed, salt)` pair always yields the same stream.
+    pub fn stream(seed: u64, salt: u64) -> SimRng {
+        SimRng::new(seed).fork(salt)
+    }
+
     /// Uniform integer in `[lo, hi)`.
     ///
     /// # Panics

@@ -92,6 +92,44 @@ def check_shard_snapshot(path, reg):
     return len(shards)
 
 
+CHAOS_COUNTERS = {
+    "stalled_exchanges",
+    "forced_loss",
+    "acks_lost",
+    "rate_overrides",
+    "hw_clamped_rounds",
+    "codel_degraded_entries",
+    "codel_recoveries",
+}
+
+CHAOS_HISTOGRAMS = {"loss_burst_len", "recovery_ms"}
+
+
+def check_chaos_counters(path, reg):
+    """Chaos counters must come from the known injector vocabulary, and
+    every CoDel recovery needs a matching degraded entry first."""
+    entered = {}
+    recovered = {}
+    for c in reg.get("counters", []):
+        if c["component"] != "chaos":
+            continue
+        if c["metric"] not in CHAOS_COUNTERS:
+            fail(f"{path.name}: unknown chaos counter {c['metric']!r}")
+        if c["metric"] == "codel_degraded_entries":
+            entered[c["label"]] = c["value"]
+        if c["metric"] == "codel_recoveries":
+            recovered[c["label"]] = c["value"]
+    for label, n in recovered.items():
+        if n > entered.get(label, 0):
+            fail(
+                f"{path.name}: {label} recovered {n} times but only "
+                f"entered degraded state {entered.get(label, 0)} times"
+            )
+    for h in reg.get("histograms", []):
+        if h["component"] == "chaos" and h["metric"] not in CHAOS_HISTOGRAMS:
+            fail(f"{path.name}: unknown chaos histogram {h['metric']!r}")
+
+
 def check_snapshot(path):
     with open(path) as f:
         snap = json.load(f)
@@ -123,6 +161,7 @@ def check_snapshot(path):
         check_harness_snapshot(path, reg, harness_counters)
     elif not airtime:
         fail(f"{path.name}: no non-zero mac/tx_airtime_ns/staN counters")
+    check_chaos_counters(path, reg)
     for hist in reg.get("histograms", []):
         check_histogram(path.name, hist)
     csv = path.with_suffix(".csv")

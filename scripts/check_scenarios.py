@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Validate the shipped scenario files against the Scenario schema.
+
+A Python mirror of `crates/experiments/src/scenario_file.rs`: every
+scenarios/*.json must parse, use only known fields, respect the
+versioning rules (v2 gates `faults` and `churn`), and carry well-formed
+fault windows. The Rust side re-validates at load time (and the
+`shipped_scenario_files_validate` test builds each file end to end);
+this script gives CI a fast, toolchain-free first line of defence.
+
+Usage: check_scenarios.py [scenario_dir]   (default: scenarios)
+"""
+
+import json
+import re
+import sys
+from pathlib import Path
+
+TOP_FIELDS = {
+    "version", "scheme", "secs", "seed", "station_fq", "rate_control",
+    "aql_ms", "stations", "traffic", "faults", "churn",
+}
+STATION_FIELDS = {"rate", "error", "mcs_cliff", "weight"}
+TRAFFIC_FIELDS = {
+    "tcp_down": {"kind", "station"},
+    "tcp_up": {"kind", "station"},
+    "udp_down": {"kind", "station", "mbps", "poisson"},
+    "ping": {"kind", "station"},
+    "voip": {"kind", "station", "qos"},
+    "web": {"kind", "station", "page"},
+}
+FAULT_COMMON = {"kind", "from_secs", "until_secs", "station"}
+FAULT_FIELDS = {
+    "loss": {"prob"},
+    "burst_loss": {"bad_frac", "burst_len", "loss_bad"},
+    "rate_collapse": {"rate"},
+    "rate_oscillate": {"low", "period_ms"},
+    "stall": set(),
+    "hw_backpressure": {"depth"},
+    "ack_loss": {"prob"},
+}
+CHURN_FIELDS = {"mean_interval_ms", "min_stations", "max_stations"}
+SCHEMES = {"fifo", "fqcodel", "fqmac", "airtime"}
+RATE_RE = re.compile(r"^(mcs(1[0-5]|[0-9])|vht[0-9]|[0-9.]+mbps)$")
+
+
+def fail(msg):
+    print(f"check_scenarios: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_rate(name, where, rate):
+    if not isinstance(rate, str) or not RATE_RE.match(rate):
+        fail(f"{name}: {where}: unrecognised rate spec {rate!r}")
+
+
+def check_fault(name, i, fault, stations):
+    kind = fault.get("kind")
+    if kind not in FAULT_FIELDS:
+        fail(f"{name}: faults[{i}]: unknown kind {kind!r}")
+    allowed = FAULT_COMMON | FAULT_FIELDS[kind]
+    for key in fault:
+        if key not in allowed:
+            fail(f"{name}: faults[{i}]: unknown field {key!r} for {kind}")
+    frm, until = fault.get("from_secs"), fault.get("until_secs")
+    if not isinstance(frm, (int, float)) or not isinstance(until, (int, float)):
+        fail(f"{name}: faults[{i}]: from_secs/until_secs must be numbers")
+    if until < frm:
+        fail(f"{name}: faults[{i}]: window ends before it starts")
+    sta = fault.get("station")
+    if sta is not None and not (isinstance(sta, int) and 0 <= sta < stations):
+        fail(f"{name}: faults[{i}]: station {sta!r} out of range 0..{stations}")
+    for prob_field in ("prob", "loss_bad", "bad_frac"):
+        p = fault.get(prob_field)
+        if p is not None and not 0.0 <= p <= 1.0:
+            fail(f"{name}: faults[{i}]: {prob_field}={p} outside [0, 1]")
+    if kind == "burst_loss":
+        if fault.get("bad_frac", 0) >= 1.0:
+            fail(f"{name}: faults[{i}]: bad_frac must be in [0, 1)")
+        if fault.get("burst_len", 1) < 1:
+            fail(f"{name}: faults[{i}]: burst_len must be >= 1")
+    if kind == "rate_collapse":
+        check_rate(name, f"faults[{i}].rate", fault.get("rate"))
+    if kind == "rate_oscillate":
+        check_rate(name, f"faults[{i}].low", fault.get("low"))
+        if fault.get("period_ms", 0) < 1:
+            fail(f"{name}: faults[{i}]: period_ms must be >= 1")
+    if kind == "hw_backpressure" and fault.get("depth", 0) < 1:
+        fail(f"{name}: faults[{i}]: depth must be >= 1")
+
+
+def check_scenario(path):
+    with open(path) as f:
+        sc = json.load(f)
+    name = path.name
+    for key in sc:
+        if key not in TOP_FIELDS:
+            fail(f"{name}: unknown top-level field {key!r}")
+    version = sc.get("version", 1)
+    if version not in (1, 2):
+        fail(f"{name}: unsupported version {version}")
+    if version < 2:
+        for gated in ("faults", "churn"):
+            if gated in sc:
+                fail(f"{name}: `{gated}` requires \"version\": 2")
+    if sc.get("scheme", "airtime") not in SCHEMES:
+        fail(f"{name}: unknown scheme {sc.get('scheme')!r}")
+    stations = sc.get("stations")
+    if not isinstance(stations, list) or not stations:
+        fail(f"{name}: needs a non-empty `stations` array")
+    for i, st in enumerate(stations):
+        for key in st:
+            if key not in STATION_FIELDS:
+                fail(f"{name}: stations[{i}]: unknown field {key!r}")
+        check_rate(name, f"stations[{i}].rate", st.get("rate"))
+    for i, t in enumerate(sc.get("traffic", [])):
+        kind = t.get("kind")
+        if kind not in TRAFFIC_FIELDS:
+            fail(f"{name}: traffic[{i}]: unknown kind {kind!r}")
+        for key in t:
+            if key not in TRAFFIC_FIELDS[kind]:
+                fail(f"{name}: traffic[{i}]: unknown field {key!r} for {kind}")
+        sta = t.get("station")
+        if not (isinstance(sta, int) and 0 <= sta < len(stations)):
+            fail(f"{name}: traffic[{i}]: station {sta!r} out of range")
+    for i, fault in enumerate(sc.get("faults", [])):
+        check_fault(name, i, fault, len(stations))
+    churn = sc.get("churn")
+    if churn is not None:
+        for key in churn:
+            if key not in CHURN_FIELDS:
+                fail(f"{name}: churn: unknown field {key!r}")
+        lo, hi = churn.get("min_stations"), churn.get("max_stations")
+        if not (isinstance(lo, int) and isinstance(hi, int) and 0 < lo < hi):
+            fail(f"{name}: churn: need 0 < min_stations < max_stations")
+        if hi > len(stations):
+            fail(f"{name}: churn: max_stations {hi} exceeds roster {len(stations)}")
+        if churn.get("mean_interval_ms", 100) < 1:
+            fail(f"{name}: churn: mean_interval_ms must be >= 1")
+    return len(sc.get("faults", [])), churn is not None
+
+
+def main():
+    scenario_dir = Path(sys.argv[1] if len(sys.argv) > 1 else "scenarios")
+    files = sorted(scenario_dir.glob("*.json"))
+    if len(files) < 4:
+        fail(f"expected at least 4 scenario files under {scenario_dir}, found {len(files)}")
+    faults = 0
+    churned = 0
+    for path in files:
+        nfaults, has_churn = check_scenario(path)
+        faults += nfaults
+        churned += has_churn
+    print(
+        f"check_scenarios: OK: {len(files)} scenarios, "
+        f"{faults} fault entries, {churned} churned"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -24,12 +24,16 @@
 //!   cache, journal),
 //! - [`scale`](mod@crate::scale) — deterministic station churn and the
 //!   sharded multi-BSS engine with cross-shard telemetry rollup,
+//! - [`chaos`](mod@crate::chaos) — deterministic seeded fault injection
+//!   (burst loss, rate collapse, stalls, backpressure, ACK loss) driven
+//!   by a declarative fault schedule,
 //! - [`experiments`](mod@crate::experiments) — harnesses for every table and
 //!   figure in the paper's evaluation.
 //!
 //! See `examples/quickstart.rs` for a three-minute tour, DESIGN.md for the
 //! system inventory, and EXPERIMENTS.md for paper-vs-measured results.
 
+pub use wifiq_chaos as chaos;
 pub use wifiq_codel as codel;
 pub use wifiq_core as core;
 pub use wifiq_experiments as experiments;

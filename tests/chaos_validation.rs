@@ -1,0 +1,255 @@
+//! Chaos validation: fault injection must be invisible at zero
+//! intensity (a schedule full of no-op impairments leaves the simulation
+//! byte-identical to an unimpaired run), must replay deterministically,
+//! and must drive the §3.1.1 CoDel parameter switch through its full
+//! engage → hold → release cycle end to end.
+
+use ending_anomaly::mac::{
+    FaultEntry, FaultSchedule, FaultTarget, Impairment, NetworkConfig, Preset, SchemeKind,
+    WifiNetwork,
+};
+use ending_anomaly::phy::PhyRate;
+use ending_anomaly::sim::Nanos;
+use ending_anomaly::telemetry::Telemetry;
+use ending_anomaly::traffic::{AppMsg, TrafficApp};
+use proptest::prelude::*;
+
+const SECS: u64 = 3;
+
+/// Runs the paper testbed under `faults` and returns a behavioural
+/// fingerprint (same shape as `tests/determinism.rs`).
+fn fingerprint(seed: u64, faults: FaultSchedule) -> (u64, Vec<u64>, Vec<String>) {
+    let cfg = NetworkConfig::builder()
+        .preset(Preset::PaperTestbed)
+        .scheme(SchemeKind::AirtimeFair)
+        .seed(seed)
+        .faults(faults)
+        .build();
+    let mut net: WifiNetwork<AppMsg> = WifiNetwork::new(cfg);
+    let mut app = TrafficApp::new();
+    let ping = app.add_ping(2, Nanos::ZERO);
+    let tcp = app.add_tcp_down(0, Nanos::ZERO);
+    let udp = app.add_udp_down(1, 50_000_000, Nanos::ZERO);
+    app.install(&mut net);
+    net.run(Nanos::from_secs(SECS), &mut app);
+
+    let rtts: Vec<String> = app
+        .ping(ping)
+        .rtts
+        .iter()
+        .map(|(t, r)| format!("{}:{}", t.as_nanos(), r.as_nanos()))
+        .collect();
+    (
+        net.events_processed,
+        vec![
+            app.tcp(tcp).delivered_bytes(),
+            app.udp(udp).delivered,
+            net.station_meter(0).tx_airtime.as_nanos(),
+            net.station_meter(1).tx_bytes,
+            net.station_meter(2).failures,
+        ],
+        rtts,
+    )
+}
+
+/// The configured PHY rate of a paper-testbed slot, so rate faults can
+/// "collapse" a station onto the rate it already runs at.
+fn configured_rate(sta: usize) -> PhyRate {
+    if sta == 2 {
+        PhyRate::slow_station()
+    } else {
+        PhyRate::fast_station()
+    }
+}
+
+/// One zero-intensity fault: structurally active (windows, targets and
+/// RNG draws all engage) but with no behavioural effect.
+///
+/// `variant` selects the impairment kind; `a`/`b` parameterise it.
+fn zero_intensity_entry(variant: u8, sta: usize, from_ms: u64, len_ms: u64, a: f64) -> FaultEntry {
+    let from = Nanos::from_millis(from_ms);
+    let until = from + Nanos::from_millis(len_ms);
+    let (window_end, impairment) = match variant {
+        // Loss machinery runs its per-exchange draws, never drops.
+        0 => (until, Impairment::uniform_loss(0.0)),
+        1 => (until, Impairment::bursty_loss(a * 0.9, 1.0 + a * 31.0, 0.0)),
+        2 => (until, Impairment::AckLoss { prob: 0.0 }),
+        // Rate faults that pin the station to its configured rate.
+        3 => (
+            until,
+            Impairment::RateCollapse {
+                rate: configured_rate(sta),
+            },
+        ),
+        4 => (
+            until,
+            Impairment::RateOscillate {
+                low: configured_rate(sta),
+                period: Nanos::from_millis(1 + (a * 500.0) as u64),
+            },
+        ),
+        // A stall with an empty window is never active.
+        5 => (from, Impairment::Stall),
+        // A clamp at (or above) the configured depth of 2 never binds.
+        _ => (
+            until,
+            Impairment::HwBackpressure {
+                depth: 2 + (a * 6.0) as usize,
+            },
+        ),
+    };
+    FaultEntry::new(from, window_end, FaultTarget::Station(sta), impairment)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any pile of zero-intensity faults — loss at probability zero,
+    /// rate collapse onto the configured rate, empty stall windows,
+    /// non-binding backpressure clamps — leaves the run byte-identical
+    /// to one with no schedule at all: chaos draws from private RNG
+    /// streams and touches nothing else.
+    #[test]
+    fn zero_intensity_faults_are_byte_invisible(
+        seed in 1u64..4,
+        entries in proptest::collection::vec(
+            (0u8..7, 0usize..3, 0u64..3000, 0u64..3000, 0.0f64..1.0),
+            1..6,
+        ),
+    ) {
+        let mut faults = FaultSchedule::none();
+        for (variant, sta, from_ms, len_ms, a) in entries {
+            faults.push(zero_intensity_entry(variant, sta, from_ms, len_ms, a));
+        }
+        faults.validate().expect("generated schedule must be valid");
+        let clean = fingerprint(seed, FaultSchedule::none());
+        let faulted = fingerprint(seed, faults);
+        prop_assert_eq!(clean, faulted);
+    }
+}
+
+/// A schedule with real teeth replays bit-identically under the same
+/// seed: fault decisions are functions of (schedule, seed) only.
+#[test]
+fn fault_schedule_replays_identically() {
+    let faults = || {
+        FaultSchedule::none()
+            .with(FaultEntry::new(
+                Nanos::ZERO,
+                Nanos::from_secs(SECS),
+                FaultTarget::Station(2),
+                Impairment::bursty_loss(0.3, 8.0, 0.8),
+            ))
+            .with(FaultEntry::new(
+                Nanos::from_millis(500),
+                Nanos::from_millis(1500),
+                FaultTarget::AllStations,
+                Impairment::AckLoss { prob: 0.1 },
+            ))
+    };
+    let a = fingerprint(9, faults());
+    let b = fingerprint(9, faults());
+    assert_eq!(a, b, "same schedule and seed diverged");
+    let clean = fingerprint(9, FaultSchedule::none());
+    assert_ne!(a, clean, "a lossy schedule should visibly perturb the run");
+}
+
+/// Runs a deep rate collapse (MCS0 HT20 SGI = 7.2 Mbps, below the
+/// 12 Mbps threshold) on station 1 over `[from, until)` and returns the
+/// sim-time stamps of that station's CoDel `param_switch` events.
+fn param_switch_times(from: Nanos, until: Nanos, duration: Nanos) -> Vec<Nanos> {
+    let cfg = NetworkConfig::builder()
+        .preset(Preset::PaperTestbed)
+        .scheme(SchemeKind::AirtimeFair)
+        .seed(3)
+        .fault(FaultEntry::new(
+            from,
+            until,
+            FaultTarget::Station(1),
+            Impairment::RateCollapse {
+                rate: PhyRate::ht(0, ending_anomaly::phy::ChannelWidth::Ht20, true),
+            },
+        ))
+        .build();
+    let mut net: WifiNetwork<AppMsg> = WifiNetwork::new(cfg);
+    let tele = Telemetry::with_event_capacity(1 << 18);
+    net.set_telemetry(tele.clone());
+    let mut app = TrafficApp::new();
+    for sta in 0..3 {
+        app.add_udp_down(sta, 5_000_000, Nanos::ZERO);
+    }
+    app.install(&mut net);
+    net.run(duration, &mut app);
+
+    let snap = tele.snapshot("chaos_validation", 3);
+    let mut times = Vec::new();
+    let Some(events) = snap
+        .get("events")
+        .and_then(|v| v.get("entries"))
+        .and_then(|v| v.as_array())
+    else {
+        return times;
+    };
+    for ev in events {
+        if ev.get("kind").and_then(|v| v.as_str()) == Some("param_switch")
+            && ev.get("label").and_then(|v| v.as_str()) == Some("sta1")
+        {
+            if let Some(at) = ev.get("at_ns").and_then(|v| v.as_u64()) {
+                times.push(Nanos::from_nanos(at));
+            }
+        }
+    }
+    times
+}
+
+/// §3.1.1 end to end: the switch engages promptly once the observed rate
+/// falls below 12 Mbps and releases promptly once it recovers (the 3 s
+/// window already exceeds the 2 s hysteresis).
+#[test]
+fn codel_switch_engages_and_releases_with_rate() {
+    let from = Nanos::from_secs(2);
+    let until = Nanos::from_secs(5);
+    let times = param_switch_times(from, until, Nanos::from_secs(7));
+    assert_eq!(
+        times.len(),
+        2,
+        "expected exactly engage + release, got {times:?}"
+    );
+    let slack = Nanos::from_secs(1);
+    assert!(
+        times[0] >= from && times[0] < from + slack,
+        "engage at {} outside [{from}, {})",
+        times[0],
+        from + slack
+    );
+    assert!(
+        times[1] >= until && times[1] < until + slack,
+        "release at {} outside [{until}, {})",
+        times[1],
+        until + slack
+    );
+}
+
+/// §3.1.1 hysteresis: when the collapse window is shorter than the 2 s
+/// hold, the degraded parameters stay pinned until the hysteresis
+/// expires — the gap between engage and release is never below 2 s.
+#[test]
+fn codel_switch_holds_two_seconds() {
+    let from = Nanos::from_secs(2);
+    let until = Nanos::from_secs(3);
+    let times = param_switch_times(from, until, Nanos::from_secs(7));
+    assert_eq!(
+        times.len(),
+        2,
+        "expected exactly engage + release, got {times:?}"
+    );
+    let hold = times[1] - times[0];
+    assert!(
+        hold >= Nanos::from_secs(2),
+        "degraded parameters released after only {hold}"
+    );
+    assert!(
+        hold < Nanos::from_secs(3),
+        "release overdue: held for {hold}"
+    );
+}
