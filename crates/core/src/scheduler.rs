@@ -72,11 +72,12 @@ pub const WEIGHT_NEUTRAL: u32 = 256;
 struct StationState {
     deficit: [i64; QOS_LEVELS],
     membership: [Membership; QOS_LEVELS],
-    /// Airtime weight: the station's quantum is scaled by
-    /// `weight / WEIGHT_NEUTRAL`, so long-run airtime is proportional to
-    /// weight — the weighted-ATF extension that followed the paper into
-    /// mainline.
-    weight: u32,
+    /// Airtime weights, one per QoS level: the station's quantum at a
+    /// level is scaled by `weight / WEIGHT_NEUTRAL`, so long-run airtime
+    /// is proportional to weight — the weighted-ATF extension that
+    /// followed the paper into mainline, extended per access category so
+    /// a policy hierarchy can treat voice and bulk traffic differently.
+    weights: [u32; QOS_LEVELS],
     /// False once the station has been removed; the slot is parked on the
     /// free list until the next `register_station`.
     registered: bool,
@@ -159,7 +160,7 @@ impl AirtimeScheduler {
         let fresh = StationState {
             deficit: [q; QOS_LEVELS],
             membership: [Membership::Idle; QOS_LEVELS],
-            weight: WEIGHT_NEUTRAL,
+            weights: [WEIGHT_NEUTRAL; QOS_LEVELS],
             registered: true,
         };
         // Reuse the most recently removed slot so handles stay dense and
@@ -208,8 +209,11 @@ impl AirtimeScheduler {
         self.stations.get(sta.0).is_some_and(|s| s.registered)
     }
 
-    /// Sets a station's airtime weight (default [`WEIGHT_NEUTRAL`]).
-    /// Long-run airtime shares are proportional to weights.
+    /// Sets a station's airtime weight (default [`WEIGHT_NEUTRAL`]) at
+    /// every QoS level. Long-run airtime shares are proportional to
+    /// weights. Changing a weight never touches deficits: a mid-round
+    /// reconfiguration takes effect at the station's next replenishment
+    /// and leaves every other station's round state undisturbed.
     ///
     /// # Panics
     ///
@@ -217,20 +221,36 @@ impl AirtimeScheduler {
     /// replenish its deficit and would deadlock the scheduling loop.
     pub fn set_weight(&mut self, sta: StationHandle, weight: u32) {
         assert!(weight > 0, "airtime weight must be positive");
-        self.stations[sta.0].weight = weight;
+        self.stations[sta.0].weights = [weight; QOS_LEVELS];
     }
 
-    /// A station's current airtime weight.
-    pub fn weight(&self, sta: StationHandle) -> u32 {
-        self.stations[sta.0].weight
+    /// Sets a station's airtime weights per QoS level (the compiled
+    /// output of a policy tree). Same deficit-preserving semantics as
+    /// [`set_weight`](Self::set_weight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is zero.
+    pub fn set_ac_weights(&mut self, sta: StationHandle, weights: [u32; QOS_LEVELS]) {
+        assert!(
+            weights.iter().all(|&w| w > 0),
+            "airtime weight must be positive"
+        );
+        self.stations[sta.0].weights = weights;
     }
 
-    /// The deficit replenishment for one scheduling round:
+    /// A station's current airtime weight at one QoS level.
+    pub fn ac_weight(&self, sta: StationHandle, ac: usize) -> u32 {
+        assert!(ac < QOS_LEVELS, "QoS level out of range");
+        self.stations[sta.0].weights[ac]
+    }
+
+    /// The deficit replenishment for one scheduling round at `ac`:
     /// `quantum × weight / WEIGHT_NEUTRAL`, and at least one nanosecond
     /// so progress is guaranteed even for tiny weights.
-    fn refill(&self, si: usize) -> i64 {
+    fn refill(&self, si: usize, ac: usize) -> i64 {
         let q = self.params.quantum.as_nanos() as i64;
-        (q * self.stations[si].weight as i64 / WEIGHT_NEUTRAL as i64).max(1)
+        (q * self.stations[si].weights[ac] as i64 / WEIGHT_NEUTRAL as i64).max(1)
     }
 
     /// Number of registered stations.
@@ -312,7 +332,7 @@ impl AirtimeScheduler {
 
             // Lines 9–12: replenish an exhausted deficit and rotate.
             if self.stations[si].deficit[ac] <= 0 {
-                self.stations[si].deficit[ac] += self.refill(si);
+                self.stations[si].deficit[ac] += self.refill(si, ac);
                 let lists = &mut self.acs[ac];
                 if from_new {
                     lists.new_stations.pop_front();
@@ -648,9 +668,61 @@ mod tests {
     fn neutral_weight_is_default() {
         let mut s = sched();
         let a = s.register_station();
-        assert_eq!(s.weight(a), WEIGHT_NEUTRAL);
+        for ac in 0..QOS_LEVELS {
+            assert_eq!(s.ac_weight(a, ac), WEIGHT_NEUTRAL);
+        }
         s.set_weight(a, 1024);
-        assert_eq!(s.weight(a), 1024);
+        assert_eq!(s.ac_weight(a, BE), 1024);
+    }
+
+    #[test]
+    fn per_ac_weights_are_independent() {
+        // VO weighted 4×, BE neutral: the VO share scales, BE does not.
+        let mut s = sched();
+        let a = s.register_station();
+        let b = s.register_station();
+        s.set_ac_weights(a, [1024, 256, 256, 256]);
+        for ac in [0, BE] {
+            s.notify_active(a, ac);
+            s.notify_active(b, ac);
+            let mut airtime = [0u64; 2];
+            for _ in 0..8_000 {
+                let st = s.next_station(ac, |_| true).unwrap();
+                airtime[st.0] += 300;
+                s.charge(st, ac, Nanos::from_micros(300));
+            }
+            let share_a = airtime[0] as f64 / (airtime[0] + airtime[1]) as f64;
+            let want = if ac == 0 { 0.8 } else { 0.5 };
+            assert!(
+                (share_a - want).abs() < 0.02,
+                "ac {ac} share {share_a:.3}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn weight_change_preserves_deficits() {
+        let mut s = sched();
+        let a = s.register_station();
+        let b = s.register_station();
+        s.notify_active(a, BE);
+        s.notify_active(b, BE);
+        for _ in 0..7 {
+            let st = s.next_station(BE, |_| true).unwrap();
+            s.charge(st, BE, Nanos::from_micros(450));
+        }
+        let before: Vec<i64> = (0..QOS_LEVELS).map(|ac| s.deficit(b, ac)).collect();
+        s.set_ac_weights(a, [512, 512, 512, 512]);
+        let after: Vec<i64> = (0..QOS_LEVELS).map(|ac| s.deficit(b, ac)).collect();
+        assert_eq!(before, after, "untouched station's deficits moved");
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn zero_ac_weight_rejected() {
+        let mut s = sched();
+        let a = s.register_station();
+        s.set_ac_weights(a, [256, 256, 0, 256]);
     }
 
     #[test]

@@ -1,19 +1,20 @@
 //! Extension experiment: weighted airtime fairness — the per-station
-//! weight knob the mainline implementation grew after the paper.
+//! weight knob, now expressed as a flat [`PolicySet`] compiled onto the
+//! scheduler through the builder's policy path.
 //!
-//! Three identical fast stations with weights 1:2:4 (neutral = 256)
-//! under saturating UDP; airtime shares should track the weights.
+//! Three identical fast stations with weights 1:2:4 under saturating
+//! UDP; airtime shares should track the weights.
 
 use wifiq_experiments::report::{pct, write_json, Table};
 use wifiq_experiments::runner::{mean, meter_delta, run_seeds, shares_of};
-use wifiq_experiments::{scenario, RunCfg};
-use wifiq_mac::{SchemeKind, StationMeter, WifiNetwork};
+use wifiq_experiments::RunCfg;
+use wifiq_mac::{NetworkConfig, PolicySet, SchemeKind, StationMeter, WifiNetwork};
 use wifiq_sim::Nanos;
 use wifiq_traffic::TrafficApp;
 
 fn main() {
     let cfg = RunCfg::from_env();
-    let weights = [256u32, 512, 1024];
+    let weights = [1u32, 2, 4];
     println!(
         "Extension: weighted airtime fairness (weights 1:2:4, {} reps x {}s)\n",
         cfg.reps,
@@ -21,13 +22,15 @@ fn main() {
     );
     // Per-station airtime shares, one vector per repetition.
     let reps: Vec<Vec<f64>> = run_seeds("ext_airtime_weights", "1_2_4", "", &cfg, |seed| {
-        let mut net_cfg = scenario::testbed3(SchemeKind::AirtimeFair, seed);
         // All three stations fast and identical, so only weights differ.
-        for (station, w) in net_cfg.stations.iter_mut().zip(weights) {
-            station.rate = wifiq_phy::PhyRate::fast_station();
-            station.airtime_weight = w;
+        let mut b = NetworkConfig::builder()
+            .scheme(SchemeKind::AirtimeFair)
+            .seed(seed)
+            .policy(PolicySet::flat(&weights));
+        for _ in 0..3 {
+            b = b.station(wifiq_phy::PhyRate::fast_station());
         }
-        let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(net_cfg);
+        let mut net: WifiNetwork<wifiq_traffic::AppMsg> = WifiNetwork::new(b.build());
         let mut app = TrafficApp::new();
         for sta in 0..3 {
             app.add_udp_down(sta, 100_000_000, Nanos::ZERO);
@@ -82,6 +85,6 @@ fn main() {
             r.expected_share
         );
     }
-    println!("\nAirtime tracks weights: the DRR quantum scales per station.");
+    println!("\nAirtime tracks weights: the policy compiles into the DRR quantum.");
     write_json("ext_airtime_weights", &rows);
 }

@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use wifiq_experiments::runner::{export_metrics, metrics_telemetry};
 use wifiq_harness::{CellDef, Harness, SweepMeta};
 
-const BINS: [&str; 21] = [
+const BINS: [&str; 22] = [
     "fig04_latency_tcp",
     "table1_model_validation",
     "fig05_airtime_udp",
@@ -40,6 +40,7 @@ const BINS: [&str; 21] = [
     "ext_chaos",
     "ext_scale",
     "ext_hotpath",
+    "ext_policy",
 ];
 
 /// Wall-clock budget for one experiment binary; past it the child is

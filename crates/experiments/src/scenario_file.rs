@@ -24,19 +24,35 @@
 //!     { "kind": "rate_collapse", "from_secs": 10, "until_secs": 15,
 //!       "station": 1, "rate": "mcs0" }
 //!   ],
-//!   "churn": { "mean_interval_ms": 500, "min_stations": 2, "max_stations": 3 }
+//!   "churn": { "mean_interval_ms": 500, "min_stations": 2, "max_stations": 3 },
+//!   "policy": {
+//!     "nodes": [
+//!       { "name": "tenant-a", "weight": 2, "stations": [0, 1] },
+//!       { "name": "tenant-b", "weight": 1, "stations": [2] }
+//!     ],
+//!     "switches": [
+//!       { "at_secs": 10,
+//!         "nodes": [
+//!           { "name": "tenant-a", "weight": 1, "stations": [0, 1] },
+//!           { "name": "tenant-b", "weight": 1, "stations": [2] }
+//!         ] }
+//!     ]
+//!   }
 //! }
 //! ```
 //!
 //! Schema versions: `1` (implicit default) is the original network +
 //! traffic description; `2` adds the `faults` array (a
 //! [`wifiq_chaos`](wifiq_mac::FaultSchedule) schedule) and the optional
-//! `churn` block. Version-1 files using version-2 fields are rejected.
+//! `churn` block; `3` adds the `policy` block (a
+//! [`wifiq_policy`](wifiq_mac::PolicyTimeline) node tree plus timed
+//! switches). Files using a field their declared version does not gate
+//! in are rejected.
 
 use serde_json::Json;
 use wifiq_mac::{
-    ErrorModel, FaultEntry, FaultSchedule, FaultTarget, Impairment, NetworkConfig, SchemeKind,
-    StationCfg, WifiNetwork,
+    ErrorModel, FaultEntry, FaultSchedule, FaultTarget, Impairment, NetworkConfig, PolicyNode,
+    PolicySet, PolicyTimeline, SchemeKind, StationCfg, WifiNetwork,
 };
 use wifiq_phy::{AccessCategory, ChannelWidth, LegacyRate, PhyRate, VhtWidth};
 use wifiq_scale::{ChurnCfg, ChurnDriver};
@@ -124,10 +140,47 @@ pub struct ChurnSpec {
     pub max_stations: usize,
 }
 
+/// One node of a policy tree in a scenario file (schema version ≥ 3).
+#[derive(Debug)]
+pub struct PolicyNodeSpec {
+    /// Node name (unique within the tree).
+    pub name: String,
+    /// Relative weight among siblings (default 1).
+    pub weight: u32,
+    /// Access classes this node covers: "vo"/"vi"/"be"/"bk" strings.
+    /// Absent means all four.
+    pub classes: Option<Vec<String>>,
+    /// Member station slots (leaf nodes).
+    pub stations: Option<Vec<usize>>,
+    /// Child nodes (group nodes).
+    pub nodes: Option<Vec<PolicyNodeSpec>>,
+}
+
+/// One timed policy switch in a scenario file (schema version ≥ 3).
+#[derive(Debug)]
+pub struct PolicySwitchSpec {
+    /// When the replacement tree takes effect, in sim seconds.
+    pub at_secs: f64,
+    /// The replacement tree's root nodes.
+    pub nodes: Vec<PolicyNodeSpec>,
+}
+
+/// The `policy` block (schema version ≥ 3): an initial tree plus timed
+/// switches, compiled into a [`wifiq_policy`](wifiq_mac::PolicyTimeline)
+/// timeline at build time.
+#[derive(Debug)]
+pub struct PolicySpec {
+    /// Root nodes of the initial tree.
+    pub nodes: Vec<PolicyNodeSpec>,
+    /// Timed replacement trees, strictly ascending in `at_secs`.
+    pub switches: Vec<PolicySwitchSpec>,
+}
+
 /// A complete scenario file.
 #[derive(Debug)]
 pub struct ScenarioFile {
-    /// Schema version: 1 (legacy, implicit) or 2 (faults + churn).
+    /// Schema version: 1 (legacy, implicit), 2 (faults + churn) or
+    /// 3 (airtime policy).
     pub version: u64,
     /// Scheme: "fifo", "fqcodel", "fqmac", "airtime" (default "airtime").
     pub scheme: Option<String>,
@@ -149,6 +202,8 @@ pub struct ScenarioFile {
     pub faults: Vec<FaultSpec>,
     /// Station churn (version ≥ 2).
     pub churn: Option<ChurnSpec>,
+    /// Airtime policy (version ≥ 3).
+    pub policy: Option<PolicySpec>,
 }
 
 // ---- manual JSON decoding -------------------------------------------------
@@ -259,6 +314,26 @@ impl<'a> Fields<'a> {
                 .ok_or_else(|| format!("{}: field `{name}` must be an array", self.what)),
             None => Err(format!("{}: missing field `{name}`", self.what)),
         }
+    }
+
+    fn usize_array_opt(&self, name: &str) -> Result<Option<Vec<usize>>, String> {
+        let Some(v) = self.raw(name) else {
+            return Ok(None);
+        };
+        let arr = v
+            .as_array()
+            .ok_or_else(|| format!("{}: field `{name}` must be an array", self.what))?;
+        arr.iter()
+            .map(|x| {
+                x.as_u64().map(|u| u as usize).ok_or_else(|| {
+                    format!(
+                        "{}: `{name}` entries must be non-negative integers",
+                        self.what
+                    )
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some)
     }
 }
 
@@ -393,6 +468,142 @@ impl FaultSpec {
     }
 }
 
+impl PolicyNodeSpec {
+    fn decode(value: &Json, path: String) -> Result<PolicyNodeSpec, String> {
+        let f = Fields::of(value, path.clone())?;
+        f.deny_unknown(&["name", "weight", "classes", "stations", "nodes"])?;
+        let classes = match f.raw("classes") {
+            None => None,
+            Some(v) => {
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| format!("{path}: field `classes` must be an array"))?;
+                Some(
+                    arr.iter()
+                        .map(|c| {
+                            c.as_str()
+                                .map(str::to_string)
+                                .ok_or_else(|| format!("{path}: `classes` entries must be strings"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            }
+        };
+        let nodes = match f.raw("nodes") {
+            None => None,
+            Some(v) => {
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| format!("{path}: field `nodes` must be an array"))?;
+                Some(
+                    arr.iter()
+                        .enumerate()
+                        .map(|(i, v)| PolicyNodeSpec::decode(v, format!("{path}.nodes[{i}]")))
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            }
+        };
+        Ok(PolicyNodeSpec {
+            name: f.string_req("name")?,
+            weight: f.u64_opt("weight")?.unwrap_or(1) as u32,
+            classes,
+            stations: f.usize_array_opt("stations")?,
+            nodes,
+        })
+    }
+
+    /// Converts the spec to a policy-tree node. Structural errors (a node
+    /// with both children and stations, bad class names, …) surface here
+    /// or in timeline validation, never as a panic.
+    fn to_node(&self) -> Result<PolicyNode, String> {
+        let mut node = match (&self.nodes, &self.stations) {
+            (Some(children), None) => {
+                let children = children
+                    .iter()
+                    .map(PolicyNodeSpec::to_node)
+                    .collect::<Result<Vec<_>, _>>()?;
+                PolicyNode::group(&self.name, self.weight, children)
+            }
+            (None, Some(stations)) => PolicyNode::leaf(&self.name, self.weight, stations.clone()),
+            _ => {
+                return Err(format!(
+                    "policy node `{}` needs exactly one of `nodes` or `stations`",
+                    self.name
+                ))
+            }
+        };
+        if let Some(classes) = &self.classes {
+            let parsed = classes
+                .iter()
+                .map(|c| parse_qos(Some(c)))
+                .collect::<Result<Vec<_>, _>>()?;
+            node = node.classes(parsed);
+        }
+        Ok(node)
+    }
+}
+
+impl PolicySwitchSpec {
+    fn decode(value: &Json, index: usize) -> Result<PolicySwitchSpec, String> {
+        let path = format!("policy.switches[{index}]");
+        let f = Fields::of(value, path.clone())?;
+        f.deny_unknown(&["at_secs", "nodes"])?;
+        let nodes = f
+            .array_req("nodes")?
+            .iter()
+            .enumerate()
+            .map(|(i, v)| PolicyNodeSpec::decode(v, format!("{path}.nodes[{i}]")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PolicySwitchSpec {
+            at_secs: f.f64_req("at_secs")?,
+            nodes,
+        })
+    }
+}
+
+impl PolicySpec {
+    fn decode(value: &Json) -> Result<PolicySpec, String> {
+        let f = Fields::of(value, "policy")?;
+        f.deny_unknown(&["nodes", "switches"])?;
+        let nodes = f
+            .array_req("nodes")?
+            .iter()
+            .enumerate()
+            .map(|(i, v)| PolicyNodeSpec::decode(v, format!("policy.nodes[{i}]")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let switches = match f.raw("switches") {
+            Some(_) => f
+                .array_req("switches")?
+                .iter()
+                .enumerate()
+                .map(|(i, v)| PolicySwitchSpec::decode(v, i))
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
+        Ok(PolicySpec { nodes, switches })
+    }
+
+    /// Builds the policy timeline: the initial tree plus every switch.
+    fn to_timeline(&self) -> Result<PolicyTimeline, String> {
+        let roots = self
+            .nodes
+            .iter()
+            .map(PolicyNodeSpec::to_node)
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut timeline = PolicyTimeline::fixed(PolicySet::new(roots));
+        for sw in &self.switches {
+            let roots = sw
+                .nodes
+                .iter()
+                .map(PolicyNodeSpec::to_node)
+                .collect::<Result<Vec<_>, _>>()?;
+            timeline =
+                timeline.with_switch(Nanos::from_secs_f64(sw.at_secs), PolicySet::new(roots));
+        }
+        Ok(timeline)
+    }
+}
+
 impl ChurnSpec {
     fn decode(value: &Json) -> Result<ChurnSpec, String> {
         let f = Fields::of(value, "churn")?;
@@ -508,11 +719,12 @@ impl ScenarioFile {
             "traffic",
             "faults",
             "churn",
+            "policy",
         ])?;
         let version = f.u64_opt("version")?.unwrap_or(1);
-        if !(1..=2).contains(&version) {
+        if !(1..=3).contains(&version) {
             return Err(format!(
-                "unsupported scenario version {version} (this build understands 1 and 2)"
+                "unsupported scenario version {version} (this build understands 1, 2 and 3)"
             ));
         }
         if version < 2 {
@@ -521,6 +733,9 @@ impl ScenarioFile {
                     return Err(format!("`{field}` requires \"version\": 2"));
                 }
             }
+        }
+        if version < 3 && f.raw("policy").is_some() {
+            return Err("`policy` requires \"version\": 3".into());
         }
         let stations = f
             .array_req("stations")?
@@ -544,6 +759,7 @@ impl ScenarioFile {
             None => Vec::new(),
         };
         let churn = f.raw("churn").map(ChurnSpec::decode).transpose()?;
+        let policy = f.raw("policy").map(PolicySpec::decode).transpose()?;
         Ok(ScenarioFile {
             version,
             scheme: f.string_opt("scheme")?,
@@ -556,6 +772,7 @@ impl ScenarioFile {
             traffic,
             faults,
             churn,
+            policy,
         })
     }
 
@@ -616,15 +833,22 @@ impl ScenarioFile {
             // ineligible and silently starve all traffic.
             return Err("aql_ms must be positive (omit it to disable AQL)".into());
         }
-        let cfg = NetworkConfig::builder()
+        let mut builder = NetworkConfig::builder()
             .stations(stations)
             .scheme(scheme)
             .seed(self.seed.unwrap_or(1))
             .station_fq(self.station_fq)
             .rate_control(self.rate_control)
             .aql(self.aql_ms.map(Nanos::from_millis))
-            .faults(schedule)
-            .build();
+            .faults(schedule);
+        if let Some(p) = &self.policy {
+            let timeline = p.to_timeline()?;
+            // Validate here so a bad file reports an error instead of
+            // tripping the builder's panic.
+            timeline.validate(n).map_err(|e| format!("policy: {e}"))?;
+            builder = builder.policy_timeline(timeline);
+        }
+        let cfg = builder.build();
         let churn = match &self.churn {
             Some(c) => {
                 if c.min_stations >= c.max_stations {
@@ -862,10 +1086,118 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("version"), "{err}");
         let err = ScenarioFile::from_json(
-            r#"{ "version": 3, "stations": [{ "rate": "mcs15" }], "traffic": [] }"#,
+            r#"{ "version": 4, "stations": [{ "rate": "mcs15" }], "traffic": [] }"#,
         )
         .unwrap_err();
         assert!(err.contains("unsupported"), "{err}");
+    }
+
+    const V3: &str = r#"{
+        "version": 3,
+        "scheme": "airtime",
+        "secs": 2,
+        "stations": [
+            { "rate": "mcs15" },
+            { "rate": "mcs15" },
+            { "rate": "mcs7" }
+        ],
+        "traffic": [
+            { "kind": "udp_down", "station": 0, "mbps": 20 },
+            { "kind": "udp_down", "station": 1, "mbps": 20 },
+            { "kind": "udp_down", "station": 2, "mbps": 20 }
+        ],
+        "policy": {
+            "nodes": [
+                { "name": "gold", "weight": 2, "stations": [0, 1] },
+                { "name": "bronze", "weight": 1, "stations": [2] }
+            ],
+            "switches": [
+                { "at_secs": 1,
+                  "nodes": [
+                      { "name": "gold", "weight": 1, "stations": [0, 1] },
+                      { "name": "bronze", "weight": 1, "stations": [2] }
+                  ] }
+            ]
+        }
+    }"#;
+
+    #[test]
+    fn v3_scenario_with_policy_switch_runs() {
+        let sc = ScenarioFile::from_json(V3).unwrap();
+        assert_eq!(sc.version, 3);
+        let p = sc.policy.as_ref().expect("policy block");
+        assert_eq!(p.nodes.len(), 2);
+        assert_eq!(p.switches.len(), 1);
+        let mut built = sc.build().unwrap();
+        assert!(!built.net.config().policy.is_none());
+        let duration = built.duration;
+        built.run_to(duration);
+        assert_eq!(built.net.policy_switches_applied(), 1);
+        // After the switch the tenants split 1:1 — gold's half is shared
+        // by two stations (3/4 of neutral each), bronze's by one (3/2).
+        use wifiq_phy::AccessCategory;
+        for (sta, expect) in [(0, 192), (1, 192), (2, 384)] {
+            assert_eq!(
+                built.net.station_ac_weight(sta, AccessCategory::Be),
+                Some(expect),
+                "station {sta} weight after equalising switch"
+            );
+        }
+    }
+
+    #[test]
+    fn v3_fields_rejected_in_v2() {
+        let err = ScenarioFile::from_json(
+            r#"{ "version": 2, "stations": [{ "rate": "mcs15" }], "traffic": [],
+                 "policy": { "nodes": [{ "name": "all", "stations": [0] }] } }"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn bad_policy_rejected() {
+        // A node with both children and stations.
+        let sc = ScenarioFile::from_json(
+            r#"{ "version": 3, "stations": [{ "rate": "mcs15" }], "traffic": [],
+                 "policy": { "nodes": [
+                   { "name": "x", "stations": [0],
+                     "nodes": [{ "name": "y", "stations": [0] }] } ] } }"#,
+        )
+        .unwrap();
+        assert!(build_err(&sc).contains("exactly one"));
+        // Station out of range.
+        let sc = ScenarioFile::from_json(
+            r#"{ "version": 3, "stations": [{ "rate": "mcs15" }], "traffic": [],
+                 "policy": { "nodes": [{ "name": "x", "stations": [5] }] } }"#,
+        )
+        .unwrap();
+        assert!(build_err(&sc).contains("out of range"));
+        // Switches out of order.
+        let sc = ScenarioFile::from_json(
+            r#"{ "version": 3, "stations": [{ "rate": "mcs15" }], "traffic": [],
+                 "policy": { "nodes": [{ "name": "x", "stations": [0] }],
+                   "switches": [
+                     { "at_secs": 5, "nodes": [{ "name": "x", "stations": [0] }] },
+                     { "at_secs": 2, "nodes": [{ "name": "x", "stations": [0] }] } ] } }"#,
+        )
+        .unwrap();
+        assert!(build_err(&sc).contains("ascending"));
+        // Unknown class name.
+        let sc = ScenarioFile::from_json(
+            r#"{ "version": 3, "stations": [{ "rate": "mcs15" }], "traffic": [],
+                 "policy": { "nodes": [
+                   { "name": "x", "stations": [0], "classes": ["turbo"] } ] } }"#,
+        )
+        .unwrap();
+        assert!(build_err(&sc).contains("turbo"));
+        // Unknown field inside a node.
+        let err = ScenarioFile::from_json(
+            r#"{ "version": 3, "stations": [{ "rate": "mcs15" }], "traffic": [],
+                 "policy": { "nodes": [{ "name": "x", "stations": [0], "wight": 2 }] } }"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("wight"), "{err}");
     }
 
     fn build_err(sc: &ScenarioFile) -> String {
@@ -942,7 +1274,7 @@ mod tests {
             seen += 1;
         }
         assert!(
-            seen >= 4,
+            seen >= 5,
             "expected the shipped scenario files, found {seen}"
         );
     }

@@ -30,6 +30,7 @@ use wifiq_chaos::{FaultEntry, FaultSchedule};
 use wifiq_core::scheduler::AirtimeParams;
 use wifiq_core::FqParams;
 use wifiq_phy::{LegacyRate, PhyRate};
+use wifiq_policy::{PolicySet, PolicyTimeline};
 use wifiq_sim::Nanos;
 
 use crate::config::{ErrorModel, NetworkConfig, SchemeKind, StationCfg};
@@ -185,6 +186,32 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the airtime policy active from time zero (replacing any
+    /// earlier initial set; scheduled switches are kept).
+    pub fn policy(mut self, set: PolicySet) -> Self {
+        let mut timeline = PolicyTimeline::fixed(set);
+        for sw in self.cfg.policy.switches() {
+            timeline = timeline.with_switch(sw.at, sw.set.clone());
+        }
+        self.cfg.policy = timeline;
+        self
+    }
+
+    /// Schedules a runtime policy switch: `set` becomes active at the
+    /// first scheduler round boundary at or after `at`. Switches must be
+    /// added in strictly ascending time order
+    /// ([`build`](Self::build) validates).
+    pub fn policy_switch(mut self, at: Nanos, set: PolicySet) -> Self {
+        self.cfg.policy = std::mem::take(&mut self.cfg.policy).with_switch(at, set);
+        self
+    }
+
+    /// Replaces the whole policy timeline (scenario-file decoding).
+    pub fn policy_timeline(mut self, timeline: PolicyTimeline) -> Self {
+        self.cfg.policy = timeline;
+        self
+    }
+
     /// RNG seed; repetitions are seed sweeps.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;
@@ -278,11 +305,14 @@ impl ScenarioBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if the fault schedule is malformed — a scenario bug, not
-    /// a runtime condition.
+    /// Panics if the fault schedule or the policy timeline is malformed —
+    /// a scenario bug, not a runtime condition.
     pub fn build(self) -> NetworkConfig {
         if let Err(msg) = self.cfg.faults.validate() {
             panic!("invalid fault schedule: {msg}");
+        }
+        if let Err(msg) = self.cfg.policy.validate(self.cfg.stations.len()) {
+            panic!("invalid policy: {msg}");
         }
         self.cfg
     }

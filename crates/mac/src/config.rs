@@ -4,6 +4,7 @@ use wifiq_chaos::FaultSchedule;
 use wifiq_core::scheduler::AirtimeParams;
 use wifiq_core::FqParams;
 use wifiq_phy::PhyRate;
+use wifiq_policy::PolicyTimeline;
 use wifiq_sim::Nanos;
 
 use crate::builder::ScenarioBuilder;
@@ -187,6 +188,14 @@ pub struct NetworkConfig {
     /// experiment; entries are replayed deterministically from a
     /// chaos-private fork of [`seed`](Self::seed).
     pub faults: FaultSchedule,
+    /// Hierarchical airtime policy (wifiq-policy): an optional initial
+    /// [`PolicySet`](wifiq_policy::PolicySet) plus timed switches,
+    /// compiled at network construction into per-(station, access
+    /// category) weights for the airtime scheduler. The default
+    /// ([`PolicyTimeline::none`]) is byte-invisible — the pre-policy
+    /// equal-share path. Only meaningful under
+    /// [`SchemeKind::AirtimeFair`].
+    pub policy: PolicyTimeline,
 }
 
 impl NetworkConfig {
@@ -210,6 +219,7 @@ impl NetworkConfig {
             aql: None,
             rate_control: false,
             faults: FaultSchedule::none(),
+            policy: PolicyTimeline::none(),
         }
     }
 

@@ -23,6 +23,7 @@
 use wifiq_chaos::ChaosInjector;
 use wifiq_phy::consts::SLOT_TIME;
 use wifiq_phy::AccessCategory;
+use wifiq_policy::{CompiledPolicy, NODE_NONE};
 use wifiq_sim::{EventQueue, Nanos, SimRng};
 use wifiq_telemetry::{DropReason, EventKind, GaugeHandle, HistHandle, Label, Telemetry};
 
@@ -53,6 +54,23 @@ enum Participant {
     Station { idx: StationIdx, ac: AccessCategory },
 }
 
+/// Compiled airtime-policy state: the active weight table plus pending
+/// runtime switches in ascending time order. Exists only when
+/// `cfg.policy` is non-empty, so the no-policy path pays one `None`
+/// branch per scheduling round and nothing else.
+struct PolicyRuntime {
+    /// The weight table currently applied to the scheduler (`None` until
+    /// a timeline with no initial set reaches its first switch).
+    active: Option<CompiledPolicy>,
+    /// Remaining switches, strictly ascending; applied lazily at the
+    /// first scheduler round boundary at or after their due time.
+    switches: Vec<(Nanos, CompiledPolicy)>,
+    /// Index of the next due switch in `switches`.
+    next: usize,
+    /// Switches applied so far (telemetry).
+    applied: u64,
+}
+
 /// The simulated WiFi network under one queue-management scheme.
 ///
 /// `M` is the application payload type carried in packets.
@@ -73,6 +91,8 @@ pub struct WifiNetwork<M> {
     /// `cfg.faults` has entries). Draws from a chaos-private stream, so
     /// the main RNG sequence is identical with chaos on or off.
     chaos: ChaosInjector,
+    /// Airtime policy runtime (`None` unless `cfg.policy` is non-empty).
+    policy: Option<PolicyRuntime>,
     /// Which station slots host an associated station. Departed slots stay
     /// in every per-station table as tombstones until a join reuses them.
     active: Vec<bool>,
@@ -140,10 +160,27 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
                 }
             })
             .collect();
-        WifiNetwork {
+        let policy = if cfg.policy.is_none() {
+            None
+        } else {
+            // The builder validates the timeline; a hand-rolled
+            // NetworkConfig fails here with the same message.
+            let compiled = cfg
+                .policy
+                .compile(cfg.stations.len())
+                .unwrap_or_else(|msg| panic!("invalid policy: {msg}"));
+            Some(PolicyRuntime {
+                active: compiled.initial,
+                switches: compiled.switches,
+                next: 0,
+                applied: 0,
+            })
+        };
+        let mut net = WifiNetwork {
             ap: ApTxPath::new(&cfg),
             ratectrl,
             chaos: ChaosInjector::from_schedule(&cfg.faults, cfg.seed, cfg.stations.len()),
+            policy,
             hw: Default::default(),
             ap_cw: AccessCategory::ALL.map(|ac| ac.edca().cw_min),
             active: vec![true; stations.len()],
@@ -163,7 +200,11 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
             rng,
             cfg,
             events_processed: 0,
+        };
+        if let Some(active) = net.policy.as_ref().and_then(|p| p.active.clone()) {
+            net.apply_policy(&active);
         }
+        net
     }
 
     /// Attaches a monitor-mode sink that receives a [`TxRecord`] for
@@ -189,6 +230,69 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
         self.hw_depth_hist = tele.hist_handle("mac", "hw_queue_depth", Label::Global);
         self.chaos.set_telemetry(tele.clone());
         self.tele = tele;
+        if let Some(active) = self.policy.as_ref().and_then(|p| p.active.as_ref()) {
+            self.tele.gauge(
+                "policy",
+                "active_nodes",
+                Label::Global,
+                active.node_count() as f64,
+            );
+        }
+    }
+
+    /// Pushes a compiled policy's per-(station, AC) weights into the
+    /// airtime scheduler. Deficits are untouched — a reweight changes
+    /// only future refills, so switches never drain queues or reset
+    /// credit already earned by unrelated nodes.
+    fn apply_policy(&mut self, compiled: &CompiledPolicy) {
+        for sta in 0..self.stations.len() {
+            self.ap
+                .set_station_weights(sta, compiled.station_weights(sta));
+        }
+    }
+
+    /// Pops the next policy switch if its due time has arrived.
+    fn due_policy_switch(&mut self, now: Nanos) -> Option<CompiledPolicy> {
+        let pol = self.policy.as_mut()?;
+        if pol.next < pol.switches.len() && pol.switches[pol.next].0 <= now {
+            let compiled = pol.switches[pol.next].1.clone();
+            pol.next += 1;
+            pol.applied += 1;
+            Some(compiled)
+        } else {
+            None
+        }
+    }
+
+    /// Applies any policy switches that have come due. Called at the top
+    /// of every scheduler round so a switch lands exactly at a round
+    /// boundary: in-flight aggregates and queued packets are untouched.
+    fn poll_policy(&mut self, now: Nanos) {
+        while let Some(compiled) = self.due_policy_switch(now) {
+            self.apply_policy(&compiled);
+            self.tele.count("policy", "switches", Label::Global, 1);
+            self.tele.gauge(
+                "policy",
+                "active_nodes",
+                Label::Global,
+                compiled.node_count() as f64,
+            );
+            if let Some(pol) = self.policy.as_mut() {
+                pol.active = Some(compiled);
+            }
+        }
+    }
+
+    /// Number of policy switches applied so far.
+    pub fn policy_switches_applied(&self) -> u64 {
+        self.policy.as_ref().map_or(0, |p| p.applied)
+    }
+
+    /// The effective scheduler weight of `(sta, ac)` under the current
+    /// scheme, or `None` when the scheme has no airtime scheduler or the
+    /// station is detached.
+    pub fn station_ac_weight(&self, sta: StationIdx, ac: AccessCategory) -> Option<u32> {
+        self.ap.station_ac_weight(sta, ac)
     }
 
     /// Current virtual time.
@@ -285,6 +389,12 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
         self.meter.ensure_station(sta);
         self.meter.reset_station(sta);
         self.chaos.ensure_station(sta);
+        // A joining station inherits the weights of the policy in force;
+        // a slot the roster never covered falls back to neutral.
+        if let Some(active) = self.policy.as_ref().and_then(|p| p.active.as_ref()) {
+            let weights = active.station_weights(sta);
+            self.ap.set_station_weights(sta, weights);
+        }
         self.tele.count("mac", "station_joins", Label::Global, 1);
         sta
     }
@@ -461,6 +571,9 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
     /// the hardware is skipped for this refill round (its frames stay in
     /// the MAC FQ, where CoDel and the scheduler govern them).
     fn ap_schedule(&mut self, ac: AccessCategory, now: Nanos) {
+        // Policy switches land here, at the round boundary, before any
+        // aggregate is built under the new weights.
+        self.poll_policy(now);
         // A chaos backpressure spike narrows the effective depth; it can
         // never widen it past the configured hardware limit.
         let depth = match self.chaos.hw_depth_clamp(now) {
@@ -643,6 +756,20 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
             let sl = Label::Station(sta as u32);
             self.tele
                 .count("mac", "tx_airtime_ns", sl, airtime.as_nanos());
+            // Achieved airtime rolled up to the policy node governing
+            // this (station, AC) — the observable the ≤5% share gate
+            // checks against the configured tree.
+            if let Some(active) = self.policy.as_ref().and_then(|p| p.active.as_ref()) {
+                let node = active.node_of(sta, aci);
+                if node != NODE_NONE {
+                    self.tele.count(
+                        "policy",
+                        "node_airtime_ns",
+                        Label::Node(node),
+                        airtime.as_nanos(),
+                    );
+                }
+            }
             self.tele
                 .observe_value("mac", "aggregate_frames", sl, front.frames.len() as u64);
             if front.retries > 0 {

@@ -359,6 +359,37 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
         self.active.get(sta).copied().unwrap_or(false)
     }
 
+    /// Re-writes one station's per-AC airtime weights (compiled policy
+    /// output). Deficits are untouched — the scheduler picks the new
+    /// weights up at the station's next replenishment — so applying a
+    /// policy switch never disturbs stations whose weights are unchanged.
+    /// A no-op under the non-airtime schemes.
+    pub fn set_station_weights(&mut self, sta: StationIdx, weights: [u32; AccessCategory::COUNT]) {
+        if let PathInner::Fq {
+            sched: StaSched::Airtime(s),
+            ..
+        } = &mut self.inner
+        {
+            if s.is_registered(StationHandle(sta)) {
+                s.set_ac_weights(StationHandle(sta), weights);
+            }
+        }
+    }
+
+    /// One station's current airtime weight at `ac` (test/telemetry
+    /// probe); `None` under the non-airtime schemes or for an empty slot.
+    pub fn station_ac_weight(&self, sta: StationIdx, ac: AccessCategory) -> Option<u32> {
+        match &self.inner {
+            PathInner::Fq {
+                sched: StaSched::Airtime(s),
+                ..
+            } if s.is_registered(StationHandle(sta)) => {
+                Some(s.ac_weight(StationHandle(sta), ac.index()))
+            }
+            _ => None,
+        }
+    }
+
     /// Number of station slots ever allocated (active + tombstoned).
     pub fn station_slots(&self) -> usize {
         self.codel.len()

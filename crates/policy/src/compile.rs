@@ -1,0 +1,254 @@
+//! Flattening a [`PolicySet`] into effective scheduler weights.
+
+use wifiq_core::{QOS_LEVELS, WEIGHT_NEUTRAL};
+use wifiq_phy::AccessCategory;
+
+use crate::tree::{PolicyNode, PolicySet};
+
+/// Sentinel leaf-node id for a (station, access category) no leaf claims.
+pub const NODE_NONE: u32 = u32::MAX;
+
+/// A station's exact fractional share as a rational number, accumulated
+/// multiplicatively down the tree path. Weights are `u32` and trees are
+/// shallow; `reduce` after every step keeps the `u128` terms small.
+#[derive(Clone, Copy)]
+struct Share {
+    num: u128,
+    den: u128,
+}
+
+impl Share {
+    const ONE: Share = Share { num: 1, den: 1 };
+
+    fn times(self, num: u128, den: u128) -> Share {
+        let mut s = Share {
+            num: self.num * num,
+            den: self.den * den,
+        };
+        let g = gcd(s.num, s.den);
+        s.num /= g;
+        s.den /= g;
+        s
+    }
+
+    /// `self × scale × WEIGHT_NEUTRAL`, rounded half-up, clamped to a
+    /// positive `u32`. Exact whenever the product is integral — the
+    /// equal-share case (`share = 1/n`, `scale = n`) yields precisely
+    /// `WEIGHT_NEUTRAL`.
+    fn to_weight(self, scale: u128) -> u32 {
+        let num = self.num * scale * WEIGHT_NEUTRAL as u128;
+        let w = (num + self.den / 2) / self.den;
+        w.clamp(1, u32::MAX as u128) as u32
+    }
+
+    fn as_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+fn gcd(a: u128, b: u128) -> u128 {
+    if b == 0 {
+        a.max(1)
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// A compiled policy: per-(station, access category) scheduler weights in
+/// [`WEIGHT_NEUTRAL`] units, the leaf-node ownership map for telemetry,
+/// and the exact configured shares for validation harnesses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPolicy {
+    weights: Vec<[u32; QOS_LEVELS]>,
+    node_of: Vec<[u32; QOS_LEVELS]>,
+    shares: Vec<[f64; QOS_LEVELS]>,
+    node_names: Vec<String>,
+}
+
+impl CompiledPolicy {
+    /// Effective per-AC weights for `sta`; neutral for stations beyond the
+    /// compiled roster (slots that churn in later keep the equal share).
+    pub fn station_weights(&self, sta: usize) -> [u32; QOS_LEVELS] {
+        self.weights
+            .get(sta)
+            .copied()
+            .unwrap_or([WEIGHT_NEUTRAL; QOS_LEVELS])
+    }
+
+    /// The leaf node owning (`sta`, `ac`), or [`NODE_NONE`].
+    pub fn node_of(&self, sta: usize, ac: usize) -> u32 {
+        self.node_of.get(sta).map_or(NODE_NONE, |per_ac| per_ac[ac])
+    }
+
+    /// Configured fractional airtime share of (`sta`, `ac`) among the
+    /// stations covered at that category; `0.0` when uncovered.
+    pub fn share(&self, sta: usize, ac: usize) -> f64 {
+        self.shares.get(sta).map_or(0.0, |per_ac| per_ac[ac])
+    }
+
+    /// Number of nodes in the compiled tree (groups and leaves).
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Name of node `id` (pre-order over the forest).
+    pub fn node_name(&self, id: u32) -> &str {
+        &self.node_names[id as usize]
+    }
+
+    /// Compiled roster size.
+    pub fn stations(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+/// Walk state for one access category's share assignment.
+struct Walk {
+    /// Exact share per station at the category under walk; `None` means
+    /// uncovered so far.
+    shares: Vec<Option<Share>>,
+    /// Owning leaf-node id per station at the category under walk.
+    owner: Vec<u32>,
+}
+
+impl PolicySet {
+    /// Compiles the tree against a roster of `stations` slots.
+    ///
+    /// Per access category, a station's fractional share is the product of
+    /// `weight / Σ participating-sibling weights` down its path, divided
+    /// by its leaf's member count. The scheduler weight is that share
+    /// scaled by `covered-station-count × WEIGHT_NEUTRAL` in exact
+    /// rational arithmetic — any tree granting equal per-station shares
+    /// therefore compiles to exactly [`WEIGHT_NEUTRAL`], making an
+    /// equal-share policy byte-identical to no policy.
+    ///
+    /// Validation errors (stable substrings for callers): empty set
+    /// ("at least one"), non-positive weight ("positive"), empty or
+    /// duplicate node name, station index "out of range", a (station,
+    /// category) "claimed by both" two leaves, a node needing exactly one
+    /// of "children or stations", an empty "classes" list.
+    pub fn compile(&self, stations: usize) -> Result<CompiledPolicy, String> {
+        if self.roots().is_empty() {
+            return Err("policy set needs at least one root node".into());
+        }
+        // Pass 1: structural validation + pre-order node naming.
+        let mut node_names = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for root in self.roots() {
+            validate_node(root, stations, &mut seen, &mut node_names)?;
+        }
+        // Pass 2: per-category share walk, then scale to scheduler units.
+        let mut weights = vec![[WEIGHT_NEUTRAL; QOS_LEVELS]; stations];
+        let mut node_of = vec![[NODE_NONE; QOS_LEVELS]; stations];
+        let mut shares = vec![[0.0; QOS_LEVELS]; stations];
+        for ac in AccessCategory::ALL {
+            let mut walk = Walk {
+                shares: vec![None; stations],
+                owner: vec![NODE_NONE; stations],
+            };
+            split(&mut walk, &node_names, self.roots(), ac, Share::ONE, &mut 0)?;
+            let covered = walk.shares.iter().filter(|s| s.is_some()).count() as u128;
+            for sta in 0..stations {
+                if let Some(share) = walk.shares[sta] {
+                    weights[sta][ac.index()] = share.to_weight(covered);
+                    node_of[sta][ac.index()] = walk.owner[sta];
+                    shares[sta][ac.index()] = share.as_f64();
+                }
+            }
+        }
+        Ok(CompiledPolicy {
+            weights,
+            node_of,
+            shares,
+            node_names,
+        })
+    }
+}
+
+fn validate_node(
+    node: &PolicyNode,
+    roster: usize,
+    seen: &mut std::collections::BTreeSet<String>,
+    names: &mut Vec<String>,
+) -> Result<(), String> {
+    if node.name.is_empty() {
+        return Err("policy node with empty name".into());
+    }
+    if !seen.insert(node.name.clone()) {
+        return Err(format!("duplicate node name {:?}", node.name));
+    }
+    names.push(node.name.clone());
+    if node.weight == 0 {
+        return Err(format!("node {:?}: weight must be positive", node.name));
+    }
+    if let Some(classes) = &node.classes {
+        if classes.is_empty() {
+            return Err(format!("node {:?}: classes list is empty", node.name));
+        }
+    }
+    match (node.children.is_empty(), node.stations.is_empty()) {
+        (true, true) | (false, false) => {
+            return Err(format!(
+                "node {:?}: needs exactly one of children or stations",
+                node.name
+            ));
+        }
+        _ => {}
+    }
+    for &sta in &node.stations {
+        if sta >= roster {
+            return Err(format!(
+                "node {:?}: station {sta} out of range 0..{roster}",
+                node.name
+            ));
+        }
+    }
+    for child in &node.children {
+        validate_node(child, roster, seen, names)?;
+    }
+    Ok(())
+}
+
+/// Divides `share` among the participating members of one sibling list,
+/// recursing into groups and claiming stations at leaves. `next_id`
+/// tracks the pre-order node id; all nodes advance it (participating at
+/// `ac` or not) so ids are category-independent and match `node_names`.
+fn split(
+    walk: &mut Walk,
+    node_names: &[String],
+    siblings: &[PolicyNode],
+    ac: AccessCategory,
+    share: Share,
+    next_id: &mut u32,
+) -> Result<(), String> {
+    let total: u128 = siblings
+        .iter()
+        .filter(|n| n.participates(ac))
+        .map(|n| n.weight as u128)
+        .sum();
+    for node in siblings {
+        let id = *next_id;
+        *next_id += 1;
+        if !node.participates(ac) {
+            *next_id += (node.count() - 1) as u32;
+            continue;
+        }
+        let part = share.times(node.weight as u128, total);
+        if node.children.is_empty() {
+            let per_sta = part.times(1, node.stations.len() as u128);
+            for &sta in &node.stations {
+                if walk.owner[sta] != NODE_NONE {
+                    return Err(format!(
+                        "station {sta} at {ac:?} claimed by both {:?} and {:?}",
+                        node_names[walk.owner[sta] as usize], node.name
+                    ));
+                }
+                walk.owner[sta] = id;
+                walk.shares[sta] = Some(per_sta);
+            }
+        } else {
+            split(walk, node_names, &node.children, ac, part, next_id)?;
+        }
+    }
+    Ok(())
+}

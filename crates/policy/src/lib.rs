@@ -1,0 +1,228 @@
+//! # wifiq-policy
+//!
+//! Hierarchical airtime policy for the paper's weighted deficit
+//! scheduler. The airtime scheduler in `wifiq-core` ends the 802.11
+//! performance anomaly by giving every station an *equal* airtime share;
+//! this crate supplies the PoliFi-style next step — *policy* — as a tree
+//! of weighted nodes:
+//!
+//! - **slices** at the root (tenants, BSSes) dividing the cell's airtime
+//!   by relative weight,
+//! - **groups** below (device classes, optionally restricted to a set of
+//!   802.11e access categories), and
+//! - **stations** at the leaves.
+//!
+//! A [`PolicySet`] is the declarative tree. [`PolicySet::compile`]
+//! flattens it into a [`CompiledPolicy`]: one effective `u32` weight per
+//! (station, access category), in the scheduler's
+//! [`WEIGHT_NEUTRAL`](wifiq_core::WEIGHT_NEUTRAL)-relative unit, plus the
+//! station → leaf-node map used for per-node achieved-airtime telemetry.
+//! Compilation is exact rational arithmetic scaled so that any tree
+//! granting every station an equal share compiles to *exactly*
+//! `WEIGHT_NEUTRAL` everywhere — an equal-share policy is byte-identical
+//! to running with no policy at all.
+//!
+//! Runtime reconfiguration is a [`PolicyTimeline`]: an optional initial
+//! set plus time-ordered [`PolicySwitch`]es. The MAC applies a due switch
+//! at a scheduler round boundary by re-writing weights only — deficits,
+//! queues and in-flight aggregates are never touched, so nodes whose
+//! weights did not change are completely undisturbed.
+//!
+//! ```
+//! use wifiq_policy::{PolicyNode, PolicySet};
+//!
+//! // Two tenant slices 2:1; tenant A splits its share equally between
+//! // stations 0 and 1, tenant B gives everything to station 2.
+//! let set = PolicySet::new(vec![
+//!     PolicyNode::leaf("tenant-a", 2, vec![0, 1]),
+//!     PolicyNode::leaf("tenant-b", 1, vec![2]),
+//! ]);
+//! let compiled = set.compile(3).unwrap();
+//! let be = wifiq_phy::AccessCategory::Be.index();
+//! // Shares 1/3, 1/3, 1/3 — an equal split, so exactly neutral weights.
+//! assert_eq!(compiled.station_weights(0)[be], wifiq_core::WEIGHT_NEUTRAL);
+//! assert_eq!(compiled.station_weights(2)[be], wifiq_core::WEIGHT_NEUTRAL);
+//! ```
+
+pub mod compile;
+pub mod timeline;
+pub mod tree;
+
+pub use compile::{CompiledPolicy, NODE_NONE};
+pub use timeline::{CompiledTimeline, PolicySwitch, PolicyTimeline};
+pub use tree::{PolicyNode, PolicySet};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wifiq_core::{QOS_LEVELS, WEIGHT_NEUTRAL};
+    use wifiq_phy::AccessCategory;
+    use wifiq_sim::Nanos;
+
+    const BE: usize = 2;
+
+    #[test]
+    fn flat_equal_weights_compile_to_neutral() {
+        for n in 1..12 {
+            let set = PolicySet::flat(&vec![7; n]);
+            let c = set.compile(n).unwrap();
+            for sta in 0..n {
+                assert_eq!(c.station_weights(sta), [WEIGHT_NEUTRAL; QOS_LEVELS]);
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_equal_shares_compile_to_neutral() {
+        // Group weights proportional to member counts → equal per-station
+        // shares → exactly neutral, regardless of grouping.
+        let set = PolicySet::new(vec![
+            PolicyNode::leaf("a", 1, vec![0]),
+            PolicyNode::leaf("b", 3, vec![1, 2, 3]),
+            PolicyNode::group(
+                "c",
+                2,
+                vec![
+                    PolicyNode::leaf("c1", 5, vec![4]),
+                    PolicyNode::leaf("c2", 5, vec![5]),
+                ],
+            ),
+        ]);
+        let c = set.compile(6).unwrap();
+        for sta in 0..6 {
+            assert_eq!(c.station_weights(sta), [WEIGHT_NEUTRAL; QOS_LEVELS]);
+        }
+    }
+
+    #[test]
+    fn ratios_scale_relative_to_neutral() {
+        // 1:2:4 flat weights over 3 stations: shares 1/7, 2/7, 4/7, and
+        // weights n·share·256 = 768/7, 1536/7, 3072/7 rounded.
+        let c = PolicySet::flat(&[1, 2, 4]).compile(3).unwrap();
+        assert_eq!(c.station_weights(0)[BE], 110); // 768/7 ≈ 109.7
+        assert_eq!(c.station_weights(1)[BE], 219); // 1536/7 ≈ 219.4
+        assert_eq!(c.station_weights(2)[BE], 439); // 3072/7 ≈ 438.9
+        let shares: f64 = (0..3).map(|s| c.share(s, BE)).sum();
+        assert!((shares - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_filter_splits_by_access_category() {
+        // Interactive group owns VO+VI at 3:1 over bulk; bulk owns BE+BK
+        // alone, so station 1 gets the whole BE share.
+        let set = PolicySet::new(vec![
+            PolicyNode::leaf("interactive", 3, vec![0])
+                .classes(vec![AccessCategory::Vo, AccessCategory::Vi]),
+            PolicyNode::leaf("bulk", 1, vec![0, 1])
+                .classes(vec![AccessCategory::Be, AccessCategory::Bk]),
+        ]);
+        let c = set.compile(2).unwrap();
+        let vo = AccessCategory::Vo.index();
+        // Station 0 is the only VO-covered station: share 1 of 1 station.
+        assert_eq!(c.station_weights(0)[vo], WEIGHT_NEUTRAL);
+        // Station 1 has no VO coverage: defaults to neutral.
+        assert_eq!(c.station_weights(1)[vo], WEIGHT_NEUTRAL);
+        assert_eq!(c.node_of(1, vo), NODE_NONE);
+        // BE: both stations under "bulk", equal split → neutral.
+        assert_eq!(c.station_weights(0)[BE], WEIGHT_NEUTRAL);
+        assert_eq!(c.node_of(0, BE), c.node_of(1, BE));
+    }
+
+    #[test]
+    fn node_ids_are_preorder_and_named() {
+        let set = PolicySet::new(vec![
+            PolicyNode::group("root", 1, vec![PolicyNode::leaf("kid", 1, vec![0])]),
+            PolicyNode::leaf("other", 1, vec![1]),
+        ]);
+        let c = set.compile(2).unwrap();
+        assert_eq!(c.node_count(), 3);
+        assert_eq!(c.node_name(0), "root");
+        assert_eq!(c.node_name(1), "kid");
+        assert_eq!(c.node_name(2), "other");
+        assert_eq!(c.node_of(0, BE), 1);
+        assert_eq!(c.node_of(1, BE), 2);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_trees() {
+        let roster = 4;
+        let cases: Vec<(PolicySet, &str)> = vec![
+            (PolicySet::new(vec![]), "at least one"),
+            (
+                PolicySet::new(vec![PolicyNode::leaf("a", 0, vec![0])]),
+                "positive",
+            ),
+            (
+                PolicySet::new(vec![PolicyNode::leaf("", 1, vec![0])]),
+                "name",
+            ),
+            (
+                PolicySet::new(vec![PolicyNode::leaf("a", 1, vec![9])]),
+                "out of range",
+            ),
+            (
+                PolicySet::new(vec![
+                    PolicyNode::leaf("a", 1, vec![0]),
+                    PolicyNode::leaf("a", 1, vec![1]),
+                ]),
+                "duplicate node name",
+            ),
+            (
+                PolicySet::new(vec![
+                    PolicyNode::leaf("a", 1, vec![0]),
+                    PolicyNode::leaf("b", 1, vec![0]),
+                ]),
+                "claimed by both",
+            ),
+            (
+                PolicySet::new(vec![PolicyNode::group("g", 1, vec![])]),
+                "children or stations",
+            ),
+            (
+                PolicySet::new(vec![PolicyNode::leaf("a", 1, vec![0]).classes(vec![])]),
+                "classes",
+            ),
+        ];
+        for (set, needle) in cases {
+            let err = set.compile(roster).unwrap_err();
+            assert!(err.contains(needle), "{err:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn overlap_is_allowed_across_disjoint_classes() {
+        let set = PolicySet::new(vec![
+            PolicyNode::leaf("voice", 1, vec![0]).classes(vec![AccessCategory::Vo]),
+            PolicyNode::leaf("data", 1, vec![0]).classes(vec![AccessCategory::Be]),
+        ]);
+        assert!(set.compile(1).is_ok());
+    }
+
+    #[test]
+    fn timeline_orders_and_compiles() {
+        let t = PolicyTimeline::fixed(PolicySet::flat(&[1, 1]))
+            .with_switch(Nanos::from_secs(5), PolicySet::flat(&[1, 4]));
+        let c = t.compile(2).unwrap();
+        assert_eq!(c.switches.len(), 1);
+        assert!(c.initial.is_some());
+        assert!(!t.is_none());
+        assert!(PolicyTimeline::none().is_none());
+
+        let bad = PolicyTimeline::fixed(PolicySet::flat(&[1, 1]))
+            .with_switch(Nanos::from_secs(5), PolicySet::flat(&[1, 4]))
+            .with_switch(Nanos::from_secs(5), PolicySet::flat(&[4, 1]));
+        assert!(bad.compile(2).unwrap_err().contains("ascending"));
+    }
+
+    #[test]
+    fn uncovered_roster_tail_defaults_to_neutral() {
+        let c = PolicySet::flat(&[1, 2]).compile(5).unwrap();
+        for sta in 2..5 {
+            assert_eq!(c.station_weights(sta), [WEIGHT_NEUTRAL; QOS_LEVELS]);
+            assert_eq!(c.node_of(sta, BE), NODE_NONE);
+        }
+        // Out-of-roster lookups are also neutral (churned-in slots).
+        assert_eq!(c.station_weights(17), [WEIGHT_NEUTRAL; QOS_LEVELS]);
+        assert_eq!(c.node_of(17, BE), NODE_NONE);
+    }
+}

@@ -1,0 +1,103 @@
+//! Runtime reconfiguration: [`PolicySwitch`] events on a
+//! [`PolicyTimeline`].
+
+use wifiq_sim::Nanos;
+
+use crate::compile::CompiledPolicy;
+use crate::tree::PolicySet;
+
+/// One runtime reconfiguration: at sim time `at`, replace the active
+/// policy with `set`. Applied by the MAC at the next scheduler round
+/// boundary at or after `at` — weights are rewritten in place; deficits,
+/// queues and in-flight exchanges are never touched, so nodes whose
+/// weights did not change are completely undisturbed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicySwitch {
+    /// Sim time the switch becomes due.
+    pub at: Nanos,
+    /// The policy set that becomes active.
+    pub set: PolicySet,
+}
+
+/// A network's policy schedule: an optional initial set plus
+/// time-ordered switches. The default ([`PolicyTimeline::none`]) is
+/// byte-invisible — no compiled policy exists and the scheduler keeps its
+/// neutral equal-share weights.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PolicyTimeline {
+    initial: Option<PolicySet>,
+    switches: Vec<PolicySwitch>,
+}
+
+impl PolicyTimeline {
+    /// No policy at all: the pre-policy equal-share path.
+    pub fn none() -> PolicyTimeline {
+        PolicyTimeline::default()
+    }
+
+    /// A fixed policy active from time zero.
+    pub fn fixed(set: PolicySet) -> PolicyTimeline {
+        PolicyTimeline {
+            initial: Some(set),
+            switches: Vec::new(),
+        }
+    }
+
+    /// Appends a runtime switch. Switches must be added in strictly
+    /// ascending time order (checked by [`PolicyTimeline::compile`]).
+    pub fn with_switch(mut self, at: Nanos, set: PolicySet) -> PolicyTimeline {
+        self.switches.push(PolicySwitch { at, set });
+        self
+    }
+
+    /// True when no policy is configured (the byte-invisible default).
+    pub fn is_none(&self) -> bool {
+        self.initial.is_none() && self.switches.is_empty()
+    }
+
+    /// The initial set, if any.
+    pub fn initial(&self) -> Option<&PolicySet> {
+        self.initial.as_ref()
+    }
+
+    /// The scheduled switches.
+    pub fn switches(&self) -> &[PolicySwitch] {
+        &self.switches
+    }
+
+    /// Validates every set against a roster of `stations` slots.
+    pub fn validate(&self, stations: usize) -> Result<(), String> {
+        self.compile(stations).map(|_| ())
+    }
+
+    /// Compiles every set in the timeline against the roster, checking
+    /// that switch times are strictly ascending.
+    pub fn compile(&self, stations: usize) -> Result<CompiledTimeline, String> {
+        let initial = match &self.initial {
+            None => None,
+            Some(set) => Some(set.compile(stations)?),
+        };
+        let mut switches = Vec::with_capacity(self.switches.len());
+        let mut last: Option<Nanos> = None;
+        for sw in &self.switches {
+            if last.is_some_and(|prev| sw.at <= prev) {
+                return Err(format!(
+                    "policy switches must be strictly ascending in time (switch at {:?})",
+                    sw.at
+                ));
+            }
+            last = Some(sw.at);
+            switches.push((sw.at, sw.set.compile(stations)?));
+        }
+        Ok(CompiledTimeline { initial, switches })
+    }
+}
+
+/// The timeline after compilation: ready-to-apply weight tables.
+#[derive(Debug, Clone)]
+pub struct CompiledTimeline {
+    /// Compiled initial set, if any.
+    pub initial: Option<CompiledPolicy>,
+    /// Compiled switches, strictly ascending in time.
+    pub switches: Vec<(Nanos, CompiledPolicy)>,
+}

@@ -1,0 +1,120 @@
+//! The declarative policy tree: [`PolicyNode`] and [`PolicySet`].
+
+use wifiq_phy::AccessCategory;
+
+/// One node in the policy hierarchy.
+///
+/// A node carries a `weight` relative to its *participating siblings*, an
+/// optional access-category filter (`classes`), and either child nodes
+/// (a slice/group) or member station indices (a leaf). Constructed via
+/// [`PolicyNode::group`] / [`PolicyNode::leaf`]; the invariant "exactly
+/// one of children/stations is non-empty" is enforced at compile time by
+/// [`PolicySet::compile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyNode {
+    /// Human-readable identifier, unique within a set; becomes the
+    /// `policy/*` telemetry node name.
+    pub name: String,
+    /// Relative weight among participating siblings. Must be positive.
+    pub weight: u32,
+    /// Access categories this subtree applies to; `None` means all four.
+    /// Filters intersect down the path: a child never participates in a
+    /// category its parent excluded.
+    pub classes: Option<Vec<AccessCategory>>,
+    /// Child nodes (non-empty for a group, empty for a leaf).
+    pub children: Vec<PolicyNode>,
+    /// Member station indices (non-empty for a leaf, empty for a group).
+    /// A leaf's share is split equally among its members.
+    pub stations: Vec<usize>,
+}
+
+impl PolicyNode {
+    /// An interior slice/group node dividing its share among `children`.
+    pub fn group(name: &str, weight: u32, children: Vec<PolicyNode>) -> PolicyNode {
+        PolicyNode {
+            name: name.into(),
+            weight,
+            classes: None,
+            children,
+            stations: Vec::new(),
+        }
+    }
+
+    /// A leaf node splitting its share equally among member `stations`.
+    pub fn leaf(name: &str, weight: u32, stations: Vec<usize>) -> PolicyNode {
+        PolicyNode {
+            name: name.into(),
+            weight,
+            classes: None,
+            children: Vec::new(),
+            stations,
+        }
+    }
+
+    /// Restricts this subtree to the given access categories.
+    pub fn classes(mut self, classes: Vec<AccessCategory>) -> PolicyNode {
+        self.classes = Some(classes);
+        self
+    }
+
+    /// True when this subtree participates in `ac` (its own filter allows
+    /// it; ancestors are checked by the walker).
+    pub(crate) fn participates(&self, ac: AccessCategory) -> bool {
+        match &self.classes {
+            None => true,
+            Some(cs) => cs.contains(&ac),
+        }
+    }
+
+    /// Total node count of this subtree (self included).
+    pub(crate) fn count(&self) -> usize {
+        1 + self.children.iter().map(PolicyNode::count).sum::<usize>()
+    }
+}
+
+/// A complete policy hierarchy: a forest of root slices.
+///
+/// Root nodes divide the whole cell's airtime by relative weight; see the
+/// crate docs for the share model. Stations not covered by any leaf at
+/// some access category keep the scheduler's neutral (equal) share.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicySet {
+    roots: Vec<PolicyNode>,
+}
+
+impl PolicySet {
+    /// A set from explicit root nodes.
+    pub fn new(roots: Vec<PolicyNode>) -> PolicySet {
+        PolicySet { roots }
+    }
+
+    /// A flat set: one single-station leaf per entry of `weights`,
+    /// named `staN`. The builder-path replacement for the old per-station
+    /// static `airtime_weight` plumbing.
+    pub fn flat(weights: &[u32]) -> PolicySet {
+        PolicySet {
+            roots: weights
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| PolicyNode::leaf(&format!("sta{i}"), w, vec![i]))
+                .collect(),
+        }
+    }
+
+    /// The equal-share set over `stations` stations — compiles to exactly
+    /// the scheduler's neutral weight everywhere.
+    pub fn equal(stations: usize) -> PolicySet {
+        PolicySet::flat(&vec![1; stations])
+    }
+
+    /// The root nodes.
+    pub fn roots(&self) -> &[PolicyNode] {
+        &self.roots
+    }
+
+    /// Validates the tree against a roster of `stations` slots without
+    /// compiling. See [`PolicySet::compile`] for the rules.
+    pub fn validate(&self, stations: usize) -> Result<(), String> {
+        self.compile(stations).map(|_| ())
+    }
+}

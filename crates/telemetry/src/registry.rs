@@ -24,6 +24,8 @@ pub enum Label {
     Tid(u32),
     /// Per-shard metric (one BSS instance in a sharded multi-BSS run).
     Shard(u32),
+    /// Per-policy-node metric (one node of an airtime policy tree).
+    Node(u32),
 }
 
 impl fmt::Display for Label {
@@ -34,6 +36,7 @@ impl fmt::Display for Label {
             Label::Flow(id) => write!(f, "flow{id}"),
             Label::Tid(t) => write!(f, "tid{t}"),
             Label::Shard(s) => write!(f, "shard{s}"),
+            Label::Node(n) => write!(f, "node{n}"),
         }
     }
 }
@@ -163,6 +166,25 @@ impl Registry {
     /// True if nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// A copy of this registry with every metric of `component` removed.
+    /// Used by equivalence harnesses that compare two runs' behaviour
+    /// while ignoring one subsystem's own bookkeeping (e.g. proving an
+    /// equal-share policy run matches a no-policy run byte for byte,
+    /// `policy/*` counters aside).
+    pub fn without_component(&self, component: &str) -> Registry {
+        let mut out = Registry::new();
+        for (&(c, m, l), &v) in self.counters.iter().filter(|((c, ..), _)| *c != component) {
+            out.counter_add(c, m, l, v);
+        }
+        for (&(c, m, l), &v) in self.gauges.iter().filter(|((c, ..), _)| *c != component) {
+            out.gauge_set(c, m, l, v);
+        }
+        for (&(c, m, l), h) in self.hists.iter().filter(|((c, ..), _)| *c != component) {
+            out.hist_merge(c, m, l, h);
+        }
+        out
     }
 
     /// Lowers the registry to its JSON snapshot form: three arrays of

@@ -130,6 +130,36 @@ def check_chaos_counters(path, reg):
             fail(f"{path.name}: unknown chaos histogram {h['metric']!r}")
 
 
+POLICY_COUNTERS = {"switches", "node_airtime_ns"}
+
+POLICY_GAUGES = {"active_nodes"}
+
+POLICY_HISTOGRAMS = {"convergence_ms"}
+
+
+def check_policy_metrics(path, reg):
+    """Policy metrics must come from the known engine vocabulary, and the
+    per-node achieved-airtime rollups must carry node/shard labels."""
+    for c in reg.get("counters", []):
+        if c["component"] != "policy":
+            continue
+        if c["metric"] not in POLICY_COUNTERS:
+            fail(f"{path.name}: unknown policy counter {c['metric']!r}")
+        label = c["label"]
+        if c["metric"] == "node_airtime_ns" and not (
+            label.startswith("node") or label.startswith("shard")
+        ):
+            fail(f"{path.name}: node_airtime_ns under odd label {label!r}")
+        if c["value"] < 0:
+            fail(f"{path.name}: negative policy counter {c['metric']}/{label}")
+    for g in reg.get("gauges", []):
+        if g["component"] == "policy" and g["metric"] not in POLICY_GAUGES:
+            fail(f"{path.name}: unknown policy gauge {g['metric']!r}")
+    for h in reg.get("histograms", []):
+        if h["component"] == "policy" and h["metric"] not in POLICY_HISTOGRAMS:
+            fail(f"{path.name}: unknown policy histogram {h['metric']!r}")
+
+
 def check_snapshot(path):
     with open(path) as f:
         snap = json.load(f)
@@ -162,6 +192,7 @@ def check_snapshot(path):
     elif not airtime:
         fail(f"{path.name}: no non-zero mac/tx_airtime_ns/staN counters")
     check_chaos_counters(path, reg)
+    check_policy_metrics(path, reg)
     for hist in reg.get("histograms", []):
         check_histogram(path.name, hist)
     csv = path.with_suffix(".csv")

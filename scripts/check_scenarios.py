@@ -3,8 +3,9 @@
 
 A Python mirror of `crates/experiments/src/scenario_file.rs`: every
 scenarios/*.json must parse, use only known fields, respect the
-versioning rules (v2 gates `faults` and `churn`), and carry well-formed
-fault windows. The Rust side re-validates at load time (and the
+versioning rules (v2 gates `faults` and `churn`, v3 gates `policy`),
+and carry well-formed fault windows and policy trees. The Rust side
+re-validates at load time (and the
 `shipped_scenario_files_validate` test builds each file end to end);
 this script gives CI a fast, toolchain-free first line of defence.
 
@@ -18,7 +19,7 @@ from pathlib import Path
 
 TOP_FIELDS = {
     "version", "scheme", "secs", "seed", "station_fq", "rate_control",
-    "aql_ms", "stations", "traffic", "faults", "churn",
+    "aql_ms", "stations", "traffic", "faults", "churn", "policy",
 }
 STATION_FIELDS = {"rate", "error", "mcs_cliff", "weight"}
 TRAFFIC_FIELDS = {
@@ -40,6 +41,10 @@ FAULT_FIELDS = {
     "ack_loss": {"prob"},
 }
 CHURN_FIELDS = {"mean_interval_ms", "min_stations", "max_stations"}
+POLICY_FIELDS = {"nodes", "switches"}
+POLICY_NODE_FIELDS = {"name", "weight", "classes", "stations", "nodes"}
+POLICY_SWITCH_FIELDS = {"at_secs", "nodes"}
+POLICY_CLASSES = {"vo", "vi", "be", "bk"}
 SCHEMES = {"fifo", "fqcodel", "fqmac", "airtime"}
 RATE_RE = re.compile(r"^(mcs(1[0-5]|[0-9])|vht[0-9]|[0-9.]+mbps)$")
 
@@ -89,6 +94,72 @@ def check_fault(name, i, fault, stations):
         fail(f"{name}: faults[{i}]: depth must be >= 1")
 
 
+def check_policy_node(name, where, node, stations, seen_names):
+    if not isinstance(node, dict):
+        fail(f"{name}: {where}: policy node must be an object")
+    for key in node:
+        if key not in POLICY_NODE_FIELDS:
+            fail(f"{name}: {where}: unknown field {key!r}")
+    node_name = node.get("name")
+    if not isinstance(node_name, str) or not node_name:
+        fail(f"{name}: {where}: needs a non-empty `name`")
+    if node_name in seen_names:
+        fail(f"{name}: {where}: duplicate node name {node_name!r}")
+    seen_names.add(node_name)
+    weight = node.get("weight", 1)
+    if not (isinstance(weight, int) and weight >= 1):
+        fail(f"{name}: {where}: weight must be a positive integer")
+    classes = node.get("classes")
+    if classes is not None:
+        if not isinstance(classes, list) or not classes:
+            fail(f"{name}: {where}: classes must be a non-empty array")
+        for c in classes:
+            if c not in POLICY_CLASSES:
+                fail(f"{name}: {where}: unknown class {c!r}")
+    members, children = node.get("stations"), node.get("nodes")
+    if (members is None) == (children is None):
+        fail(f"{name}: {where}: needs exactly one of `stations` or `nodes`")
+    if members is not None:
+        if not isinstance(members, list) or not members:
+            fail(f"{name}: {where}: stations must be a non-empty array")
+        for sta in members:
+            if not (isinstance(sta, int) and 0 <= sta < stations):
+                fail(f"{name}: {where}: station {sta!r} out of range 0..{stations}")
+    else:
+        if not isinstance(children, list) or not children:
+            fail(f"{name}: {where}: nodes must be a non-empty array")
+        for i, child in enumerate(children):
+            check_policy_node(name, f"{where}.nodes[{i}]", child, stations, seen_names)
+
+
+def check_policy_tree(name, where, nodes, stations):
+    if not isinstance(nodes, list) or not nodes:
+        fail(f"{name}: {where}: needs a non-empty `nodes` array")
+    seen_names = set()
+    for i, node in enumerate(nodes):
+        check_policy_node(name, f"{where}[{i}]", node, stations, seen_names)
+
+
+def check_policy(name, policy, stations):
+    for key in policy:
+        if key not in POLICY_FIELDS:
+            fail(f"{name}: policy: unknown field {key!r}")
+    check_policy_tree(name, "policy.nodes", policy.get("nodes"), stations)
+    last_at = None
+    for i, sw in enumerate(policy.get("switches", [])):
+        where = f"policy.switches[{i}]"
+        for key in sw:
+            if key not in POLICY_SWITCH_FIELDS:
+                fail(f"{name}: {where}: unknown field {key!r}")
+        at = sw.get("at_secs")
+        if not isinstance(at, (int, float)) or at < 0:
+            fail(f"{name}: {where}: at_secs must be a non-negative number")
+        if last_at is not None and at <= last_at:
+            fail(f"{name}: {where}: switches must be strictly ascending")
+        last_at = at
+        check_policy_tree(name, f"{where}.nodes", sw.get("nodes"), stations)
+
+
 def check_scenario(path):
     with open(path) as f:
         sc = json.load(f)
@@ -97,12 +168,14 @@ def check_scenario(path):
         if key not in TOP_FIELDS:
             fail(f"{name}: unknown top-level field {key!r}")
     version = sc.get("version", 1)
-    if version not in (1, 2):
+    if version not in (1, 2, 3):
         fail(f"{name}: unsupported version {version}")
     if version < 2:
         for gated in ("faults", "churn"):
             if gated in sc:
                 fail(f"{name}: `{gated}` requires \"version\": 2")
+    if version < 3 and "policy" in sc:
+        fail(f"{name}: `policy` requires \"version\": 3")
     if sc.get("scheme", "airtime") not in SCHEMES:
         fail(f"{name}: unknown scheme {sc.get('scheme')!r}")
     stations = sc.get("stations")
@@ -137,23 +210,28 @@ def check_scenario(path):
             fail(f"{name}: churn: max_stations {hi} exceeds roster {len(stations)}")
         if churn.get("mean_interval_ms", 100) < 1:
             fail(f"{name}: churn: mean_interval_ms must be >= 1")
-    return len(sc.get("faults", [])), churn is not None
+    policy = sc.get("policy")
+    if policy is not None:
+        check_policy(name, policy, len(stations))
+    return len(sc.get("faults", [])), churn is not None, policy is not None
 
 
 def main():
     scenario_dir = Path(sys.argv[1] if len(sys.argv) > 1 else "scenarios")
     files = sorted(scenario_dir.glob("*.json"))
-    if len(files) < 4:
-        fail(f"expected at least 4 scenario files under {scenario_dir}, found {len(files)}")
+    if len(files) < 5:
+        fail(f"expected at least 5 scenario files under {scenario_dir}, found {len(files)}")
     faults = 0
     churned = 0
+    policied = 0
     for path in files:
-        nfaults, has_churn = check_scenario(path)
+        nfaults, has_churn, has_policy = check_scenario(path)
         faults += nfaults
         churned += has_churn
+        policied += has_policy
     print(
         f"check_scenarios: OK: {len(files)} scenarios, "
-        f"{faults} fault entries, {churned} churned"
+        f"{faults} fault entries, {churned} churned, {policied} with policies"
     )
 
 

@@ -27,6 +27,9 @@
 //! - [`chaos`](mod@crate::chaos) — deterministic seeded fault injection
 //!   (burst loss, rate collapse, stalls, backpressure, ACK loss) driven
 //!   by a declarative fault schedule,
+//! - [`policy`](mod@crate::policy) — hierarchical airtime policy
+//!   (tenant slices, device-class groups, per-station weights) compiled
+//!   into weighted deficit quanta, with runtime reconfiguration,
 //! - [`experiments`](mod@crate::experiments) — harnesses for every table and
 //!   figure in the paper's evaluation.
 //!
@@ -41,6 +44,7 @@ pub use wifiq_harness as harness;
 pub use wifiq_mac as mac;
 pub use wifiq_model as model;
 pub use wifiq_phy as phy;
+pub use wifiq_policy as policy;
 pub use wifiq_qdisc as qdisc;
 pub use wifiq_scale as scale;
 pub use wifiq_sim as sim;
