@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use wifiq_experiments::runner::{export_metrics, metrics_telemetry};
 use wifiq_harness::{CellDef, Harness, SweepMeta};
 
-const BINS: [&str; 22] = [
+const BINS: [&str; 23] = [
     "fig04_latency_tcp",
     "table1_model_validation",
     "fig05_airtime_udp",
@@ -41,6 +41,7 @@ const BINS: [&str; 22] = [
     "ext_scale",
     "ext_hotpath",
     "ext_policy",
+    "ext_search",
 ];
 
 /// Wall-clock budget for one experiment binary; past it the child is
@@ -187,5 +188,11 @@ fn main() {
         );
         std::process::exit(1);
     }
-    println!("\nAll experiments complete; artifacts in results/.");
+    // Dynamic completion line: the count comes from the roster itself, so
+    // adding a binary can never desync a hard-coded expectation in CI.
+    println!(
+        "\nrun_all complete: {}/{} experiments ok ({} cached)",
+        summary.ok, summary.total, summary.cached
+    );
+    println!("All experiments complete; artifacts in results/.");
 }

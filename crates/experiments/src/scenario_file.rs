@@ -176,6 +176,36 @@ pub struct PolicySpec {
     pub switches: Vec<PolicySwitchSpec>,
 }
 
+/// Provenance of a searcher-found counterexample (schema version ≥ 3):
+/// how `wifiq-search` derived the file, so `scenarios/found/` entries are
+/// self-describing regression artifacts. Ignored by [`ScenarioFile::build`]
+/// — it documents the discovery, not the simulation.
+#[derive(Debug, Clone)]
+pub struct ProvenanceSpec {
+    /// Master seed of the search run that found this counterexample.
+    pub searcher_seed: u64,
+    /// The violated objective: `jain_dip`, `latency_spike`, `codel_flap`
+    /// or `convergence_blowout`.
+    pub objective: String,
+    /// Severity score of the minimal counterexample.
+    pub score: f64,
+    /// Accepted shrink steps between the first failing mutant and this
+    /// minimal form.
+    pub shrink_steps: u64,
+    /// Encoded size of the first failing mutant, bytes.
+    pub first_failing_bytes: Option<u64>,
+    /// Encoded size of this minimal counterexample, bytes.
+    pub minimal_bytes: Option<u64>,
+}
+
+/// Objective names a provenance block may cite.
+pub const OBJECTIVE_KINDS: [&str; 4] = [
+    "jain_dip",
+    "latency_spike",
+    "codel_flap",
+    "convergence_blowout",
+];
+
 /// A complete scenario file.
 #[derive(Debug)]
 pub struct ScenarioFile {
@@ -204,6 +234,9 @@ pub struct ScenarioFile {
     pub churn: Option<ChurnSpec>,
     /// Airtime policy (version ≥ 3).
     pub policy: Option<PolicySpec>,
+    /// Search provenance (version ≥ 3), present on `scenarios/found/`
+    /// counterexamples.
+    pub provenance: Option<ProvenanceSpec>,
 }
 
 // ---- manual JSON decoding -------------------------------------------------
@@ -604,6 +637,38 @@ impl PolicySpec {
     }
 }
 
+impl ProvenanceSpec {
+    fn decode(value: &Json) -> Result<ProvenanceSpec, String> {
+        let f = Fields::of(value, "provenance")?;
+        f.deny_unknown(&[
+            "searcher_seed",
+            "objective",
+            "score",
+            "shrink_steps",
+            "first_failing_bytes",
+            "minimal_bytes",
+        ])?;
+        let objective = f.string_req("objective")?;
+        if !OBJECTIVE_KINDS.contains(&objective.as_str()) {
+            return Err(format!("provenance: unknown objective `{objective}`"));
+        }
+        let searcher_seed = f
+            .u64_opt("searcher_seed")?
+            .ok_or("provenance: missing field `searcher_seed`")?;
+        let shrink_steps = f
+            .u64_opt("shrink_steps")?
+            .ok_or("provenance: missing field `shrink_steps`")?;
+        Ok(ProvenanceSpec {
+            searcher_seed,
+            objective,
+            score: f.f64_or("score", 0.0)?,
+            shrink_steps,
+            first_failing_bytes: f.u64_opt("first_failing_bytes")?,
+            minimal_bytes: f.u64_opt("minimal_bytes")?,
+        })
+    }
+}
+
 impl ChurnSpec {
     fn decode(value: &Json) -> Result<ChurnSpec, String> {
         let f = Fields::of(value, "churn")?;
@@ -720,6 +785,7 @@ impl ScenarioFile {
             "faults",
             "churn",
             "policy",
+            "provenance",
         ])?;
         let version = f.u64_opt("version")?.unwrap_or(1);
         if !(1..=3).contains(&version) {
@@ -734,8 +800,12 @@ impl ScenarioFile {
                 }
             }
         }
-        if version < 3 && f.raw("policy").is_some() {
-            return Err("`policy` requires \"version\": 3".into());
+        if version < 3 {
+            for field in ["policy", "provenance"] {
+                if f.raw(field).is_some() {
+                    return Err(format!("`{field}` requires \"version\": 3"));
+                }
+            }
         }
         let stations = f
             .array_req("stations")?
@@ -760,6 +830,10 @@ impl ScenarioFile {
         };
         let churn = f.raw("churn").map(ChurnSpec::decode).transpose()?;
         let policy = f.raw("policy").map(PolicySpec::decode).transpose()?;
+        let provenance = f
+            .raw("provenance")
+            .map(ProvenanceSpec::decode)
+            .transpose()?;
         Ok(ScenarioFile {
             version,
             scheme: f.string_opt("scheme")?,
@@ -773,6 +847,7 @@ impl ScenarioFile {
             faults,
             churn,
             policy,
+            provenance,
         })
     }
 
@@ -1143,6 +1218,51 @@ mod tests {
                 "station {sta} weight after equalising switch"
             );
         }
+    }
+
+    #[test]
+    fn provenance_parses_and_is_inert() {
+        let sc = ScenarioFile::from_json(
+            r#"{ "version": 3, "stations": [{ "rate": "mcs15" }],
+                 "traffic": [{ "kind": "ping", "station": 0 }],
+                 "provenance": { "searcher_seed": 99, "objective": "jain_dip",
+                                 "score": 1.25, "shrink_steps": 7,
+                                 "first_failing_bytes": 1400, "minimal_bytes": 300 } }"#,
+        )
+        .unwrap();
+        let p = sc.provenance.as_ref().expect("provenance block");
+        assert_eq!(p.searcher_seed, 99);
+        assert_eq!(p.objective, "jain_dip");
+        assert_eq!(p.shrink_steps, 7);
+        // Build ignores provenance entirely.
+        sc.build().unwrap();
+    }
+
+    #[test]
+    fn bad_provenance_rejected() {
+        // Unknown objective name.
+        let err = ScenarioFile::from_json(
+            r#"{ "version": 3, "stations": [{ "rate": "mcs15" }], "traffic": [],
+                 "provenance": { "searcher_seed": 1, "objective": "gremlins",
+                                 "shrink_steps": 0 } }"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("gremlins"), "{err}");
+        // Missing searcher_seed.
+        let err = ScenarioFile::from_json(
+            r#"{ "version": 3, "stations": [{ "rate": "mcs15" }], "traffic": [],
+                 "provenance": { "objective": "jain_dip", "shrink_steps": 0 } }"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("searcher_seed"), "{err}");
+        // Version gate: provenance is a v3 field.
+        let err = ScenarioFile::from_json(
+            r#"{ "version": 2, "stations": [{ "rate": "mcs15" }], "traffic": [],
+                 "provenance": { "searcher_seed": 1, "objective": "jain_dip",
+                                 "shrink_steps": 0 } }"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("version"), "{err}");
     }
 
     #[test]

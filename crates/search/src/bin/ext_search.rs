@@ -1,0 +1,339 @@
+//! Extension: coverage-guided fairness fuzzing over the scenario space
+//! (`wifiq-search`).
+//!
+//! Three phases:
+//!
+//! 1. **Replay** — every counterexample committed under
+//!    `scenarios/found/` is re-evaluated; the objective recorded in its
+//!    provenance block must still fire. Found scenarios are regression
+//!    gates, not museum pieces.
+//! 2. **Search** — a budgeted coverage-guided search (single worker,
+//!    cache on) seeded with the shipped scenarios plus the planted
+//!    known-bad configuration; new violations shrink to minimal
+//!    counterexamples and are committed to `scenarios/found/`.
+//! 3. **Re-pass** — the identical search at four workers; its canonical
+//!    corpus must be byte-identical to phase 2's
+//!    (`results/search_corpus_seq.json` vs `search_corpus_par.json`),
+//!    proving the searcher's determinism contract at a different worker
+//!    count exactly as the other extension binaries prove it for rollups.
+//!
+//! Gates (exit 1 on violation): the planted bug is found, it shrinks to
+//! ≤ 25% of the first failing mutant, the two corpora match, and every
+//! committed counterexample replays.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use serde::Serialize;
+use wifiq_experiments::report::{results_dir, write_json, Table};
+use wifiq_experiments::scenario_file::ScenarioFile;
+use wifiq_search::objective::JAIN_DIP;
+use wifiq_search::{evaluate, run_search, ObjectiveKind, ScenarioDoc, SearchCfg};
+
+/// Walks up from the current directory to the workspace root (the
+/// directory holding `Cargo.toml` and `crates/`).
+fn repo_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+/// `scenarios/` at the workspace root.
+fn scenarios_dir() -> PathBuf {
+    repo_root().join("scenarios")
+}
+
+fn quick() -> bool {
+    std::env::var("WIFIQ_QUICK").as_deref() == Ok("1")
+}
+
+fn master_seed() -> u64 {
+    std::env::var("WIFIQ_SEARCH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Sorted scenario texts from a directory (`(file_name, text)`).
+fn read_scenarios(dir: &PathBuf) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("json") {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                out.push((name, text));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[derive(Serialize)]
+struct ReplayRow {
+    file: String,
+    objective: String,
+    still_fails: bool,
+}
+
+#[derive(Serialize)]
+struct FindingRow {
+    objective: String,
+    severity: f64,
+    shrink_steps: u64,
+    first_bytes: u64,
+    minimal_bytes: u64,
+    shrunk_ratio: f64,
+    file: Option<String>,
+}
+
+#[derive(Serialize)]
+struct Gates {
+    /// A jain_dip violation was discovered within budget.
+    planted_found: bool,
+    /// It shrank to ≤ 25% of the first failing mutant.
+    planted_shrunk: bool,
+    /// 1-worker and 4-worker corpora are byte-identical.
+    corpus_match: bool,
+    /// Every committed counterexample still violates its objective.
+    replay_ok: bool,
+}
+
+#[derive(Serialize)]
+struct Bench {
+    quick: bool,
+    master_seed: u64,
+    generations: u32,
+    batch: usize,
+    evals: u64,
+    executed: u64,
+    harness_cached: u64,
+    cache_hit_rate: f64,
+    scenarios_per_sec: f64,
+    corpus_size: usize,
+    coverage_buckets: usize,
+    replays: Vec<ReplayRow>,
+    findings: Vec<FindingRow>,
+    gates: Gates,
+}
+
+fn main() {
+    let quick = quick();
+    let seed = master_seed();
+    println!("== wifiq-search: coverage-guided fairness fuzzing ==");
+    println!(
+        "mode: {} (master seed {seed}, jain threshold {JAIN_DIP})",
+        if quick { "quick" } else { "full" }
+    );
+
+    // Phase 1: replay committed counterexamples.
+    let found_dir = scenarios_dir().join("found");
+    let mut replays = Vec::new();
+    let mut replay_ok = true;
+    for (file, text) in read_scenarios(&found_dir) {
+        let parsed = match ScenarioFile::from_json(&text) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("replay {file}: PARSE ERROR {e}");
+                replay_ok = false;
+                continue;
+            }
+        };
+        let Some(prov) = parsed.provenance else {
+            println!("replay {file}: missing provenance block");
+            replay_ok = false;
+            continue;
+        };
+        let Some(kind) = ObjectiveKind::parse(&prov.objective) else {
+            println!("replay {file}: unknown objective {}", prov.objective);
+            replay_ok = false;
+            continue;
+        };
+        let still_fails = evaluate(&text).map(|o| o.violates(kind)).unwrap_or(false);
+        println!(
+            "replay {file}: {} {}",
+            prov.objective,
+            if still_fails {
+                "still fails (ok)"
+            } else {
+                "NO LONGER FAILS"
+            }
+        );
+        replay_ok &= still_fails;
+        replays.push(ReplayRow {
+            file,
+            objective: prov.objective,
+            still_fails,
+        });
+    }
+    if replays.is_empty() {
+        println!("replay: no committed counterexamples yet");
+    }
+
+    // Seed documents: the shipped scenario library (imported through the
+    // searcher's document model).
+    let mut seed_docs = Vec::new();
+    for (name, text) in read_scenarios(&scenarios_dir()) {
+        match ScenarioDoc::from_text(&text) {
+            Ok(doc) if doc.validate().is_ok() => seed_docs.push(doc),
+            _ => println!("note: {name} not importable as a seed (skipped)"),
+        }
+    }
+
+    let mut cfg = SearchCfg::new(results_dir());
+    cfg.master_seed = seed;
+    cfg.found_dir = Some(found_dir);
+    if quick {
+        cfg.generations = 3;
+        cfg.batch = 8;
+        cfg.secs_cap = 5;
+    } else {
+        cfg.generations = 8;
+        cfg.batch = 16;
+        cfg.secs_cap = 8;
+    }
+    cfg.seed_docs = seed_docs;
+
+    // Phase 2: the search, single worker.
+    let t0 = Instant::now();
+    let report = match run_search(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("search failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+    let corpus_seq = report.corpus_json.pretty();
+    let _ = std::fs::create_dir_all(results_dir());
+    let seq_path = results_dir().join("search_corpus_seq.json");
+    if let Err(e) = std::fs::write(&seq_path, &corpus_seq) {
+        eprintln!("warning: cannot write {}: {e}", seq_path.display());
+    }
+
+    // Phase 3: identical search at four workers, against the same cache.
+    let mut par_cfg = cfg.clone();
+    par_cfg.jobs = 4;
+    par_cfg.found_dir = None; // phase 2 already committed the files
+    let par = match run_search(&par_cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("re-pass failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let corpus_par = par.corpus_json.pretty();
+    let par_path = results_dir().join("search_corpus_par.json");
+    if let Err(e) = std::fs::write(&par_path, &corpus_par) {
+        eprintln!("warning: cannot write {}: {e}", par_path.display());
+    }
+    let corpus_match = corpus_seq == corpus_par;
+
+    // Report.
+    let mut table = Table::new(vec![
+        "objective",
+        "severity",
+        "steps",
+        "first B",
+        "min B",
+        "ratio",
+        "file",
+    ]);
+    let mut findings = Vec::new();
+    for f in &report.findings {
+        let ratio = f.shrunk_ratio();
+        table.row(vec![
+            f.kind.as_str().to_string(),
+            format!("{:.3}", f.severity),
+            f.shrink_steps.to_string(),
+            f.first.size_bytes().to_string(),
+            f.minimal.size_bytes().to_string(),
+            format!("{ratio:.2}"),
+            f.file.clone().unwrap_or_default(),
+        ]);
+        findings.push(FindingRow {
+            objective: f.kind.as_str().into(),
+            severity: f.severity,
+            shrink_steps: f.shrink_steps,
+            first_bytes: f.first.size_bytes(),
+            minimal_bytes: f.minimal.size_bytes(),
+            shrunk_ratio: ratio,
+            file: f.file.clone(),
+        });
+    }
+    table.print();
+
+    let planted = report
+        .findings
+        .iter()
+        .find(|f| f.kind == ObjectiveKind::JainDip);
+    let gates = Gates {
+        planted_found: planted.is_some(),
+        planted_shrunk: planted.is_some_and(|f| f.shrunk_ratio() <= 0.25),
+        corpus_match,
+        replay_ok,
+    };
+    let cache_hit_rate = if report.executed > 0 {
+        report.harness_cached as f64 / report.executed as f64
+    } else {
+        0.0
+    };
+
+    println!(
+        "search summary: evals={} executed={} cached={} corpus={} coverage={} found={} rate={:.2}/s",
+        report.evals,
+        report.executed,
+        report.harness_cached,
+        report.corpus_size,
+        report.coverage_buckets,
+        report.findings.len(),
+        report.executed as f64 / elapsed,
+    );
+    println!(
+        "Gates: planted_found={} planted_shrunk={} corpus_match={} replay_ok={}",
+        gates.planted_found, gates.planted_shrunk, gates.corpus_match, gates.replay_ok
+    );
+
+    let violated =
+        !gates.planted_found || !gates.planted_shrunk || !gates.corpus_match || !gates.replay_ok;
+
+    write_json(
+        "BENCH_search",
+        &Bench {
+            quick,
+            master_seed: seed,
+            generations: cfg.generations,
+            batch: cfg.batch,
+            evals: report.evals,
+            executed: report.executed,
+            harness_cached: report.harness_cached,
+            cache_hit_rate,
+            scenarios_per_sec: report.executed as f64 / elapsed,
+            corpus_size: report.corpus_size,
+            coverage_buckets: report.coverage_buckets,
+            replays,
+            findings,
+            gates,
+        },
+    );
+
+    if violated {
+        eprintln!("GATE VIOLATION: see gates above");
+        std::process::exit(1);
+    }
+    println!("All search gates hold.");
+}

@@ -1,0 +1,869 @@
+//! The searcher's mutable scenario document.
+//!
+//! [`ScenarioDoc`] mirrors the v3 scenario-file schema
+//! (`crates/experiments/src/scenario_file.rs`) field for field, but keeps
+//! every value in its *file* form (a `burst_loss` fault stores
+//! `bad_frac`/`burst_len`, not the derived Gilbert–Elliott transition
+//! probabilities), so a document can be mutated, re-encoded and hashed
+//! without any lossy round trip through the simulation types. Encoding is
+//! canonical: fixed field order, defaults omitted, shortest-round-trip
+//! floats — the same document always produces the same bytes, which is
+//! what makes every generated scenario a deterministic, content-addressed
+//! artifact.
+
+use serde_json::Json;
+use wifiq_experiments::scenario_file::ScenarioFile;
+use wifiq_harness::sha256_hex;
+
+/// One station.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StationDoc {
+    /// Rate spec (`mcsN`, `vhtN`, `<x>mbps`).
+    pub rate: String,
+    /// Per-exchange error probability (0 omitted on encode).
+    pub error: f64,
+    /// Airtime weight (None = neutral 256).
+    pub weight: Option<u32>,
+}
+
+/// One traffic component.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficDoc {
+    /// Bulk TCP download.
+    TcpDown {
+        /// Target station.
+        station: usize,
+    },
+    /// Bulk TCP upload.
+    TcpUp {
+        /// Source station.
+        station: usize,
+    },
+    /// Downstream UDP.
+    UdpDown {
+        /// Target station.
+        station: usize,
+        /// Offered rate, Mbps.
+        mbps: u64,
+        /// Exponential interarrivals.
+        poisson: bool,
+    },
+    /// 10 Hz ping.
+    Ping {
+        /// Target station.
+        station: usize,
+    },
+    /// G.711 VoIP stream.
+    Voip {
+        /// Target station.
+        station: usize,
+        /// QoS marking.
+        qos: String,
+    },
+}
+
+impl TrafficDoc {
+    /// The station this component drives.
+    pub fn station(&self) -> usize {
+        match self {
+            TrafficDoc::TcpDown { station }
+            | TrafficDoc::TcpUp { station }
+            | TrafficDoc::UdpDown { station, .. }
+            | TrafficDoc::Ping { station }
+            | TrafficDoc::Voip { station, .. } => *station,
+        }
+    }
+
+    /// Rewrites the station reference.
+    pub fn set_station(&mut self, sta: usize) {
+        match self {
+            TrafficDoc::TcpDown { station }
+            | TrafficDoc::TcpUp { station }
+            | TrafficDoc::UdpDown { station, .. }
+            | TrafficDoc::Ping { station }
+            | TrafficDoc::Voip { station, .. } => *station = sta,
+        }
+    }
+
+    /// True when this component offers enough sustained load to claim its
+    /// airtime share — the stations the fairness objective is computed
+    /// over (a ping-only station legitimately uses almost no airtime).
+    pub fn is_bulk(&self) -> bool {
+        matches!(
+            self,
+            TrafficDoc::TcpDown { .. }
+                | TrafficDoc::TcpUp { .. }
+                | TrafficDoc::UdpDown { mbps: 5.., .. }
+        )
+    }
+}
+
+/// One fault-schedule entry, file-form parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultDoc {
+    /// Window start, sim seconds.
+    pub from_secs: f64,
+    /// Window end, sim seconds.
+    pub until_secs: f64,
+    /// Target station (None = every station).
+    pub station: Option<usize>,
+    /// The impairment and its parameters.
+    pub kind: FaultKindDoc,
+}
+
+/// An impairment in file form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKindDoc {
+    /// Uniform loss.
+    Loss {
+        /// Per-frame loss probability.
+        prob: f64,
+    },
+    /// Gilbert–Elliott burst loss.
+    BurstLoss {
+        /// Stationary fraction of time in the bad state.
+        bad_frac: f64,
+        /// Mean bad-state burst length, frames.
+        burst_len: f64,
+        /// Loss probability inside a burst.
+        loss_bad: f64,
+    },
+    /// Pinned PHY rate.
+    RateCollapse {
+        /// The collapsed rate spec.
+        rate: String,
+    },
+    /// Rate square-wave.
+    RateOscillate {
+        /// The low rate spec.
+        low: String,
+        /// Oscillation period, ms.
+        period_ms: u64,
+    },
+    /// Total stall.
+    Stall,
+    /// Hardware queue clamp.
+    HwBackpressure {
+        /// Clamped queue depth.
+        depth: usize,
+    },
+    /// ACK loss.
+    AckLoss {
+        /// Per-ACK loss probability.
+        prob: f64,
+    },
+}
+
+impl FaultKindDoc {
+    /// The schema `kind` string.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FaultKindDoc::Loss { .. } => "loss",
+            FaultKindDoc::BurstLoss { .. } => "burst_loss",
+            FaultKindDoc::RateCollapse { .. } => "rate_collapse",
+            FaultKindDoc::RateOscillate { .. } => "rate_oscillate",
+            FaultKindDoc::Stall => "stall",
+            FaultKindDoc::HwBackpressure { .. } => "hw_backpressure",
+            FaultKindDoc::AckLoss { .. } => "ack_loss",
+        }
+    }
+}
+
+/// The churn block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnDoc {
+    /// Mean interval between churn events, ms.
+    pub mean_interval_ms: u64,
+    /// Roster floor.
+    pub min_stations: usize,
+    /// Roster ceiling.
+    pub max_stations: usize,
+}
+
+/// One policy-tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyNodeDoc {
+    /// Unique node name.
+    pub name: String,
+    /// Sibling-relative weight.
+    pub weight: u32,
+    /// Access classes covered ("vo"/"vi"/"be"/"bk"); `None` = all four.
+    pub classes: Option<Vec<String>>,
+    /// Member stations (leaf) — exactly one of `stations`/`nodes`.
+    pub stations: Option<Vec<usize>>,
+    /// Child nodes (group).
+    pub nodes: Option<Vec<PolicyNodeDoc>>,
+}
+
+/// The policy block: initial tree + timed replacement trees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyDoc {
+    /// Root nodes of the initial tree.
+    pub nodes: Vec<PolicyNodeDoc>,
+    /// `(at_secs, replacement roots)`, strictly ascending.
+    pub switches: Vec<(f64, Vec<PolicyNodeDoc>)>,
+}
+
+/// Discovery provenance stamped into committed counterexamples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenanceDoc {
+    /// Master seed of the search run.
+    pub searcher_seed: u64,
+    /// Violated objective name.
+    pub objective: String,
+    /// Severity score of the minimal counterexample.
+    pub score: f64,
+    /// Accepted shrink steps.
+    pub shrink_steps: u64,
+    /// Encoded size of the first failing mutant, bytes.
+    pub first_failing_bytes: u64,
+    /// Encoded size of the minimal counterexample, bytes.
+    pub minimal_bytes: u64,
+}
+
+/// A complete scenario document (always encoded as schema version 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioDoc {
+    /// Scheme name.
+    pub scheme: String,
+    /// Simulated seconds.
+    pub secs: u64,
+    /// Simulation seed.
+    pub seed: u64,
+    /// FQ-CoDel on client uplinks.
+    pub station_fq: bool,
+    /// Minstrel rate control at the AP.
+    pub rate_control: bool,
+    /// Airtime queue limit, ms (None = off).
+    pub aql_ms: Option<u64>,
+    /// The stations.
+    pub stations: Vec<StationDoc>,
+    /// The traffic mix.
+    pub traffic: Vec<TrafficDoc>,
+    /// Scheduled impairments.
+    pub faults: Vec<FaultDoc>,
+    /// Station churn.
+    pub churn: Option<ChurnDoc>,
+    /// Airtime policy.
+    pub policy: Option<PolicyDoc>,
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Seconds values are quantized to centiseconds by the mutators, so they
+/// encode compactly; anything already integral prints as `N.0`.
+fn num(v: f64) -> Json {
+    Json::F64(v)
+}
+
+impl StationDoc {
+    fn encode(&self) -> Json {
+        let mut f = vec![("rate", Json::Str(self.rate.clone()))];
+        if self.error != 0.0 {
+            f.push(("error", num(self.error)));
+        }
+        if let Some(w) = self.weight {
+            f.push(("weight", Json::U64(u64::from(w))));
+        }
+        obj(f)
+    }
+}
+
+impl TrafficDoc {
+    fn encode(&self) -> Json {
+        match self {
+            TrafficDoc::TcpDown { station } => obj(vec![
+                ("kind", Json::Str("tcp_down".into())),
+                ("station", Json::U64(*station as u64)),
+            ]),
+            TrafficDoc::TcpUp { station } => obj(vec![
+                ("kind", Json::Str("tcp_up".into())),
+                ("station", Json::U64(*station as u64)),
+            ]),
+            TrafficDoc::UdpDown {
+                station,
+                mbps,
+                poisson,
+            } => obj(vec![
+                ("kind", Json::Str("udp_down".into())),
+                ("station", Json::U64(*station as u64)),
+                ("mbps", Json::U64(*mbps)),
+                ("poisson", Json::Bool(*poisson)),
+            ]),
+            TrafficDoc::Ping { station } => obj(vec![
+                ("kind", Json::Str("ping".into())),
+                ("station", Json::U64(*station as u64)),
+            ]),
+            TrafficDoc::Voip { station, qos } => obj(vec![
+                ("kind", Json::Str("voip".into())),
+                ("station", Json::U64(*station as u64)),
+                ("qos", Json::Str(qos.clone())),
+            ]),
+        }
+    }
+}
+
+impl FaultDoc {
+    fn encode(&self) -> Json {
+        let mut f = vec![
+            ("kind", Json::Str(self.kind.kind().into())),
+            ("from_secs", num(self.from_secs)),
+            ("until_secs", num(self.until_secs)),
+        ];
+        if let Some(sta) = self.station {
+            f.push(("station", Json::U64(sta as u64)));
+        }
+        match &self.kind {
+            FaultKindDoc::Loss { prob } | FaultKindDoc::AckLoss { prob } => {
+                f.push(("prob", num(*prob)));
+            }
+            FaultKindDoc::BurstLoss {
+                bad_frac,
+                burst_len,
+                loss_bad,
+            } => {
+                f.push(("bad_frac", num(*bad_frac)));
+                f.push(("burst_len", num(*burst_len)));
+                f.push(("loss_bad", num(*loss_bad)));
+            }
+            FaultKindDoc::RateCollapse { rate } => f.push(("rate", Json::Str(rate.clone()))),
+            FaultKindDoc::RateOscillate { low, period_ms } => {
+                f.push(("low", Json::Str(low.clone())));
+                f.push(("period_ms", Json::U64(*period_ms)));
+            }
+            FaultKindDoc::Stall => {}
+            FaultKindDoc::HwBackpressure { depth } => {
+                f.push(("depth", Json::U64(*depth as u64)));
+            }
+        }
+        obj(f)
+    }
+}
+
+impl PolicyNodeDoc {
+    fn encode(&self) -> Json {
+        let mut f = vec![
+            ("name", Json::Str(self.name.clone())),
+            ("weight", Json::U64(u64::from(self.weight))),
+        ];
+        if let Some(classes) = &self.classes {
+            f.push((
+                "classes",
+                Json::Arr(classes.iter().map(|c| Json::Str(c.clone())).collect()),
+            ));
+        }
+        if let Some(stations) = &self.stations {
+            f.push((
+                "stations",
+                Json::Arr(stations.iter().map(|s| Json::U64(*s as u64)).collect()),
+            ));
+        }
+        if let Some(nodes) = &self.nodes {
+            f.push((
+                "nodes",
+                Json::Arr(nodes.iter().map(PolicyNodeDoc::encode).collect()),
+            ));
+        }
+        obj(f)
+    }
+}
+
+impl ScenarioDoc {
+    /// Encodes the document as a canonical JSON value, optionally stamped
+    /// with a provenance block.
+    pub fn encode(&self, provenance: Option<&ProvenanceDoc>) -> Json {
+        let mut f = vec![
+            ("version", Json::U64(3)),
+            ("scheme", Json::Str(self.scheme.clone())),
+            ("secs", Json::U64(self.secs)),
+            ("seed", Json::U64(self.seed)),
+        ];
+        if self.station_fq {
+            f.push(("station_fq", Json::Bool(true)));
+        }
+        if self.rate_control {
+            f.push(("rate_control", Json::Bool(true)));
+        }
+        if let Some(aql) = self.aql_ms {
+            f.push(("aql_ms", Json::U64(aql)));
+        }
+        f.push((
+            "stations",
+            Json::Arr(self.stations.iter().map(StationDoc::encode).collect()),
+        ));
+        f.push((
+            "traffic",
+            Json::Arr(self.traffic.iter().map(TrafficDoc::encode).collect()),
+        ));
+        if !self.faults.is_empty() {
+            f.push((
+                "faults",
+                Json::Arr(self.faults.iter().map(FaultDoc::encode).collect()),
+            ));
+        }
+        if let Some(c) = &self.churn {
+            f.push((
+                "churn",
+                obj(vec![
+                    ("mean_interval_ms", Json::U64(c.mean_interval_ms)),
+                    ("min_stations", Json::U64(c.min_stations as u64)),
+                    ("max_stations", Json::U64(c.max_stations as u64)),
+                ]),
+            ));
+        }
+        if let Some(p) = &self.policy {
+            let mut pf = vec![(
+                "nodes",
+                Json::Arr(p.nodes.iter().map(PolicyNodeDoc::encode).collect()),
+            )];
+            if !p.switches.is_empty() {
+                pf.push((
+                    "switches",
+                    Json::Arr(
+                        p.switches
+                            .iter()
+                            .map(|(at, nodes)| {
+                                obj(vec![
+                                    ("at_secs", num(*at)),
+                                    (
+                                        "nodes",
+                                        Json::Arr(
+                                            nodes.iter().map(PolicyNodeDoc::encode).collect(),
+                                        ),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            f.push(("policy", obj(pf)));
+        }
+        if let Some(prov) = provenance {
+            f.push((
+                "provenance",
+                obj(vec![
+                    ("searcher_seed", Json::U64(prov.searcher_seed)),
+                    ("objective", Json::Str(prov.objective.clone())),
+                    ("score", num(prov.score)),
+                    ("shrink_steps", Json::U64(prov.shrink_steps)),
+                    ("first_failing_bytes", Json::U64(prov.first_failing_bytes)),
+                    ("minimal_bytes", Json::U64(prov.minimal_bytes)),
+                ]),
+            ));
+        }
+        obj(f)
+    }
+
+    /// The canonical on-disk text form (pretty JSON + trailing newline).
+    pub fn text(&self, provenance: Option<&ProvenanceDoc>) -> String {
+        let mut t = self.encode(provenance).pretty();
+        t.push('\n');
+        t
+    }
+
+    /// Content hash: SHA-256 of the compact encoding *without* provenance
+    /// — the document's identity is the scenario it describes, not how it
+    /// was found.
+    pub fn hash(&self) -> String {
+        sha256_hex(self.encode(None).compact().as_bytes())
+    }
+
+    /// Encoded size in bytes (canonical text form, no provenance) — the
+    /// measure the shrinker minimises.
+    pub fn size_bytes(&self) -> u64 {
+        self.text(None).len() as u64
+    }
+
+    /// Validates by round-tripping through the real scenario loader: the
+    /// encoded text must parse *and* build. This is the searcher's only
+    /// validity oracle, so a document the searcher accepts is exactly a
+    /// document the repo can replay.
+    pub fn validate(&self) -> Result<(), String> {
+        ScenarioFile::from_json(&self.text(None))?
+            .build()
+            .map(|_| ())
+    }
+
+    /// Station indices driven by bulk traffic (deduplicated, ascending).
+    pub fn bulk_stations(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .traffic
+            .iter()
+            .filter(|t| t.is_bulk())
+            .map(TrafficDoc::station)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Decodes a parsed scenario JSON value into a document. Accepts any
+    /// valid v1–v3 file (the document re-encodes as v3); rejects shapes
+    /// the schema would reject with a description. Provenance is dropped
+    /// — it belongs to the file's past discovery, not to the document.
+    pub fn decode(value: &Json) -> Result<ScenarioDoc, String> {
+        let fields = value.as_object().ok_or("scenario: expected an object")?;
+        let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let get_u64 = |name: &str, default: u64| -> Result<u64, String> {
+            match get(name) {
+                None => Ok(default),
+                Some(v) => v.as_u64().ok_or(format!("`{name}` must be an integer")),
+            }
+        };
+        let get_f64 = |v: &Json, name: &str| -> Result<f64, String> {
+            v.as_f64().ok_or(format!("`{name}` must be a number"))
+        };
+
+        let stations = get("stations")
+            .and_then(Json::as_array)
+            .ok_or("`stations` must be an array")?
+            .iter()
+            .map(|s| {
+                let f = s.as_object().ok_or("station must be an object")?;
+                let field = |name: &str| f.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+                Ok(StationDoc {
+                    rate: field("rate")
+                        .and_then(Json::as_str)
+                        .ok_or("station `rate` must be a string")?
+                        .to_string(),
+                    error: field("error").map_or(Ok(0.0), |v| get_f64(v, "error"))?,
+                    weight: field("weight")
+                        .map(|v| v.as_u64().map(|w| w as u32).ok_or("bad `weight`"))
+                        .transpose()?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+
+        let traffic = get("traffic")
+            .and_then(Json::as_array)
+            .map(|arr| {
+                arr.iter()
+                    .map(|t| {
+                        let f = t.as_object().ok_or("traffic must be an object")?;
+                        let field = |name: &str| f.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+                        let station = field("station")
+                            .and_then(Json::as_u64)
+                            .ok_or("traffic `station` must be an integer")?
+                            as usize;
+                        match field("kind").and_then(Json::as_str) {
+                            Some("tcp_down") => Ok(TrafficDoc::TcpDown { station }),
+                            Some("tcp_up") => Ok(TrafficDoc::TcpUp { station }),
+                            Some("udp_down") => Ok(TrafficDoc::UdpDown {
+                                station,
+                                mbps: field("mbps")
+                                    .and_then(Json::as_u64)
+                                    .ok_or("udp_down needs `mbps`")?,
+                                poisson: matches!(field("poisson"), Some(Json::Bool(true))),
+                            }),
+                            Some("ping") => Ok(TrafficDoc::Ping { station }),
+                            Some("voip") => Ok(TrafficDoc::Voip {
+                                station,
+                                qos: field("qos")
+                                    .and_then(Json::as_str)
+                                    .unwrap_or("be")
+                                    .to_string(),
+                            }),
+                            // `web` sessions are bursty one-shot loads with
+                            // no sustained demand — not useful to the
+                            // fairness searcher, so imports drop them.
+                            Some("web") => Ok(TrafficDoc::Ping { station }),
+                            other => Err(format!("unknown traffic kind {other:?}")),
+                        }
+                    })
+                    .collect::<Result<Vec<_>, String>>()
+            })
+            .transpose()?
+            .unwrap_or_default();
+
+        let faults = get("faults")
+            .and_then(Json::as_array)
+            .map(|arr| {
+                arr.iter()
+                    .map(|fault| {
+                        let f = fault.as_object().ok_or("fault must be an object")?;
+                        let field = |name: &str| f.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+                        let req_f64 = |name: &str| -> Result<f64, String> {
+                            field(name)
+                                .and_then(Json::as_f64)
+                                .ok_or(format!("fault `{name}` must be a number"))
+                        };
+                        let kind = match field("kind").and_then(Json::as_str) {
+                            Some("loss") => FaultKindDoc::Loss {
+                                prob: req_f64("prob")?,
+                            },
+                            Some("burst_loss") => FaultKindDoc::BurstLoss {
+                                bad_frac: req_f64("bad_frac")?,
+                                burst_len: req_f64("burst_len")?,
+                                loss_bad: field("loss_bad").and_then(Json::as_f64).unwrap_or(0.8),
+                            },
+                            Some("rate_collapse") => FaultKindDoc::RateCollapse {
+                                rate: field("rate")
+                                    .and_then(Json::as_str)
+                                    .ok_or("rate_collapse needs `rate`")?
+                                    .to_string(),
+                            },
+                            Some("rate_oscillate") => FaultKindDoc::RateOscillate {
+                                low: field("low")
+                                    .and_then(Json::as_str)
+                                    .ok_or("rate_oscillate needs `low`")?
+                                    .to_string(),
+                                period_ms: field("period_ms")
+                                    .and_then(Json::as_u64)
+                                    .ok_or("rate_oscillate needs `period_ms`")?,
+                            },
+                            Some("stall") => FaultKindDoc::Stall,
+                            Some("hw_backpressure") => FaultKindDoc::HwBackpressure {
+                                depth: field("depth")
+                                    .and_then(Json::as_u64)
+                                    .ok_or("hw_backpressure needs `depth`")?
+                                    as usize,
+                            },
+                            Some("ack_loss") => FaultKindDoc::AckLoss {
+                                prob: req_f64("prob")?,
+                            },
+                            other => return Err(format!("unknown fault kind {other:?}")),
+                        };
+                        Ok(FaultDoc {
+                            from_secs: req_f64("from_secs")?,
+                            until_secs: req_f64("until_secs")?,
+                            station: field("station")
+                                .map(|v| v.as_u64().map(|s| s as usize).ok_or("bad `station`"))
+                                .transpose()?,
+                            kind,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()
+            })
+            .transpose()?
+            .unwrap_or_default();
+
+        let churn = get("churn")
+            .map(|c| {
+                let f = c.as_object().ok_or("churn must be an object")?;
+                let field = |name: &str| {
+                    f.iter()
+                        .find(|(k, _)| k == name)
+                        .and_then(|(_, v)| v.as_u64())
+                };
+                Ok::<_, String>(ChurnDoc {
+                    mean_interval_ms: field("mean_interval_ms").unwrap_or(100),
+                    min_stations: field("min_stations").ok_or("churn needs `min_stations`")?
+                        as usize,
+                    max_stations: field("max_stations").ok_or("churn needs `max_stations`")?
+                        as usize,
+                })
+            })
+            .transpose()?;
+
+        fn decode_node(value: &Json) -> Result<PolicyNodeDoc, String> {
+            let f = value.as_object().ok_or("policy node must be an object")?;
+            let field = |name: &str| f.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+            Ok(PolicyNodeDoc {
+                name: field("name")
+                    .and_then(Json::as_str)
+                    .ok_or("policy node needs `name`")?
+                    .to_string(),
+                weight: field("weight").and_then(Json::as_u64).unwrap_or(1) as u32,
+                classes: field("classes")
+                    .and_then(Json::as_array)
+                    .map(|arr| {
+                        arr.iter()
+                            .map(|c| c.as_str().map(str::to_string).ok_or("bad `classes` entry"))
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                    .transpose()?,
+                stations: field("stations")
+                    .and_then(Json::as_array)
+                    .map(|arr| {
+                        arr.iter()
+                            .map(|s| s.as_u64().map(|v| v as usize).ok_or("bad station ref"))
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                    .transpose()?,
+                nodes: field("nodes")
+                    .and_then(Json::as_array)
+                    .map(|arr| arr.iter().map(decode_node).collect::<Result<Vec<_>, _>>())
+                    .transpose()?,
+            })
+        }
+
+        let policy = get("policy")
+            .map(|p| {
+                let f = p.as_object().ok_or("policy must be an object")?;
+                let field = |name: &str| f.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+                let nodes = field("nodes")
+                    .and_then(Json::as_array)
+                    .ok_or("policy needs `nodes`")?
+                    .iter()
+                    .map(decode_node)
+                    .collect::<Result<Vec<_>, _>>()?;
+                let switches = field("switches")
+                    .and_then(Json::as_array)
+                    .map(|arr| {
+                        arr.iter()
+                            .map(|sw| {
+                                let f = sw.as_object().ok_or("switch must be an object")?;
+                                let field =
+                                    |name: &str| f.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+                                let at = field("at_secs")
+                                    .and_then(Json::as_f64)
+                                    .ok_or("switch needs `at_secs`")?;
+                                let nodes = field("nodes")
+                                    .and_then(Json::as_array)
+                                    .ok_or("switch needs `nodes`")?
+                                    .iter()
+                                    .map(decode_node)
+                                    .collect::<Result<Vec<_>, _>>()?;
+                                Ok::<_, String>((at, nodes))
+                            })
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                    .transpose()?
+                    .unwrap_or_default();
+                Ok::<_, String>(PolicyDoc { nodes, switches })
+            })
+            .transpose()?;
+
+        Ok(ScenarioDoc {
+            scheme: get("scheme")
+                .and_then(Json::as_str)
+                .unwrap_or("airtime")
+                .to_string(),
+            secs: get_u64("secs", 20)?,
+            seed: get_u64("seed", 1)?,
+            station_fq: matches!(get("station_fq"), Some(Json::Bool(true))),
+            rate_control: matches!(get("rate_control"), Some(Json::Bool(true))),
+            aql_ms: get("aql_ms")
+                .map(|v| v.as_u64().ok_or("`aql_ms` must be an integer"))
+                .transpose()?,
+            stations,
+            traffic,
+            faults,
+            churn,
+            policy,
+        })
+    }
+
+    /// Parses a scenario file's text into a document.
+    pub fn from_text(text: &str) -> Result<ScenarioDoc, String> {
+        let value = serde_json::from_str(text).map_err(|e| format!("scenario parse error: {e}"))?;
+        ScenarioDoc::decode(&value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ScenarioDoc {
+        ScenarioDoc {
+            scheme: "airtime".into(),
+            secs: 3,
+            seed: 1,
+            station_fq: false,
+            rate_control: false,
+            aql_ms: None,
+            stations: vec![
+                StationDoc {
+                    rate: "mcs15".into(),
+                    error: 0.0,
+                    weight: None,
+                },
+                StationDoc {
+                    rate: "mcs7".into(),
+                    error: 0.0,
+                    weight: None,
+                },
+            ],
+            traffic: vec![
+                TrafficDoc::TcpDown { station: 0 },
+                TrafficDoc::TcpDown { station: 1 },
+            ],
+            faults: vec![FaultDoc {
+                from_secs: 0.5,
+                until_secs: 2.5,
+                station: Some(1),
+                kind: FaultKindDoc::BurstLoss {
+                    bad_frac: 0.3,
+                    burst_len: 12.0,
+                    loss_bad: 0.9,
+                },
+            }],
+            churn: None,
+            policy: None,
+        }
+    }
+
+    #[test]
+    fn encode_round_trips_through_decode() {
+        let doc = tiny();
+        let back = ScenarioDoc::from_text(&doc.text(None)).unwrap();
+        assert_eq!(doc, back);
+        assert_eq!(doc.hash(), back.hash());
+    }
+
+    #[test]
+    fn encoded_doc_passes_the_real_loader() {
+        tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn hash_ignores_provenance() {
+        let doc = tiny();
+        let prov = ProvenanceDoc {
+            searcher_seed: 7,
+            objective: "jain_dip".into(),
+            score: 2.0,
+            shrink_steps: 3,
+            first_failing_bytes: 1000,
+            minimal_bytes: 250,
+        };
+        let with = doc.text(Some(&prov));
+        assert!(with.contains("provenance"));
+        let back = ScenarioDoc::from_text(&with).unwrap();
+        assert_eq!(back.hash(), doc.hash());
+        // And the stamped file still parses + builds under the real loader.
+        ScenarioFile::from_json(&with).unwrap().build().unwrap();
+    }
+
+    #[test]
+    fn shipped_scenarios_import() {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios");
+        let mut seen = 0;
+        for entry in std::fs::read_dir(dir).expect("scenarios dir") {
+            let path = entry.unwrap().path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let text = std::fs::read_to_string(&path).unwrap();
+            let doc =
+                ScenarioDoc::from_text(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            doc.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            seen += 1;
+        }
+        assert!(seen >= 5, "expected the shipped scenarios, found {seen}");
+    }
+
+    #[test]
+    fn bulk_stations_exclude_sparse_traffic() {
+        let mut doc = tiny();
+        doc.traffic.push(TrafficDoc::Ping { station: 0 });
+        doc.traffic.push(TrafficDoc::UdpDown {
+            station: 1,
+            mbps: 1,
+            poisson: false,
+        });
+        assert_eq!(doc.bulk_stations(), vec![0, 1]);
+        doc.traffic.remove(0); // drop tcp_down@0 — ping alone is sparse
+        assert_eq!(doc.bulk_stations(), vec![1]);
+    }
+}

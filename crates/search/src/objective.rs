@@ -1,0 +1,403 @@
+//! Objective extraction: run a scenario, read the telemetry rollup, and
+//! reduce it to the four scalar objectives the searcher hunts.
+//!
+//! * **`jain_dip`** — end-of-run weighted Jain fairness index over the
+//!   *bulk* stations (the ones whose traffic actually demands airtime)
+//!   falls below [`JAIN_DIP`]. Shares are normalised by each station's
+//!   effective scheduler weight so a deliberately-skewed policy tree is
+//!   not itself a violation; measurement starts after the last policy
+//!   switch (plus a 1 s settle) and is skipped entirely under churn,
+//!   where a station's share legitimately depends on its attach time.
+//! * **`latency_spike`** — whole-system p99 CoDel sojourn time exceeds
+//!   [`P99_SOJOURN_MS`].
+//! * **`codel_flap`** — CoDel interval/target parameter switches exceed
+//!   [`CODEL_FLAP`], i.e. the controller oscillates instead of settling.
+//! * **`convergence_blowout`** — after the last scheduled disturbance the
+//!   windowed fairness index takes longer than [`CONVERGENCE_MS`] to
+//!   return (and stay returned) above the dip threshold.
+
+use wifiq_experiments::scenario_file::ScenarioFile;
+use wifiq_harness::JsonCodec;
+use wifiq_phy::AccessCategory;
+use wifiq_sim::Nanos;
+use wifiq_stats::jain_index;
+use wifiq_telemetry::Telemetry;
+
+use serde::Json;
+
+use crate::doc::ScenarioDoc;
+
+/// Fairness floor: a weighted Jain index below this is a violation.
+pub const JAIN_DIP: f64 = 0.90;
+/// Latency ceiling: p99 CoDel sojourn above this (ms) is a violation.
+pub const P99_SOJOURN_MS: f64 = 400.0;
+/// Stability ceiling: more CoDel param switches than this is a violation.
+pub const CODEL_FLAP: u64 = 8;
+/// Convergence ceiling: fairness recovery slower than this (ms) is a
+/// violation.
+pub const CONVERGENCE_MS: f64 = 2000.0;
+
+/// Measurement window for the convergence sweep.
+const WINDOW: Nanos = Nanos::from_millis(500);
+/// The neutral scheduler weight (stations with no policy/weight override).
+const NEUTRAL_WEIGHT: f64 = 256.0;
+
+/// The objective a counterexample violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectiveKind {
+    /// Weighted fairness below [`JAIN_DIP`].
+    JainDip,
+    /// p99 sojourn above [`P99_SOJOURN_MS`].
+    LatencySpike,
+    /// CoDel param switches above [`CODEL_FLAP`].
+    CodelFlap,
+    /// Fairness recovery slower than [`CONVERGENCE_MS`].
+    ConvergenceBlowout,
+}
+
+impl ObjectiveKind {
+    /// The schema name (matches
+    /// `wifiq_experiments::scenario_file::OBJECTIVE_KINDS`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ObjectiveKind::JainDip => "jain_dip",
+            ObjectiveKind::LatencySpike => "latency_spike",
+            ObjectiveKind::CodelFlap => "codel_flap",
+            ObjectiveKind::ConvergenceBlowout => "convergence_blowout",
+        }
+    }
+
+    /// Inverse of [`ObjectiveKind::as_str`].
+    pub fn parse(s: &str) -> Option<ObjectiveKind> {
+        Some(match s {
+            "jain_dip" => ObjectiveKind::JainDip,
+            "latency_spike" => ObjectiveKind::LatencySpike,
+            "codel_flap" => ObjectiveKind::CodelFlap,
+            "convergence_blowout" => ObjectiveKind::ConvergenceBlowout,
+            _ => return None,
+        })
+    }
+}
+
+/// The four objectives extracted from one run. `None` means *not
+/// applicable* (fewer than two bulk stations, churn active, or no
+/// disturbance to converge from) — never a violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Objectives {
+    /// End-of-run weighted Jain index over bulk stations.
+    pub jain: Option<f64>,
+    /// Whole-system p99 CoDel sojourn, ms (0 when nothing was queued).
+    pub p99_sojourn_ms: f64,
+    /// Total CoDel parameter switches.
+    pub codel_switches: u64,
+    /// Time for windowed fairness to recover after the last disturbance,
+    /// ms. When the run ends unrecovered this is the remaining time — a
+    /// lower bound, which is all the violation test needs.
+    pub convergence_ms: Option<f64>,
+}
+
+impl JsonCodec for Objectives {
+    fn encode(&self) -> Json {
+        (
+            self.jain,
+            self.p99_sojourn_ms,
+            self.codel_switches,
+            self.convergence_ms,
+        )
+            .encode()
+    }
+    fn decode(json: &Json) -> Option<Self> {
+        let (jain, p99_sojourn_ms, codel_switches, convergence_ms) =
+            <(Option<f64>, f64, u64, Option<f64>)>::decode(json)?;
+        Some(Objectives {
+            jain,
+            p99_sojourn_ms,
+            codel_switches,
+            convergence_ms,
+        })
+    }
+}
+
+impl Objectives {
+    /// Every violated objective with its severity score (larger = worse,
+    /// 0 at the threshold). Deterministic order.
+    pub fn violations(&self) -> Vec<(ObjectiveKind, f64)> {
+        let mut out = Vec::new();
+        if let Some(j) = self.jain {
+            if j < JAIN_DIP {
+                out.push((ObjectiveKind::JainDip, JAIN_DIP - j));
+            }
+        }
+        if self.p99_sojourn_ms > P99_SOJOURN_MS {
+            out.push((
+                ObjectiveKind::LatencySpike,
+                self.p99_sojourn_ms / P99_SOJOURN_MS - 1.0,
+            ));
+        }
+        if self.codel_switches > CODEL_FLAP {
+            out.push((
+                ObjectiveKind::CodelFlap,
+                (self.codel_switches - CODEL_FLAP) as f64,
+            ));
+        }
+        if let Some(c) = self.convergence_ms {
+            if c > CONVERGENCE_MS {
+                out.push((ObjectiveKind::ConvergenceBlowout, c / CONVERGENCE_MS - 1.0));
+            }
+        }
+        out
+    }
+
+    /// True when this run still violates `kind` — the shrinker's oracle.
+    pub fn violates(&self, kind: ObjectiveKind) -> bool {
+        self.violations().iter().any(|(k, _)| *k == kind)
+    }
+
+    /// The coverage-map bucket this run lands in. Buckets are coarse on
+    /// purpose: two runs with the same signature teach the searcher the
+    /// same thing, so only one of them earns a corpus slot.
+    pub fn signature(&self) -> String {
+        fn log_bucket(v: u64) -> u32 {
+            u64::BITS - v.leading_zeros() // 0→0, 1→1, 2..3→2, 4..7→3, …
+        }
+        let j = match self.jain {
+            None => "x".to_string(),
+            Some(v) => format!("{}", (v.clamp(0.0, 1.0) * 20.0).floor() as u32),
+        };
+        let l = log_bucket(self.p99_sojourn_ms.max(0.0) as u64);
+        let f = log_bucket(self.codel_switches);
+        let c = match self.convergence_ms {
+            None => "x".to_string(),
+            Some(v) => format!("{}", log_bucket(v.max(0.0) as u64)),
+        };
+        format!("j{j}l{l}f{f}c{c}")
+    }
+}
+
+/// Runs the scenario in `text` with telemetry enabled and extracts its
+/// objectives. The input is the canonical file text, so the scenarios the
+/// searcher evaluates in memory and the counterexamples it commits to
+/// disk are definitionally the same artifact.
+pub fn evaluate(text: &str) -> Result<Objectives, String> {
+    let doc = ScenarioDoc::from_text(text)?;
+    let mut built = ScenarioFile::from_json(text)?.build()?;
+    let tele = Telemetry::enabled();
+    built.net.set_telemetry(tele.clone());
+
+    // Step the run in fixed windows, snapshotting cumulative per-station
+    // airtime at each boundary.
+    let duration = built.duration;
+    let mut boundaries: Vec<(Nanos, Vec<u64>)> = vec![(Nanos::ZERO, airtime_snapshot(&built))];
+    let mut t = Nanos::ZERO;
+    while t < duration {
+        t = (t + WINDOW).min(duration);
+        built.run_to(t);
+        boundaries.push((t, airtime_snapshot(&built)));
+    }
+
+    // Effective weights after the run (i.e. under the final policy tree).
+    // `None` (scheme without an airtime scheduler, or a station detached
+    // by churn) falls back to the neutral weight.
+    let n = boundaries[0].1.len();
+    let weights: Vec<f64> = (0..n)
+        .map(|i| {
+            built
+                .net
+                .station_ac_weight(i, AccessCategory::Be)
+                .map_or(NEUTRAL_WEIGHT, f64::from)
+        })
+        .collect();
+
+    let bulk: Vec<usize> = doc.bulk_stations().into_iter().filter(|&s| s < n).collect();
+    let fairness_applicable = bulk.len() >= 2 && doc.churn.is_none();
+
+    // Weighted share of `sta` accumulated between two boundaries.
+    let delta = |from: &[u64], to: &[u64], sta: usize| -> f64 {
+        to[sta].saturating_sub(from[sta]) as f64 * NEUTRAL_WEIGHT / weights[sta]
+    };
+
+    // jain_dip: settle for 1 s (or until after the last policy switch),
+    // then measure to the end of the run.
+    let last_switch = doc
+        .policy
+        .as_ref()
+        .and_then(|p| p.switches.last().map(|(at, _)| *at))
+        .unwrap_or(0.0);
+    let fair_from = Nanos::from_secs_f64(last_switch.max(0.0)) + Nanos::from_secs(1);
+    let jain = if fairness_applicable && fair_from < duration {
+        let base = boundaries
+            .iter()
+            .find(|(t, _)| *t >= fair_from)
+            .expect("fair_from < duration implies a later boundary");
+        let end = boundaries.last().expect("at least the start boundary");
+        let shares: Vec<f64> = bulk.iter().map(|&s| delta(&base.1, &end.1, s)).collect();
+        Some(jain_index(&shares))
+    } else {
+        None
+    };
+
+    // latency_spike / codel_flap straight from the telemetry rollup.
+    let (p99_sojourn_ms, codel_switches) = tele
+        .with_registry(|r| {
+            (
+                r.hist_merged("codel", "sojourn_ns")
+                    .map_or(0.0, |h| h.quantile(0.99) as f64 / 1e6),
+                r.counter_total("codel", "param_switches"),
+            )
+        })
+        .expect("telemetry is enabled");
+
+    // convergence_blowout: from the end of the last scheduled disturbance
+    // (fault window closing or policy switch firing), find the first
+    // window boundary after which every remaining window's fairness stays
+    // at or above the dip threshold.
+    let last_event = doc
+        .faults
+        .iter()
+        .map(|f| f.until_secs)
+        .chain(
+            doc.policy
+                .iter()
+                .flat_map(|p| p.switches.iter().map(|(at, _)| *at)),
+        )
+        .fold(f64::NEG_INFINITY, f64::max);
+    let convergence_ms = if fairness_applicable
+        && last_event.is_finite()
+        && Nanos::from_secs_f64(last_event.max(0.0)) + Nanos::from_secs(1) <= duration
+    {
+        let event = Nanos::from_secs_f64(last_event.max(0.0));
+        let window_fair = |a: &(Nanos, Vec<u64>), b: &(Nanos, Vec<u64>)| -> f64 {
+            let shares: Vec<f64> = bulk.iter().map(|&s| delta(&a.1, &b.1, s)).collect();
+            jain_index(&shares)
+        };
+        let start = boundaries.partition_point(|(t, _)| *t <= event);
+        // Walk windows [start-1..], latest-unfair-first.
+        let mut recovered_at = event;
+        for w in start.max(1)..boundaries.len() {
+            if window_fair(&boundaries[w - 1], &boundaries[w]) < JAIN_DIP {
+                recovered_at = boundaries[w].0;
+            }
+        }
+        Some(recovered_at.saturating_sub(event).as_millis_f64())
+    } else {
+        None
+    };
+
+    Ok(Objectives {
+        jain,
+        p99_sojourn_ms,
+        codel_switches,
+        convergence_ms,
+    })
+}
+
+fn airtime_snapshot(built: &wifiq_experiments::scenario_file::BuiltScenario) -> Vec<u64> {
+    built
+        .net
+        .meter()
+        .all()
+        .iter()
+        .map(|m| m.total_airtime().as_nanos())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(jain: Option<f64>, p99: f64, flaps: u64, conv: Option<f64>) -> Objectives {
+        Objectives {
+            jain,
+            p99_sojourn_ms: p99,
+            codel_switches: flaps,
+            convergence_ms: conv,
+        }
+    }
+
+    #[test]
+    fn violations_trigger_at_thresholds() {
+        assert!(obj(Some(0.95), 10.0, 2, None).violations().is_empty());
+        let v = obj(Some(0.80), 900.0, 20, Some(5000.0)).violations();
+        let kinds: Vec<_> = v.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ObjectiveKind::JainDip,
+                ObjectiveKind::LatencySpike,
+                ObjectiveKind::CodelFlap,
+                ObjectiveKind::ConvergenceBlowout,
+            ]
+        );
+        assert!(v.iter().all(|(_, score)| *score > 0.0));
+        // Inapplicable objectives never fire.
+        assert!(obj(None, 0.0, 0, None).violations().is_empty());
+    }
+
+    #[test]
+    fn signature_buckets_coarsely() {
+        let a = obj(Some(0.951), 10.0, 2, None);
+        let b = obj(Some(0.957), 11.0, 3, None);
+        assert_eq!(a.signature(), b.signature());
+        let c = obj(Some(0.40), 10.0, 2, None);
+        assert_ne!(a.signature(), c.signature());
+        assert!(obj(None, 0.0, 0, None).signature().starts_with("jx"));
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        for o in [
+            obj(Some(0.8), 123.25, 9, Some(2500.0)),
+            obj(None, 0.0, 0, None),
+        ] {
+            assert_eq!(Objectives::decode(&o.encode()), Some(o));
+        }
+    }
+
+    #[test]
+    fn objective_kind_names_match_schema() {
+        use wifiq_experiments::scenario_file::OBJECTIVE_KINDS;
+        for kind in [
+            ObjectiveKind::JainDip,
+            ObjectiveKind::LatencySpike,
+            ObjectiveKind::CodelFlap,
+            ObjectiveKind::ConvergenceBlowout,
+        ] {
+            assert!(OBJECTIVE_KINDS.contains(&kind.as_str()));
+            assert_eq!(ObjectiveKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(ObjectiveKind::parse("gremlins"), None);
+    }
+
+    /// A clean symmetric scenario scores fair; a stalled victim dips.
+    #[test]
+    fn evaluate_detects_a_starved_station() {
+        let fair = r#"{
+            "version": 3, "secs": 4,
+            "stations": [{"rate": "mcs7"}, {"rate": "mcs7"}],
+            "traffic": [
+                {"kind": "tcp_down", "station": 0},
+                {"kind": "tcp_down", "station": 1}
+            ]
+        }"#;
+        let o = evaluate(fair).unwrap();
+        let j = o.jain.expect("two bulk stations, no churn");
+        assert!(j > JAIN_DIP, "symmetric run should be fair, got {j}");
+
+        let starved = r#"{
+            "version": 3, "secs": 4,
+            "stations": [{"rate": "mcs7"}, {"rate": "mcs7"}],
+            "traffic": [
+                {"kind": "tcp_down", "station": 0},
+                {"kind": "tcp_down", "station": 1}
+            ],
+            "faults": [
+                {"kind": "stall", "station": 1,
+                 "from_secs": 0.5, "until_secs": 4.0}
+            ]
+        }"#;
+        let o = evaluate(starved).unwrap();
+        let j = o.jain.expect("fairness applicable");
+        assert!(j < JAIN_DIP, "stalled station should dip fairness, got {j}");
+        assert!(o.violates(ObjectiveKind::JainDip));
+    }
+}

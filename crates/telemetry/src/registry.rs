@@ -138,6 +138,21 @@ impl Registry {
         self.counters.iter()
     }
 
+    /// Merges every histogram named `component`/`metric` across labels
+    /// into one detached histogram — `None` when no label recorded a
+    /// sample. The cross-label analogue of [`Registry::counter_total`],
+    /// for consumers that need whole-system quantiles (e.g. p99 sojourn
+    /// over all stations) without enumerating labels.
+    pub fn hist_merged(&self, component: &str, metric: &str) -> Option<Histogram> {
+        let mut merged: Option<Histogram> = None;
+        for ((c, m, _), h) in &self.hists {
+            if *c == component && *m == metric {
+                merged.get_or_insert_with(Histogram::default).merge(h);
+            }
+        }
+        merged
+    }
+
     /// Sums every counter named `component`/`metric` across labels.
     pub fn counter_total(&self, component: &str, metric: &str) -> u64 {
         self.counters
@@ -278,6 +293,19 @@ mod tests {
         assert_eq!(r.counter("mac", "tx_airtime_ns", Label::Station(1)), 12);
         assert_eq!(r.counter("mac", "tx_airtime_ns", Label::Station(9)), 0);
         assert_eq!(r.counter_total("mac", "tx_airtime_ns"), 15);
+    }
+
+    #[test]
+    fn hist_merged_folds_across_labels() {
+        let mut r = Registry::new();
+        r.hist_record("codel", "sojourn_ns", Label::Station(0), 10);
+        r.hist_record("codel", "sojourn_ns", Label::Station(1), 1000);
+        r.hist_record("codel", "other", Label::Station(0), 5);
+        let merged = r.hist_merged("codel", "sojourn_ns").expect("samples");
+        assert_eq!(merged.count(), 2);
+        assert_eq!(merged.min(), 10);
+        assert!(merged.max() >= 1000);
+        assert!(r.hist_merged("codel", "missing").is_none());
     }
 
     #[test]

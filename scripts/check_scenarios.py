@@ -3,13 +3,25 @@
 
 A Python mirror of `crates/experiments/src/scenario_file.rs`: every
 scenarios/*.json must parse, use only known fields, respect the
-versioning rules (v2 gates `faults` and `churn`, v3 gates `policy`),
-and carry well-formed fault windows and policy trees. The Rust side
-re-validates at load time (and the
-`shipped_scenario_files_validate` test builds each file end to end);
-this script gives CI a fast, toolchain-free first line of defence.
+versioning rules (v2 gates `faults` and `churn`, v3 gates `policy` and
+`provenance`), and carry well-formed fault windows and policy trees.
+Searcher-found counterexamples under scenarios/found/ must additionally
+carry a `provenance` block naming the searcher seed, the violated
+objective and the shrink trail. The Rust side re-validates at load time
+(and the `shipped_scenario_files_validate` test builds each file end to
+end); this script gives CI a fast, toolchain-free first line of defence.
 
-Usage: check_scenarios.py [scenario_dir]   (default: scenarios)
+Usage:
+  check_scenarios.py [scenario_dir]     validate scenario_dir (default:
+                                        scenarios) and, when present,
+                                        scenario_dir/found
+  check_scenarios.py --fixtures <dir>   drift check: every ok_*.json in
+                                        <dir> must pass, every bad_*.json
+                                        must be rejected. The same fixture
+                                        set drives the Rust loader in
+                                        tests/scenario_schema_fixtures.rs,
+                                        pinning the two validators to each
+                                        other.
 """
 
 import json
@@ -20,6 +32,7 @@ from pathlib import Path
 TOP_FIELDS = {
     "version", "scheme", "secs", "seed", "station_fq", "rate_control",
     "aql_ms", "stations", "traffic", "faults", "churn", "policy",
+    "provenance",
 }
 STATION_FIELDS = {"rate", "error", "mcs_cliff", "weight"}
 TRAFFIC_FIELDS = {
@@ -45,13 +58,25 @@ POLICY_FIELDS = {"nodes", "switches"}
 POLICY_NODE_FIELDS = {"name", "weight", "classes", "stations", "nodes"}
 POLICY_SWITCH_FIELDS = {"at_secs", "nodes"}
 POLICY_CLASSES = {"vo", "vi", "be", "bk"}
+PROVENANCE_FIELDS = {
+    "searcher_seed", "objective", "score", "shrink_steps",
+    "first_failing_bytes", "minimal_bytes",
+}
+OBJECTIVES = {"jain_dip", "latency_spike", "codel_flap", "convergence_blowout"}
 SCHEMES = {"fifo", "fqcodel", "fqmac", "airtime"}
-RATE_RE = re.compile(r"^(mcs(1[0-5]|[0-9])|vht[0-9]|[0-9.]+mbps)$")
+# Legacy rates mirror the exact DSSS/OFDM set the Rust parser accepts;
+# `[0-9.]+mbps` would accept rates the loader rejects (e.g. 6.5mbps).
+RATE_RE = re.compile(
+    r"^(mcs(1[0-5]|[0-9])|vht[0-9]|(1|2|5\.5|6|9|11|12|18|24|36|48|54)mbps)$"
+)
+
+
+class CheckError(Exception):
+    """A scenario failed validation."""
 
 
 def fail(msg):
-    print(f"check_scenarios: FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
+    raise CheckError(msg)
 
 
 def check_rate(name, where, rate):
@@ -160,7 +185,34 @@ def check_policy(name, policy, stations):
         check_policy_tree(name, f"{where}.nodes", sw.get("nodes"), stations)
 
 
-def check_scenario(path):
+def check_provenance(name, prov):
+    """Mirror of ProvenanceSpec::decode in scenario_file.rs."""
+    if not isinstance(prov, dict):
+        fail(f"{name}: provenance must be an object")
+    for key in prov:
+        if key not in PROVENANCE_FIELDS:
+            fail(f"{name}: provenance: unknown field {key!r}")
+    objective = prov.get("objective")
+    if not isinstance(objective, str):
+        fail(f"{name}: provenance: missing field `objective`")
+    if objective not in OBJECTIVES:
+        fail(f"{name}: provenance: unknown objective {objective!r}")
+    for req in ("searcher_seed", "shrink_steps"):
+        v = prov.get(req)
+        if not (isinstance(v, int) and not isinstance(v, bool) and v >= 0):
+            fail(f"{name}: provenance: `{req}` must be a non-negative integer")
+    score = prov.get("score", 0.0)
+    if not isinstance(score, (int, float)) or isinstance(score, bool):
+        fail(f"{name}: provenance: `score` must be a number")
+    for opt in ("first_failing_bytes", "minimal_bytes"):
+        v = prov.get(opt)
+        if v is not None and not (
+            isinstance(v, int) and not isinstance(v, bool) and v >= 0
+        ):
+            fail(f"{name}: provenance: `{opt}` must be a non-negative integer")
+
+
+def check_scenario(path, require_provenance=False):
     with open(path) as f:
         sc = json.load(f)
     name = path.name
@@ -174,8 +226,10 @@ def check_scenario(path):
         for gated in ("faults", "churn"):
             if gated in sc:
                 fail(f"{name}: `{gated}` requires \"version\": 2")
-    if version < 3 and "policy" in sc:
-        fail(f"{name}: `policy` requires \"version\": 3")
+    if version < 3:
+        for gated in ("policy", "provenance"):
+            if gated in sc:
+                fail(f"{name}: `{gated}` requires \"version\": 3")
     if sc.get("scheme", "airtime") not in SCHEMES:
         fail(f"{name}: unknown scheme {sc.get('scheme')!r}")
     stations = sc.get("stations")
@@ -186,7 +240,10 @@ def check_scenario(path):
             if key not in STATION_FIELDS:
                 fail(f"{name}: stations[{i}]: unknown field {key!r}")
         check_rate(name, f"stations[{i}].rate", st.get("rate"))
-    for i, t in enumerate(sc.get("traffic", [])):
+    traffic = sc.get("traffic")
+    if not isinstance(traffic, list):
+        fail(f"{name}: needs a `traffic` array")
+    for i, t in enumerate(traffic):
         kind = t.get("kind")
         if kind not in TRAFFIC_FIELDS:
             fail(f"{name}: traffic[{i}]: unknown kind {kind!r}")
@@ -213,26 +270,81 @@ def check_scenario(path):
     policy = sc.get("policy")
     if policy is not None:
         check_policy(name, policy, len(stations))
+    prov = sc.get("provenance")
+    if prov is not None:
+        check_provenance(name, prov)
+    elif require_provenance:
+        fail(f"{name}: found/ counterexamples must carry a `provenance` block")
     return len(sc.get("faults", [])), churn is not None, policy is not None
 
 
-def main():
-    scenario_dir = Path(sys.argv[1] if len(sys.argv) > 1 else "scenarios")
-    files = sorted(scenario_dir.glob("*.json"))
-    if len(files) < 5:
-        fail(f"expected at least 5 scenario files under {scenario_dir}, found {len(files)}")
-    faults = 0
-    churned = 0
-    policied = 0
-    for path in files:
-        nfaults, has_churn, has_policy = check_scenario(path)
-        faults += nfaults
-        churned += has_churn
-        policied += has_policy
+def run_fixtures(fixture_dir):
+    """Drift mode: ok_* fixtures must pass, bad_* fixtures must fail.
+
+    The Rust test `tests/scenario_schema_fixtures.rs` feeds the same
+    files to `ScenarioFile::from_json` + `build`, so a fixture that
+    drifts between the two validators fails CI on whichever side
+    disagrees with its filename.
+    """
+    fixtures = sorted(fixture_dir.glob("*.json"))
+    oks = [p for p in fixtures if p.name.startswith("ok_")]
+    bads = [p for p in fixtures if p.name.startswith("bad_")]
+    if not oks or not bads:
+        fail(f"fixture dir {fixture_dir} needs both ok_*.json and bad_*.json files")
+    if len(oks) + len(bads) != len(fixtures):
+        stray = [p.name for p in fixtures if p not in oks and p not in bads]
+        fail(f"fixture files must be named ok_* or bad_*: {stray}")
+    for path in oks:
+        try:
+            check_scenario(path, require_provenance=False)
+        except CheckError as e:
+            fail(f"fixture {path.name} should pass but was rejected: {e}")
+    for path in bads:
+        try:
+            check_scenario(path, require_provenance=False)
+        except CheckError:
+            continue
+        fail(f"fixture {path.name} should be rejected but passed")
     print(
-        f"check_scenarios: OK: {len(files)} scenarios, "
-        f"{faults} fault entries, {churned} churned, {policied} with policies"
+        f"check_scenarios: OK: fixtures agree "
+        f"({len(oks)} accepted, {len(bads)} rejected)"
     )
+
+
+def main():
+    args = sys.argv[1:]
+    try:
+        if args and args[0] == "--fixtures":
+            if len(args) != 2:
+                fail("--fixtures needs exactly one directory argument")
+            run_fixtures(Path(args[1]))
+            return
+        scenario_dir = Path(args[0] if args else "scenarios")
+        files = sorted(scenario_dir.glob("*.json"))
+        if len(files) < 5:
+            fail(
+                f"expected at least 5 scenario files under {scenario_dir}, "
+                f"found {len(files)}"
+            )
+        faults = 0
+        churned = 0
+        policied = 0
+        for path in files:
+            nfaults, has_churn, has_policy = check_scenario(path)
+            faults += nfaults
+            churned += has_churn
+            policied += has_policy
+        found = sorted((scenario_dir / "found").glob("*.json"))
+        for path in found:
+            check_scenario(path, require_provenance=True)
+        print(
+            f"check_scenarios: OK: {len(files)} scenarios, "
+            f"{faults} fault entries, {churned} churned, {policied} with "
+            f"policies, {len(found)} found counterexamples"
+        )
+    except CheckError as e:
+        print(f"check_scenarios: FAIL: {e}", file=sys.stderr)
+        sys.exit(1)
 
 
 if __name__ == "__main__":
