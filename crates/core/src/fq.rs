@@ -208,6 +208,9 @@ pub struct FqStats {
     /// Packets discarded because their TID was detached
     /// ([`MacFq::unregister_tid`]) while they were still queued.
     pub drops_detached: u64,
+    /// Packets handed back intact by [`MacFq::unregister_tid_migrate`]
+    /// (an inter-BSS hand-off carrying queued flow state to the target).
+    pub migrated_out: u64,
 }
 
 /// The MAC-layer FQ-CoDel structure (paper Algorithms 1 and 2).
@@ -352,48 +355,8 @@ impl<P: FqPacket> MacFq<P> {
     /// Panics if the handle is unregistered or already detached.
     pub fn unregister_tid(&mut self, tid: TidHandle, now: Nanos) -> usize {
         let ti = tid.0;
-        assert!(ti < self.tids.len(), "unregistered TID handle");
-        assert!(self.tids[ti].registered, "TID already detached");
-
-        // Every flow holding this TID's packets sits on exactly one of its
-        // DRR lists (enqueue activates Idle flows; only full drain at
-        // dequeue releases them), so draining the lists drains the TID.
-        // The lists are taken out to walk without aliasing `self` and put
-        // back empty — capacity intact, no scratch allocation.
-        let mut new_flows = std::mem::take(&mut self.tids[ti].new_flows);
-        let mut old_flows = std::mem::take(&mut self.tids[ti].old_flows);
-        let mut dropped = 0usize;
-        let mut dropped_bytes = 0u64;
-        for fi in new_flows.drain(..).chain(old_flows.drain(..)) {
-            let flow = &mut self.flows[fi];
-            debug_assert_eq!(flow.tid, Some(ti), "flow on a foreign TID list");
-            while let Some(pkt) = flow.queue.pop_front() {
-                flow.backlog_bytes -= pkt.wire_len();
-                dropped_bytes += pkt.wire_len();
-                dropped += 1;
-            }
-            flow.deficit = 0;
-            flow.codel = CodelState::new();
-            flow.tid = None;
-            flow.membership = Membership::Idle;
-            self.heap_shrank(fi);
-        }
-        // The overflow queue may be idle-but-stale (drained earlier this
-        // round); reset its CoDel state so the next owner starts clean.
-        let of = self.tids[ti].overflow_flow;
-        self.flows[of].codel = CodelState::new();
-
-        self.total_packets -= dropped;
+        let (dropped, dropped_bytes) = self.detach_tid_with(tid, |_| {});
         self.stats.drops_detached += dropped as u64;
-        let t = &mut self.tids[ti];
-        debug_assert_eq!(t.backlog_packets, dropped, "TID packet count drifted");
-        debug_assert_eq!(t.backlog_bytes, dropped_bytes, "TID byte count drifted");
-        t.new_flows = new_flows;
-        t.old_flows = old_flows;
-        t.backlog_packets = 0;
-        t.backlog_bytes = 0;
-        t.registered = false;
-        self.free_tids.push(ti);
 
         if self.tele.is_enabled() && dropped > 0 {
             self.tele.count(
@@ -413,6 +376,74 @@ impl<P: FqPacket> MacFq<P> {
             );
         }
         dropped
+    }
+
+    /// Detaches a TID like [`MacFq::unregister_tid`], but hands every
+    /// queued packet back intact (per-flow FIFO order, DRR-list order
+    /// across flows) instead of discarding — the migration half of an
+    /// inter-BSS hand-off, where the old AP forwards a roamer's buffered
+    /// downlink frames toward its new AP instead of dropping them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is unregistered or already detached.
+    pub fn unregister_tid_migrate(&mut self, tid: TidHandle) -> Vec<P> {
+        let mut out = Vec::new();
+        let (migrated, _) = self.detach_tid_with(tid, |pkt| out.push(pkt));
+        debug_assert_eq!(out.len(), migrated);
+        self.stats.migrated_out += migrated as u64;
+        out
+    }
+
+    /// Shared detach body: empties the TID's flows into `take`, releases
+    /// its flow queues to the pool, and parks the slot for reuse. Returns
+    /// `(packets, bytes)` removed from the structure.
+    ///
+    /// Every flow holding this TID's packets sits on exactly one of its
+    /// DRR lists (enqueue activates Idle flows; only full drain at
+    /// dequeue releases them), so draining the lists drains the TID.
+    /// The lists are taken out to walk without aliasing `self` and put
+    /// back empty — capacity intact, no scratch allocation.
+    fn detach_tid_with(&mut self, tid: TidHandle, mut take: impl FnMut(P)) -> (usize, u64) {
+        let ti = tid.0;
+        assert!(ti < self.tids.len(), "unregistered TID handle");
+        assert!(self.tids[ti].registered, "TID already detached");
+
+        let mut new_flows = std::mem::take(&mut self.tids[ti].new_flows);
+        let mut old_flows = std::mem::take(&mut self.tids[ti].old_flows);
+        let mut removed = 0usize;
+        let mut removed_bytes = 0u64;
+        for fi in new_flows.drain(..).chain(old_flows.drain(..)) {
+            let flow = &mut self.flows[fi];
+            debug_assert_eq!(flow.tid, Some(ti), "flow on a foreign TID list");
+            while let Some(pkt) = flow.queue.pop_front() {
+                flow.backlog_bytes -= pkt.wire_len();
+                removed_bytes += pkt.wire_len();
+                removed += 1;
+                take(pkt);
+            }
+            flow.deficit = 0;
+            flow.codel = CodelState::new();
+            flow.tid = None;
+            flow.membership = Membership::Idle;
+            self.heap_shrank(fi);
+        }
+        // The overflow queue may be idle-but-stale (drained earlier this
+        // round); reset its CoDel state so the next owner starts clean.
+        let of = self.tids[ti].overflow_flow;
+        self.flows[of].codel = CodelState::new();
+
+        self.total_packets -= removed;
+        let t = &mut self.tids[ti];
+        debug_assert_eq!(t.backlog_packets, removed, "TID packet count drifted");
+        debug_assert_eq!(t.backlog_bytes, removed_bytes, "TID byte count drifted");
+        t.new_flows = new_flows;
+        t.old_flows = old_flows;
+        t.backlog_packets = 0;
+        t.backlog_bytes = 0;
+        t.registered = false;
+        self.free_tids.push(ti);
+        (removed, removed_bytes)
     }
 
     /// True if the handle refers to a currently registered (not detached)

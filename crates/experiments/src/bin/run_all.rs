@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use wifiq_experiments::runner::{export_metrics, metrics_telemetry};
 use wifiq_harness::{CellDef, Harness, SweepMeta};
 
-const BINS: [&str; 23] = [
+const BINS: [&str; 24] = [
     "fig04_latency_tcp",
     "table1_model_validation",
     "fig05_airtime_udp",
@@ -42,6 +42,7 @@ const BINS: [&str; 23] = [
     "ext_hotpath",
     "ext_policy",
     "ext_search",
+    "ext_roam",
 ];
 
 /// Wall-clock budget for one experiment binary; past it the child is

@@ -25,6 +25,8 @@
 //!       "station": 1, "rate": "mcs0" }
 //!   ],
 //!   "churn": { "mean_interval_ms": 500, "min_stations": 2, "max_stations": 3 },
+//!   "roaming": { "mean_dwell_ms": 2000, "reassoc_min_ms": 20,
+//!                "reassoc_max_ms": 80, "rate_palette": ["mcs15", "mcs0"] },
 //!   "policy": {
 //!     "nodes": [
 //!       { "name": "tenant-a", "weight": 2, "stations": [0, 1] },
@@ -46,8 +48,9 @@
 //! [`wifiq_chaos`](wifiq_mac::FaultSchedule) schedule) and the optional
 //! `churn` block; `3` adds the `policy` block (a
 //! [`wifiq_policy`](wifiq_mac::PolicyTimeline) node tree plus timed
-//! switches). Files using a field their declared version does not gate
-//! in are rejected.
+//! switches); `4` adds the `roaming` block (a [`wifiq_roam::SoloRoam`]
+//! hand-off schedule replayed against the scenario network). Files using
+//! a field their declared version does not gate in are rejected.
 
 use serde_json::Json;
 use wifiq_mac::{
@@ -55,6 +58,7 @@ use wifiq_mac::{
     PolicySet, PolicyTimeline, SchemeKind, StationCfg, WifiNetwork,
 };
 use wifiq_phy::{AccessCategory, ChannelWidth, LegacyRate, PhyRate, VhtWidth};
+use wifiq_roam::{RoamCfg, SoloRoam};
 use wifiq_scale::{ChurnCfg, ChurnDriver};
 use wifiq_sim::Nanos;
 use wifiq_traffic::{AppMsg, FlowHandle, TrafficApp, WebPage};
@@ -140,6 +144,25 @@ pub struct ChurnSpec {
     pub max_stations: usize,
 }
 
+/// Optional roaming (schema version ≥ 4): a seeded hand-off schedule
+/// layered on the run via [`wifiq_roam::SoloRoam`]. Every station in the
+/// scenario roster roams; a hand-off disassociates it mid-flow, carries
+/// its queued downlink frames across the reassociation gap, and re-homes
+/// it with a fresh rate drawn from the palette.
+#[derive(Debug)]
+pub struct RoamingSpec {
+    /// Mean dwell time between a station's hand-offs in ms
+    /// (exponentially distributed; default 5000).
+    pub mean_dwell_ms: u64,
+    /// Shortest reassociation gap in ms (default 20).
+    pub reassoc_min_ms: u64,
+    /// Longest reassociation gap in ms (default 80).
+    pub reassoc_max_ms: u64,
+    /// Rate specs re-drawn on each association; absent uses the
+    /// default fast/slow palette.
+    pub rate_palette: Option<Vec<String>>,
+}
+
 /// One node of a policy tree in a scenario file (schema version ≥ 3).
 #[derive(Debug)]
 pub struct PolicyNodeSpec {
@@ -199,9 +222,11 @@ pub struct ProvenanceSpec {
 }
 
 /// Objective names a provenance block may cite.
-pub const OBJECTIVE_KINDS: [&str; 4] = [
+pub const OBJECTIVE_KINDS: [&str; 6] = [
     "jain_dip",
     "latency_spike",
+    "ac_p99_spike",
+    "mos_collapse",
     "codel_flap",
     "convergence_blowout",
 ];
@@ -209,8 +234,8 @@ pub const OBJECTIVE_KINDS: [&str; 4] = [
 /// A complete scenario file.
 #[derive(Debug)]
 pub struct ScenarioFile {
-    /// Schema version: 1 (legacy, implicit), 2 (faults + churn) or
-    /// 3 (airtime policy).
+    /// Schema version: 1 (legacy, implicit), 2 (faults + churn),
+    /// 3 (airtime policy) or 4 (roaming).
     pub version: u64,
     /// Scheme: "fifo", "fqcodel", "fqmac", "airtime" (default "airtime").
     pub scheme: Option<String>,
@@ -234,6 +259,8 @@ pub struct ScenarioFile {
     pub churn: Option<ChurnSpec>,
     /// Airtime policy (version ≥ 3).
     pub policy: Option<PolicySpec>,
+    /// Roaming schedule (version ≥ 4).
+    pub roaming: Option<RoamingSpec>,
     /// Search provenance (version ≥ 3), present on `scenarios/found/`
     /// counterexamples.
     pub provenance: Option<ProvenanceSpec>,
@@ -669,6 +696,41 @@ impl ProvenanceSpec {
     }
 }
 
+impl RoamingSpec {
+    fn decode(value: &Json) -> Result<RoamingSpec, String> {
+        let f = Fields::of(value, "roaming")?;
+        f.deny_unknown(&[
+            "mean_dwell_ms",
+            "reassoc_min_ms",
+            "reassoc_max_ms",
+            "rate_palette",
+        ])?;
+        let rate_palette = match f.raw("rate_palette") {
+            None => None,
+            Some(v) => {
+                let arr = v
+                    .as_array()
+                    .ok_or("roaming: field `rate_palette` must be an array")?;
+                Some(
+                    arr.iter()
+                        .map(|r| {
+                            r.as_str()
+                                .map(str::to_string)
+                                .ok_or("roaming: `rate_palette` entries must be strings".into())
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                )
+            }
+        };
+        Ok(RoamingSpec {
+            mean_dwell_ms: f.u64_opt("mean_dwell_ms")?.unwrap_or(5000),
+            reassoc_min_ms: f.u64_opt("reassoc_min_ms")?.unwrap_or(20),
+            reassoc_max_ms: f.u64_opt("reassoc_max_ms")?.unwrap_or(80),
+            rate_palette,
+        })
+    }
+}
+
 impl ChurnSpec {
     fn decode(value: &Json) -> Result<ChurnSpec, String> {
         let f = Fields::of(value, "churn")?;
@@ -754,16 +816,39 @@ pub struct BuiltScenario {
     pub duration: Nanos,
     /// Churn driver, when the scenario declares one.
     pub churn: Option<ChurnDriver>,
+    /// Roaming replayer, when the scenario declares one (version ≥ 4).
+    pub roam: Option<SoloRoam<AppMsg>>,
 }
 
 impl BuiltScenario {
-    /// Drives the network to `until`, applying any scheduled churn
-    /// events along the way.
+    /// Drives the network to `until`, applying any scheduled churn and
+    /// roaming events along the way. With both drivers present their
+    /// schedules interleave in time order; a roam move whose slot churn
+    /// has vacated is skipped (counted in
+    /// [`RoamStats::skipped`](wifiq_roam::RoamStats)).
     pub fn run_to(&mut self, until: Nanos) {
-        match &mut self.churn {
-            Some(d) => d.run_until(&mut self.net, until, &mut self.app),
-            None => self.net.run(until, &mut self.app),
+        loop {
+            let tc = self.churn.as_ref().map_or(Nanos::MAX, |c| c.next_at());
+            let tr = self.roam.as_ref().map_or(Nanos::MAX, |r| r.next_at());
+            let t = tc.min(tr);
+            if t >= until {
+                break;
+            }
+            self.net.run(t, &mut self.app);
+            // Roam actions before the churn event at the same instant:
+            // a rejoin must land before churn can fill the free slot.
+            if let Some(r) = &mut self.roam {
+                if tr <= t {
+                    r.catch_up(&mut self.net, t);
+                }
+            }
+            if let Some(c) = &mut self.churn {
+                if tc <= t {
+                    c.step(&mut self.net);
+                }
+            }
         }
+        self.net.run(until, &mut self.app);
     }
 }
 
@@ -786,11 +871,12 @@ impl ScenarioFile {
             "churn",
             "policy",
             "provenance",
+            "roaming",
         ])?;
         let version = f.u64_opt("version")?.unwrap_or(1);
-        if !(1..=3).contains(&version) {
+        if !(1..=4).contains(&version) {
             return Err(format!(
-                "unsupported scenario version {version} (this build understands 1, 2 and 3)"
+                "unsupported scenario version {version} (this build understands 1 through 4)"
             ));
         }
         if version < 2 {
@@ -806,6 +892,9 @@ impl ScenarioFile {
                     return Err(format!("`{field}` requires \"version\": 3"));
                 }
             }
+        }
+        if version < 4 && f.raw("roaming").is_some() {
+            return Err("`roaming` requires \"version\": 4".into());
         }
         let stations = f
             .array_req("stations")?
@@ -830,6 +919,7 @@ impl ScenarioFile {
         };
         let churn = f.raw("churn").map(ChurnSpec::decode).transpose()?;
         let policy = f.raw("policy").map(PolicySpec::decode).transpose()?;
+        let roaming = f.raw("roaming").map(RoamingSpec::decode).transpose()?;
         let provenance = f
             .raw("provenance")
             .map(ProvenanceSpec::decode)
@@ -847,6 +937,7 @@ impl ScenarioFile {
             faults,
             churn,
             policy,
+            roaming,
             provenance,
         })
     }
@@ -946,6 +1037,40 @@ impl ScenarioFile {
             }
             None => None,
         };
+        let roam = match &self.roaming {
+            Some(r) => {
+                if r.mean_dwell_ms == 0 {
+                    return Err("roaming: mean_dwell_ms must be positive".into());
+                }
+                if r.reassoc_min_ms > r.reassoc_max_ms {
+                    return Err("roaming: reassoc_min_ms must not exceed reassoc_max_ms".into());
+                }
+                let rate_palette = match &r.rate_palette {
+                    Some(list) if list.is_empty() => {
+                        return Err("roaming: rate_palette must not be empty".into())
+                    }
+                    Some(list) => list
+                        .iter()
+                        .map(|s| parse_rate(s))
+                        .collect::<Result<Vec<_>, _>>()
+                        .map_err(|e| format!("roaming: {e}"))?,
+                    None => RoamCfg::default().rate_palette,
+                };
+                // The driver salts its own RNG stream (ROAM_SEED_SALT),
+                // so the master seed is passed through unmixed.
+                Some(SoloRoam::new(
+                    RoamCfg {
+                        mean_dwell: Nanos::from_millis(r.mean_dwell_ms),
+                        reassoc_min: Nanos::from_millis(r.reassoc_min_ms),
+                        reassoc_max: Nanos::from_millis(r.reassoc_max_ms),
+                        rate_palette,
+                    },
+                    cfg.seed,
+                    n,
+                ))
+            }
+            None => None,
+        };
 
         let mut app = TrafficApp::with_seed(cfg.seed);
         let mut traffic = Vec::new();
@@ -1010,6 +1135,7 @@ impl ScenarioFile {
             traffic,
             duration: Nanos::from_secs(self.secs.unwrap_or(20)),
             churn,
+            roam,
         })
     }
 }
@@ -1161,7 +1287,7 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("version"), "{err}");
         let err = ScenarioFile::from_json(
-            r#"{ "version": 4, "stations": [{ "rate": "mcs15" }], "traffic": [] }"#,
+            r#"{ "version": 9, "stations": [{ "rate": "mcs15" }], "traffic": [] }"#,
         )
         .unwrap_err();
         assert!(err.contains("unsupported"), "{err}");
@@ -1375,6 +1501,96 @@ mod tests {
         )
         .unwrap();
         assert!(build_err(&sc).contains("min_stations"));
+    }
+
+    const V4: &str = r#"{
+        "version": 4,
+        "scheme": "airtime",
+        "secs": 3,
+        "stations": [
+            { "rate": "mcs15" },
+            { "rate": "mcs15" },
+            { "rate": "mcs7" }
+        ],
+        "traffic": [
+            { "kind": "udp_down", "station": 0, "mbps": 10 },
+            { "kind": "udp_down", "station": 1, "mbps": 10 },
+            { "kind": "ping", "station": 2 }
+        ],
+        "roaming": { "mean_dwell_ms": 100, "reassoc_min_ms": 10,
+                     "reassoc_max_ms": 40, "rate_palette": ["mcs15", "mcs3"] }
+    }"#;
+
+    #[test]
+    fn v4_scenario_with_roaming_runs() {
+        let sc = ScenarioFile::from_json(V4).unwrap();
+        assert_eq!(sc.version, 4);
+        let r = sc.roaming.as_ref().expect("roaming block");
+        assert_eq!(r.mean_dwell_ms, 100);
+        assert_eq!(r.rate_palette.as_ref().unwrap().len(), 2);
+        let mut built = sc.build().unwrap();
+        assert!(built.roam.is_some());
+        let duration = built.duration;
+        built.run_to(duration);
+        let roam = built.roam.as_ref().unwrap();
+        assert!(roam.stats.handoffs > 5, "roam schedule never fired");
+        assert_eq!(built.net.roam_drops(), roam.stats.roam_drops);
+        // Everyone not mid-transit is back on the air.
+        assert_eq!(built.net.active_stations() + roam.in_transit(), 3);
+    }
+
+    #[test]
+    fn v4_roaming_interleaves_with_churn() {
+        let sc = ScenarioFile::from_json(
+            r#"{ "version": 4, "secs": 3,
+                 "stations": [{ "rate": "mcs15" }, { "rate": "mcs15" }, { "rate": "mcs7" }],
+                 "traffic": [{ "kind": "udp_down", "station": 0, "mbps": 10 }],
+                 "churn": { "mean_interval_ms": 150, "min_stations": 1, "max_stations": 3 },
+                 "roaming": { "mean_dwell_ms": 120 } }"#,
+        )
+        .unwrap();
+        let mut built = sc.build().unwrap();
+        let duration = built.duration;
+        built.run_to(duration);
+        let churn = built.churn.as_ref().unwrap();
+        let roam = built.roam.as_ref().unwrap();
+        assert!(churn.joins + churn.leaves > 0, "churn never fired");
+        assert!(
+            roam.stats.handoffs + roam.stats.skipped > 0,
+            "roam never fired"
+        );
+    }
+
+    #[test]
+    fn roaming_rejected_below_v4() {
+        let err = ScenarioFile::from_json(
+            r#"{ "version": 3, "stations": [{ "rate": "mcs15" }], "traffic": [],
+                 "roaming": { "mean_dwell_ms": 100 } }"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn bad_roaming_rejected() {
+        let base = |roaming: &str| {
+            format!(
+                r#"{{ "version": 4, "stations": [{{ "rate": "mcs15" }}],
+                     "traffic": [], "roaming": {roaming} }}"#
+            )
+        };
+        let sc = ScenarioFile::from_json(&base(r#"{ "mean_dwell_ms": 0 }"#)).unwrap();
+        assert!(build_err(&sc).contains("mean_dwell_ms"));
+        let sc =
+            ScenarioFile::from_json(&base(r#"{ "reassoc_min_ms": 50, "reassoc_max_ms": 10 }"#))
+                .unwrap();
+        assert!(build_err(&sc).contains("reassoc_min_ms"));
+        let sc = ScenarioFile::from_json(&base(r#"{ "rate_palette": [] }"#)).unwrap();
+        assert!(build_err(&sc).contains("rate_palette"));
+        let sc = ScenarioFile::from_json(&base(r#"{ "rate_palette": ["warp9"] }"#)).unwrap();
+        assert!(build_err(&sc).contains("warp9"));
+        let err = ScenarioFile::from_json(&base(r#"{ "dwell": 5 }"#)).unwrap_err();
+        assert!(err.contains("dwell"), "{err}");
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub use config::{ErrorModel, NetworkConfig, SchemeKind, StationCfg};
 // Re-exported so scenario authors depend on one crate for the full
 // builder vocabulary (targets, impairments, schedules).
 pub use meter::{AirtimeMeter, StationMeter};
-pub use network::WifiNetwork;
+pub use network::{RoamHandoff, WifiNetwork};
 pub use packet::{NodeAddr, Packet, StationIdx};
 pub use ratectrl::Minstrel;
 pub use trace::{AirtimeCapture, TxDirection, TxMonitor, TxRecord};

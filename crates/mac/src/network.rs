@@ -71,6 +71,22 @@ struct PolicyRuntime {
     applied: u64,
 }
 
+/// Flow state extracted from a departing roamer by
+/// [`WifiNetwork::roam_out`], to be re-homed on the target BSS via
+/// [`WifiNetwork::roam_in`].
+#[derive(Debug)]
+pub struct RoamHandoff<M> {
+    /// Queued downlink frames carried to the target BSS (stash, driver
+    /// FIFOs, MAC FQ flows, and pfifo-family shared qdiscs).
+    pub packets: Vec<Packet<M>>,
+    /// Frames that could not migrate (hardware-committed aggregates,
+    /// uplink backlog), already counted in [`WifiNetwork::roam_drops`].
+    pub dropped: u64,
+    /// The station's exchange was on the air: teardown was deferred and
+    /// nothing migrated (drops will surface as churn drops instead).
+    pub deferred: bool,
+}
+
 /// The simulated WiFi network under one queue-management scheme.
 ///
 /// `M` is the application payload type carried in packets.
@@ -106,6 +122,9 @@ pub struct WifiNetwork<M> {
     /// Packets discarded because their station departed (queued at
     /// removal, or committed to hardware and purged).
     churn_drops: u64,
+    /// Packets lost to roaming hand-offs: hardware-committed frames and
+    /// uplink backlog that [`roam_out`](Self::roam_out) could not migrate.
+    roam_drops: u64,
     /// Packets discarded on arrival because they addressed a slot with no
     /// associated station.
     absent_drops: u64,
@@ -187,6 +206,7 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
             pending_detach: Vec::new(),
             join_seq: stations.len() as u64,
             churn_drops: 0,
+            roam_drops: 0,
             absent_drops: 0,
             stations,
             in_flight: Vec::new(),
@@ -488,6 +508,111 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
     /// (traffic sources that have not yet noticed a departure).
     pub fn absent_drops(&self) -> u64 {
         self.absent_drops
+    }
+
+    /// Packets dropped during roaming hand-offs ([`roam_out`](Self::roam_out)):
+    /// frames already committed to the hardware queue, plus the departing
+    /// station's uplink backlog — the in-flight losses a real hand-off
+    /// cannot save.
+    pub fn roam_drops(&self) -> u64 {
+        self.roam_drops
+    }
+
+    /// The leaf policy node owning `(sta, ac)` under the currently active
+    /// policy, or `None` when no policy is in force or the tree does not
+    /// cover the slot (a roamer landing there falls back to the neutral
+    /// weight).
+    pub fn policy_node_of(&self, sta: StationIdx, ac: AccessCategory) -> Option<u32> {
+        let active = self.policy.as_ref()?.active.as_ref()?;
+        let node = active.node_of(sta, ac.index());
+        (node != NODE_NONE).then_some(node)
+    }
+
+    /// Disassociates a roaming station, extracting its queued downlink
+    /// flow state so the hand-off can carry it to the target BSS instead
+    /// of dropping it (the old AP forwards buffered frames over the
+    /// distribution system, 802.11f-style). What cannot migrate — frames
+    /// already committed to the hardware queue and the station's own
+    /// uplink backlog — is dropped and counted in
+    /// [`roam_drops`](Self::roam_drops).
+    ///
+    /// If the station's exchange is on the air right now the hand-off
+    /// degrades to the churn-style deferred detach: nothing migrates, the
+    /// teardown happens when the exchange completes, and its drops are
+    /// counted as [`churn_drops`](Self::churn_drops). The returned
+    /// hand-off is marked [`deferred`](RoamHandoff::deferred).
+    pub fn roam_out(&mut self, sta: StationIdx) -> RoamHandoff<M> {
+        assert!(
+            self.active.get(sta).copied().unwrap_or(false),
+            "roaming out unknown or already-removed station {sta}"
+        );
+        self.active[sta] = false;
+        self.tele.count("mac", "station_leaves", Label::Global, 1);
+        if self.station_in_flight(sta) {
+            self.pending_detach.push(sta);
+            return RoamHandoff {
+                packets: Vec::new(),
+                dropped: 0,
+                deferred: true,
+            };
+        }
+        // No aggregate of this station can be on the air (that would have
+        // made it in-flight above), so every hardware-queued aggregate of
+        // its is purgeable.
+        let mut dropped = 0u64;
+        for aci in 0..AccessCategory::COUNT {
+            let q = std::mem::take(&mut self.hw[aci]);
+            for agg in q {
+                if agg.station == sta {
+                    dropped += agg.frames.len() as u64;
+                } else {
+                    self.hw[aci].push_back(agg);
+                }
+            }
+        }
+        let packets = self.ap.remove_station_migrate(sta);
+        dropped += self.stations[sta].backlog() as u64;
+        self.stations[sta] = StationUplink::new(
+            sta,
+            self.cfg.stations[sta].rate,
+            self.cfg.station_fifo_limit,
+        );
+        self.ratectrl[sta] = None;
+        self.roam_drops += dropped;
+        RoamHandoff {
+            packets,
+            dropped,
+            deferred: false,
+        }
+    }
+
+    /// Associates a roaming station arriving from another BSS, re-homing
+    /// the carried flow state onto its new slot: each packet is
+    /// re-addressed to the slot the roamer now occupies and re-enters the
+    /// AP queueing path with a fresh enqueue stamp (CoDel sojourn restarts;
+    /// end-to-end `created` timestamps survive, so latency metrics see the
+    /// full hand-off cost). Returns the occupied slot.
+    pub fn roam_in(
+        &mut self,
+        station: crate::config::StationCfg,
+        carried: Vec<Packet<M>>,
+    ) -> StationIdx {
+        let slot = self.add_station(station);
+        let now = self.queue.now();
+        let mut acs = [false; AccessCategory::COUNT];
+        for mut pkt in carried {
+            pkt.dst = NodeAddr::Station(slot);
+            pkt.enqueued = now;
+            acs[pkt.ac.index()] = true;
+            self.ap.enqueue(pkt, now);
+        }
+        for ac in AccessCategory::ALL {
+            if acs[ac.index()] {
+                self.ap_schedule(ac, now);
+            }
+        }
+        self.try_contend(now);
+        slot
     }
 
     /// Runs the event loop until virtual time `until`, driving `app`.

@@ -354,6 +354,65 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
         dropped
     }
 
+    /// Detaches a station like [`remove_station`](Self::remove_station),
+    /// but hands back every frame queued for it at the AP (stash, driver
+    /// FIFOs, MAC FQ flows, and — for the pfifo qdiscs — the shared qdisc)
+    /// so a roaming hand-off can carry them to the target BSS. The shared
+    /// FQ-CoDel qdisc cannot be filtered per-station; its stale frames
+    /// surface and are discarded later, exactly as under churn.
+    pub fn remove_station_migrate(&mut self, sta: StationIdx) -> Vec<Packet<M>> {
+        assert!(
+            self.active.get(sta).copied().unwrap_or(false),
+            "migrating an inactive station slot"
+        );
+        let mut moved: Vec<Packet<M>> = Vec::new();
+        for ac in AccessCategory::ALL {
+            moved.extend(self.stash[tid_index(sta, ac)].take());
+        }
+        match &mut self.inner {
+            PathInner::Legacy {
+                qdisc,
+                bufq,
+                buf_total,
+                rr,
+                listed,
+                ..
+            } => {
+                for ac in AccessCategory::ALL {
+                    let tid = tid_index(sta, ac);
+                    *buf_total -= bufq[tid].len();
+                    moved.extend(bufq[tid].drain(..));
+                    if listed[tid] {
+                        rr[ac.index()].retain(|&t| t != tid);
+                        listed[tid] = false;
+                    }
+                }
+                if let LegacyQdisc::Pfifo(q) = qdisc {
+                    moved.extend(q.drain_matching(|p| p.wireless_peer() == sta));
+                }
+            }
+            PathInner::Fq { fq, sched } => {
+                for ac in AccessCategory::ALL {
+                    moved.extend(fq.unregister_tid_migrate(TidHandle(tid_index(sta, ac))));
+                }
+                match sched {
+                    StaSched::Rr { lists, listed } => {
+                        for (aci, l) in lists.iter_mut().enumerate() {
+                            if listed[sta][aci] {
+                                l.retain(|&x| x != sta);
+                                listed[sta][aci] = false;
+                            }
+                        }
+                    }
+                    StaSched::Airtime(s) => s.remove_station(StationHandle(sta)),
+                }
+            }
+        }
+        self.active[sta] = false;
+        self.free_slots.push(sta);
+        moved
+    }
+
     /// Whether slot `sta` currently hosts a station.
     pub fn station_active(&self, sta: StationIdx) -> bool {
         self.active.get(sta).copied().unwrap_or(false)
@@ -932,6 +991,55 @@ mod tests {
             path.enqueue(pkt(1, 3, now), now);
             let agg = drain_one(&mut path, now).expect("readded station must transmit");
             assert_eq!(agg.station, 1, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn remove_station_migrate_carries_queued_frames() {
+        for scheme in SchemeKind::ALL {
+            let mut path: ApTxPath<()> = ApTxPath::new(&cfg(scheme));
+            let now = Nanos::ZERO;
+            for i in 0..30 {
+                path.enqueue(pkt(1, 1, Nanos::from_nanos(i)), now);
+                path.enqueue(pkt(0, 2, Nanos::from_nanos(i)), now);
+            }
+            // One build may park a leftover frame in station 1's stash;
+            // the migrate must pick that up too.
+            while let Some(agg) = drain_one(&mut path, now) {
+                if agg.station == 1 {
+                    break;
+                }
+            }
+            let before = path.backlog()
+                + (0..AccessCategory::COUNT)
+                    .filter(|a| path.stash[AccessCategory::COUNT + a].is_some())
+                    .count();
+            let moved = path.remove_station_migrate(1);
+            assert!(!path.station_active(1), "{scheme}");
+            assert!(
+                moved.iter().all(|p| p.wireless_peer() == 1),
+                "{scheme}: migrated a bystander's frame"
+            );
+            // Under FQ-CoDel the shared qdisc keeps station 1's frames
+            // (cannot be filtered); everywhere else the AP must hold no
+            // frame for the roamer any more.
+            if scheme != SchemeKind::FqCodelQdisc {
+                assert_eq!(
+                    path.backlog()
+                        + (0..AccessCategory::COUNT)
+                            .filter(|a| path.stash[AccessCategory::COUNT + a].is_some())
+                            .count()
+                        + moved.len(),
+                    before,
+                    "{scheme}: frames vanished in migration"
+                );
+                while let Some(agg) = drain_one(&mut path, now) {
+                    assert_ne!(agg.station, 1, "{scheme}: roamer still scheduled");
+                }
+            }
+            // The slot is reusable, exactly as after a plain removal.
+            let slot = path.add_station(&StationCfg::clean(PhyRate::fast_station()));
+            assert_eq!(slot, 1, "{scheme}: LIFO slot reuse after migrate");
         }
     }
 

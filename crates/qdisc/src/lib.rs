@@ -64,6 +64,24 @@ impl<P> PfifoQdisc<P> {
     pub fn with_default_limit() -> PfifoQdisc<P> {
         PfifoQdisc::new(1000)
     }
+
+    /// Removes and returns every queued packet matching `keep_out`, in
+    /// FIFO order, leaving the rest in their original order. Used by the
+    /// roaming hand-off to pull a departing station's frames out of a
+    /// shared qdisc so they can follow it to the target BSS.
+    pub fn drain_matching(&mut self, mut keep_out: impl FnMut(&P) -> bool) -> Vec<P> {
+        let mut out = Vec::new();
+        let mut kept = VecDeque::with_capacity(self.queue.len());
+        for pkt in self.queue.drain(..) {
+            if keep_out(&pkt) {
+                out.push(pkt);
+            } else {
+                kept.push_back(pkt);
+            }
+        }
+        self.queue = kept;
+        out
+    }
 }
 
 impl<P> Qdisc<P> for PfifoQdisc<P> {
@@ -117,6 +135,18 @@ impl<P> PfifoFastQdisc<P> {
     /// Packets tail-dropped across all bands.
     pub fn tail_drops(&self) -> u64 {
         self.bands.iter().map(|b| b.tail_drops).sum()
+    }
+
+    /// Removes and returns every queued packet matching `keep_out`, in
+    /// band-then-FIFO order (the order [`Qdisc::dequeue`] would have
+    /// surfaced them), leaving the rest untouched. The roaming hand-off
+    /// uses this to carry a departing station's frames to its target BSS.
+    pub fn drain_matching(&mut self, mut keep_out: impl FnMut(&P) -> bool) -> Vec<P> {
+        let mut out = Vec::new();
+        for band in &mut self.bands {
+            out.extend(band.drain_matching(&mut keep_out));
+        }
+        out
     }
 }
 
@@ -350,6 +380,36 @@ mod tests {
         // flow 7 maps past the last band; must clamp, not panic.
         assert!(q.enqueue(pkt(7, 0), Nanos::ZERO).is_none());
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pfifo_drain_matching_preserves_order() {
+        let mut q = PfifoQdisc::new(10);
+        for seq in 0..6 {
+            q.enqueue(pkt(seq as u64 % 2, seq), Nanos::ZERO);
+        }
+        let odd = q.drain_matching(|p| p.flow == 1);
+        assert_eq!(odd.iter().map(|p| p.seq).collect::<Vec<_>>(), [1, 3, 5]);
+        // Survivors keep FIFO order and the queue stays usable.
+        assert_eq!(q.len(), 3);
+        assert_eq!(
+            (0..3)
+                .map(|_| q.dequeue(Nanos::ZERO).unwrap().seq)
+                .collect::<Vec<_>>(),
+            [0, 2, 4]
+        );
+    }
+
+    #[test]
+    fn pfifo_fast_drain_matching_spans_bands() {
+        let mut q = PfifoFastQdisc::new(2, 10, |p: &Pkt| (p.flow % 2) as usize);
+        q.enqueue(pkt(1, 0), Nanos::ZERO); // band 1
+        q.enqueue(pkt(2, 1), Nanos::ZERO); // band 0
+        q.enqueue(pkt(3, 2), Nanos::ZERO); // band 1
+        let moved = q.drain_matching(|p| p.flow != 2);
+        assert_eq!(moved.iter().map(|p| p.seq).collect::<Vec<_>>(), [0, 2]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.dequeue(Nanos::ZERO).unwrap().flow, 2);
     }
 
     #[test]

@@ -1,0 +1,366 @@
+//! The hand-off state machine applied to a single BSS.
+//!
+//! [`SoloRoam`] replays a [`RoamDriver`] schedule against one
+//! [`WifiNetwork`]: every move disassociates the station mid-flow
+//! ([`WifiNetwork::roam_out`]), parks the extracted downlink flow state
+//! for the reassociation gap, and re-homes it onto the slot the station
+//! reoccupies ([`WifiNetwork::roam_in`]). With a single BSS the "target"
+//! is the same network, but the full hand-off machinery runs end to end
+//! — queued-state migration, in-flight loss accounting, MCS re-draw,
+//! policy-tree reattachment — which is exactly what scenario-schema v4
+//! plugs into the scenario runner. The multi-BSS version that carries
+//! state *between* networks lives in [`crate::engine`].
+
+use wifiq_mac::{App, Packet, StationCfg, StationIdx, WifiNetwork};
+use wifiq_phy::{AccessCategory, PhyRate};
+use wifiq_sim::Nanos;
+use wifiq_telemetry::{Label, Telemetry};
+
+use crate::driver::{RoamCfg, RoamDriver};
+
+/// Aggregate hand-off accounting, kept by both the single-BSS replayer
+/// and the multi-BSS engine coordinator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoamStats {
+    /// Hand-offs executed (disassociations, deferred or not).
+    pub handoffs: u64,
+    /// Hand-offs that degraded to a churn-style deferred detach because
+    /// the station's exchange was on the air.
+    pub deferred: u64,
+    /// In-flight packets lost to hand-offs (hardware-committed frames +
+    /// uplink backlog; mirrors [`WifiNetwork::roam_drops`]).
+    pub roam_drops: u64,
+    /// Queued downlink frames carried intact to the new association.
+    pub migrated_frames: u64,
+    /// Reassociations that landed inside a covering policy-tree node.
+    pub policy_reattach: u64,
+    /// Reassociations on a slot no policy node covers (neutral weight).
+    pub neutral_fallback: u64,
+    /// Moves skipped because the targeted slot was vacant at departure
+    /// time (a concurrent churn schedule had removed the occupant).
+    pub skipped: u64,
+    /// Longest observed reassociation gap.
+    pub max_reassoc: Nanos,
+}
+
+impl RoamStats {
+    /// Folds one disassociation into the stats.
+    pub(crate) fn on_depart(&mut self, dropped: u64, migrated: usize, deferred: bool) {
+        self.handoffs += 1;
+        self.deferred += u64::from(deferred);
+        self.roam_drops += dropped;
+        self.migrated_frames += migrated as u64;
+    }
+
+    /// Folds one reassociation into the stats.
+    pub(crate) fn on_arrive(&mut self, covered: bool, reassoc: Nanos) {
+        if covered {
+            self.policy_reattach += 1;
+        } else {
+            self.neutral_fallback += 1;
+        }
+        self.max_reassoc = self.max_reassoc.max(reassoc);
+    }
+}
+
+/// Counts a disassociation into the `roam/*` telemetry family.
+pub(crate) fn tele_depart(tele: &Telemetry, dropped: u64, migrated: usize, deferred: bool) {
+    tele.count("roam", "handoffs", Label::Global, 1);
+    if deferred {
+        tele.count("roam", "deferred_handoffs", Label::Global, 1);
+    }
+    if dropped > 0 {
+        tele.count("roam", "roam_drops", Label::Global, dropped);
+    }
+    if migrated > 0 {
+        tele.count("roam", "migrated_frames", Label::Global, migrated as u64);
+    }
+}
+
+/// Counts a reassociation into the `roam/*` telemetry family.
+pub(crate) fn tele_arrive(tele: &Telemetry, covered: bool, reassoc: Nanos) {
+    let metric = if covered {
+        "policy_reattach"
+    } else {
+        "neutral_fallback"
+    };
+    tele.count("roam", metric, Label::Global, 1);
+    tele.observe_value("roam", "reassoc_ms", Label::Global, reassoc.as_millis());
+}
+
+/// Whether any access category of `slot` is owned by a policy node.
+pub(crate) fn policy_covered<M: std::fmt::Debug>(net: &WifiNetwork<M>, slot: StationIdx) -> bool {
+    AccessCategory::ALL
+        .iter()
+        .any(|&ac| net.policy_node_of(slot, ac).is_some())
+}
+
+/// A station between associations: disassociated at `departed_at`, due
+/// back at `rejoin_at` with its carried flow state.
+#[derive(Debug)]
+struct Transit<M> {
+    station: u32,
+    departed_at: Nanos,
+    rejoin_at: Nanos,
+    rate: PhyRate,
+    packets: Vec<Packet<M>>,
+}
+
+/// Replays a roam schedule against one network, carrying flow state
+/// across each reassociation gap.
+#[derive(Debug)]
+pub struct SoloRoam<M> {
+    driver: RoamDriver,
+    /// Slot currently occupied by each schedule station (stale while the
+    /// station is in transit).
+    slot_of: Vec<StationIdx>,
+    transit: Vec<Transit<M>>,
+    tele: Telemetry,
+    /// Running hand-off accounting.
+    pub stats: RoamStats,
+}
+
+impl<M: std::fmt::Debug> SoloRoam<M> {
+    /// A replayer for `roster` stations already associated on slots
+    /// `0..roster` of the target network (the usual builder layout).
+    pub fn new(cfg: RoamCfg, seed: u64, roster: usize) -> SoloRoam<M> {
+        SoloRoam {
+            driver: RoamDriver::new(cfg, seed, roster, 1),
+            slot_of: (0..roster).collect(),
+            transit: Vec::new(),
+            tele: Telemetry::disabled(),
+            stats: RoamStats::default(),
+        }
+    }
+
+    /// Routes `roam/*` counters into `tele` — pass the same hub the
+    /// network uses so the rollup carries one registry.
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.tele = tele;
+    }
+
+    /// The schedule driver (for inspecting upcoming moves).
+    pub fn driver(&self) -> &RoamDriver {
+        &self.driver
+    }
+
+    /// Stations currently between associations.
+    pub fn in_transit(&self) -> usize {
+        self.transit.len()
+    }
+
+    /// The slot station `station` last occupied.
+    pub fn slot_of(&self, station: usize) -> StationIdx {
+        self.slot_of[station]
+    }
+
+    /// Virtual time of the next hand-off action (departure or rejoin).
+    pub fn next_at(&self) -> Nanos {
+        let arrive = self
+            .transit
+            .iter()
+            .map(|t| t.rejoin_at)
+            .min()
+            .unwrap_or(Nanos::MAX);
+        arrive.min(self.driver.next_at())
+    }
+
+    /// Drives `net` to virtual time `until`, applying every hand-off
+    /// action that falls due along the way. A schedule whose first move
+    /// lies beyond `until` never touches the network at all.
+    pub fn run_until<A: App<M>>(&mut self, net: &mut WifiNetwork<M>, until: Nanos, app: &mut A) {
+        loop {
+            let at = self.next_at();
+            if at >= until {
+                break;
+            }
+            net.run(at, app);
+            self.catch_up(net, at);
+        }
+        net.run(until, app);
+    }
+
+    /// Applies every hand-off action due at or before `now`. The caller
+    /// must already have advanced `net` to `now` — this is the hook for
+    /// pumps that interleave several drivers (churn + roaming) over one
+    /// network.
+    pub fn catch_up(&mut self, net: &mut WifiNetwork<M>, now: Nanos) {
+        // Rejoins before departures at the same instant, so a slot
+        // freed by a departure is never resurrected out of order.
+        self.process_rejoins(net, now);
+        while self.driver.next_at() <= now {
+            self.depart(net);
+        }
+    }
+
+    fn depart(&mut self, net: &mut WifiNetwork<M>) {
+        let m = self.driver.next_move();
+        let slot = self.slot_of[m.station as usize];
+        if !net.station_active(slot) {
+            // A concurrent churn schedule removed whoever held this
+            // slot; there is nothing to hand off.
+            self.stats.skipped += 1;
+            self.tele.count("roam", "skipped_moves", Label::Global, 1);
+            return;
+        }
+        let h = net.roam_out(slot);
+        self.stats.on_depart(h.dropped, h.packets.len(), h.deferred);
+        tele_depart(&self.tele, h.dropped, h.packets.len(), h.deferred);
+        self.transit.push(Transit {
+            station: m.station,
+            departed_at: m.at,
+            rejoin_at: m.rejoin_at,
+            rate: m.rate,
+            packets: h.packets,
+        });
+    }
+
+    fn process_rejoins(&mut self, net: &mut WifiNetwork<M>, now: Nanos) {
+        if self.transit.iter().all(|t| t.rejoin_at > now) {
+            return;
+        }
+        let (mut rejoins, keep): (Vec<Transit<M>>, Vec<Transit<M>>) =
+            self.transit.drain(..).partition(|t| t.rejoin_at <= now);
+        self.transit = keep;
+        // Lowest station id first: the rejoin order (and hence slot
+        // assignment) must not depend on transit-buffer layout.
+        rejoins.sort_by_key(|t| t.station);
+        for t in rejoins {
+            let slot = net.roam_in(StationCfg::clean(t.rate), t.packets);
+            self.slot_of[t.station as usize] = slot;
+            let covered = policy_covered(net, slot);
+            let reassoc = now - t.departed_at;
+            self.stats.on_arrive(covered, reassoc);
+            tele_arrive(&self.tele, covered, reassoc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wifiq_mac::{Commands, Delivery, NetworkConfig, NodeAddr, SchemeKind};
+
+    /// Steady downlink flood to every station slot the app knows about.
+    struct Flood {
+        slots: usize,
+        sent: u64,
+    }
+
+    impl App<()> for Flood {
+        fn on_packet(&mut self, _: Delivery, _: Packet<()>, _: Nanos, _: &mut Commands<()>) {}
+        fn on_timer(&mut self, token: u64, now: Nanos, cmds: &mut Commands<()>) {
+            for sta in 0..self.slots {
+                self.sent += 1;
+                cmds.send(Packet {
+                    id: self.sent,
+                    src: NodeAddr::Server,
+                    dst: NodeAddr::Station(sta),
+                    flow: sta as u64,
+                    len: 1200,
+                    ac: AccessCategory::Be,
+                    created: now,
+                    enqueued: now,
+                    payload: (),
+                });
+            }
+            cmds.set_timer(token, now + Nanos::from_millis(1));
+        }
+    }
+
+    fn net(stations: usize) -> WifiNetwork<()> {
+        let cfg = NetworkConfig::builder()
+            .scheme(SchemeKind::AirtimeFair)
+            .stations_at(stations, PhyRate::fast_station())
+            .build();
+        WifiNetwork::new(cfg)
+    }
+
+    fn roam_cfg(mean_dwell_ms: u64) -> RoamCfg {
+        RoamCfg {
+            mean_dwell: Nanos::from_millis(mean_dwell_ms),
+            ..RoamCfg::default()
+        }
+    }
+
+    #[test]
+    fn handoffs_preserve_roster_and_count_consistently() {
+        let mut n = net(4);
+        n.seed_timer(0, Nanos::ZERO);
+        let mut app = Flood { slots: 4, sent: 0 };
+        let mut roam = SoloRoam::new(roam_cfg(100), 9, 4);
+        roam.run_until(&mut n, Nanos::from_secs(5), &mut app);
+        assert!(roam.stats.handoffs > 10, "schedule too quiet");
+        // Whoever is not mid-transit is associated.
+        assert_eq!(n.active_stations() + roam.in_transit(), 4);
+        assert_eq!(n.roam_drops(), roam.stats.roam_drops);
+        assert!(
+            roam.stats.max_reassoc <= Nanos::from_millis(80) + Nanos::from_millis(1),
+            "reassociation gap beyond the configured bound: {:?}",
+            roam.stats.max_reassoc
+        );
+    }
+
+    #[test]
+    fn migrated_frames_survive_the_handoff() {
+        let mut n = net(3);
+        n.seed_timer(0, Nanos::ZERO);
+        let mut app = Flood { slots: 3, sent: 0 };
+        let mut roam = SoloRoam::new(roam_cfg(50), 4, 3);
+        roam.run_until(&mut n, Nanos::from_secs(4), &mut app);
+        assert!(
+            roam.stats.migrated_frames > 0,
+            "a busy downlink never migrated a queued frame across {} handoffs",
+            roam.stats.handoffs
+        );
+    }
+
+    #[test]
+    fn quiet_schedule_is_byte_invisible() {
+        let drive = |attach_roam: bool| {
+            let mut n = net(3);
+            let tele = Telemetry::enabled();
+            n.set_telemetry(tele.clone());
+            n.seed_timer(0, Nanos::ZERO);
+            let mut app = Flood { slots: 3, sent: 0 };
+            let until = Nanos::from_millis(200);
+            if attach_roam {
+                // Dwell far beyond the horizon: the driver exists but
+                // never fires.
+                let mut roam = SoloRoam::new(roam_cfg(3_600_000), 7, 3);
+                roam.set_telemetry(tele.clone());
+                roam.run_until(&mut n, until, &mut app);
+                assert_eq!(roam.stats.handoffs, 0, "schedule was not quiet");
+            } else {
+                n.run(until, &mut app);
+            }
+            tele.snapshot("solo", 7).pretty()
+        };
+        assert_eq!(drive(true), drive(false));
+    }
+
+    #[test]
+    fn telemetry_counters_mirror_stats() {
+        let mut n = net(4);
+        let tele = Telemetry::enabled();
+        n.set_telemetry(tele.clone());
+        n.seed_timer(0, Nanos::ZERO);
+        let mut app = Flood { slots: 4, sent: 0 };
+        let mut roam = SoloRoam::new(roam_cfg(80), 21, 4);
+        roam.set_telemetry(tele.clone());
+        roam.run_until(&mut n, Nanos::from_secs(3), &mut app);
+        assert_eq!(
+            tele.counter("roam", "handoffs", Label::Global),
+            roam.stats.handoffs
+        );
+        assert_eq!(
+            tele.counter("roam", "roam_drops", Label::Global),
+            roam.stats.roam_drops
+        );
+        assert_eq!(
+            tele.counter("roam", "policy_reattach", Label::Global)
+                + tele.counter("roam", "neutral_fallback", Label::Global),
+            roam.stats.policy_reattach + roam.stats.neutral_fallback
+        );
+    }
+}

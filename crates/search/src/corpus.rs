@@ -175,6 +175,7 @@ mod tests {
             faults: vec![],
             churn: None,
             policy: None,
+            roaming: None,
         }
     }
 
@@ -182,6 +183,8 @@ mod tests {
         Objectives {
             jain: Some(jain),
             p99_sojourn_ms: 1.0,
+            ac_p99_ms: [0.0; 4],
+            min_window_mos: None,
             codel_switches: 0,
             convergence_ms: None,
         }

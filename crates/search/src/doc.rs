@@ -180,6 +180,19 @@ pub struct ChurnDoc {
     pub max_stations: usize,
 }
 
+/// The roaming block (schema version 4), file-form parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoamingDoc {
+    /// Mean dwell between a station's hand-offs, ms.
+    pub mean_dwell_ms: u64,
+    /// Shortest reassociation gap, ms.
+    pub reassoc_min_ms: u64,
+    /// Longest reassociation gap, ms.
+    pub reassoc_max_ms: u64,
+    /// Rate specs re-drawn on each association (None = loader default).
+    pub rate_palette: Option<Vec<String>>,
+}
+
 /// One policy-tree node.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PolicyNodeDoc {
@@ -221,7 +234,9 @@ pub struct ProvenanceDoc {
     pub minimal_bytes: u64,
 }
 
-/// A complete scenario document (always encoded as schema version 3).
+/// A complete scenario document (encoded as schema version 3, or 4 when
+/// a roaming block is present — so pre-roaming documents keep their
+/// historical hashes).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioDoc {
     /// Scheme name.
@@ -246,6 +261,8 @@ pub struct ScenarioDoc {
     pub churn: Option<ChurnDoc>,
     /// Airtime policy.
     pub policy: Option<PolicyDoc>,
+    /// Roaming schedule (version 4).
+    pub roaming: Option<RoamingDoc>,
 }
 
 fn obj(fields: Vec<(&str, Json)>) -> Json {
@@ -379,8 +396,9 @@ impl ScenarioDoc {
     /// Encodes the document as a canonical JSON value, optionally stamped
     /// with a provenance block.
     pub fn encode(&self, provenance: Option<&ProvenanceDoc>) -> Json {
+        let version = if self.roaming.is_some() { 4 } else { 3 };
         let mut f = vec![
-            ("version", Json::U64(3)),
+            ("version", Json::U64(version)),
             ("scheme", Json::Str(self.scheme.clone())),
             ("secs", Json::U64(self.secs)),
             ("seed", Json::U64(self.seed)),
@@ -446,6 +464,20 @@ impl ScenarioDoc {
             }
             f.push(("policy", obj(pf)));
         }
+        if let Some(r) = &self.roaming {
+            let mut rf = vec![
+                ("mean_dwell_ms", Json::U64(r.mean_dwell_ms)),
+                ("reassoc_min_ms", Json::U64(r.reassoc_min_ms)),
+                ("reassoc_max_ms", Json::U64(r.reassoc_max_ms)),
+            ];
+            if let Some(palette) = &r.rate_palette {
+                rf.push((
+                    "rate_palette",
+                    Json::Arr(palette.iter().map(|s| Json::Str(s.clone())).collect()),
+                ));
+            }
+            f.push(("roaming", obj(rf)));
+        }
         if let Some(prov) = provenance {
             f.push((
                 "provenance",
@@ -506,9 +538,10 @@ impl ScenarioDoc {
     }
 
     /// Decodes a parsed scenario JSON value into a document. Accepts any
-    /// valid v1–v3 file (the document re-encodes as v3); rejects shapes
-    /// the schema would reject with a description. Provenance is dropped
-    /// — it belongs to the file's past discovery, not to the document.
+    /// valid v1–v4 file (the document re-encodes as v3, or v4 when it
+    /// carries roaming); rejects shapes the schema would reject with a
+    /// description. Provenance is dropped — it belongs to the file's past
+    /// discovery, not to the document.
     pub fn decode(value: &Json) -> Result<ScenarioDoc, String> {
         let fields = value.as_object().ok_or("scenario: expected an object")?;
         let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
@@ -732,6 +765,39 @@ impl ScenarioDoc {
             })
             .transpose()?;
 
+        let roaming = get("roaming")
+            .map(|r| {
+                let f = r.as_object().ok_or("roaming must be an object")?;
+                let field = |name: &str| f.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+                let int = |name: &str, default: u64| -> Result<u64, String> {
+                    match field(name) {
+                        None => Ok(default),
+                        Some(v) => v
+                            .as_u64()
+                            .ok_or(format!("roaming `{name}` must be an integer")),
+                    }
+                };
+                Ok::<_, String>(RoamingDoc {
+                    mean_dwell_ms: int("mean_dwell_ms", 5000)?,
+                    reassoc_min_ms: int("reassoc_min_ms", 20)?,
+                    reassoc_max_ms: int("reassoc_max_ms", 80)?,
+                    rate_palette: field("rate_palette")
+                        .map(|v| {
+                            v.as_array()
+                                .ok_or("roaming `rate_palette` must be an array")?
+                                .iter()
+                                .map(|s| {
+                                    s.as_str()
+                                        .map(str::to_string)
+                                        .ok_or("bad `rate_palette` entry".to_string())
+                                })
+                                .collect::<Result<Vec<_>, _>>()
+                        })
+                        .transpose()?,
+                })
+            })
+            .transpose()?;
+
         Ok(ScenarioDoc {
             scheme: get("scheme")
                 .and_then(Json::as_str)
@@ -749,6 +815,7 @@ impl ScenarioDoc {
             faults,
             churn,
             policy,
+            roaming,
         })
     }
 
@@ -799,6 +866,7 @@ mod tests {
             }],
             churn: None,
             policy: None,
+            roaming: None,
         }
     }
 
@@ -832,6 +900,27 @@ mod tests {
         assert_eq!(back.hash(), doc.hash());
         // And the stamped file still parses + builds under the real loader.
         ScenarioFile::from_json(&with).unwrap().build().unwrap();
+    }
+
+    #[test]
+    fn roaming_round_trips_and_bumps_the_version() {
+        let plain = tiny();
+        let compact = plain.encode(None).compact();
+        assert!(compact.contains("\"version\":3"), "{compact}");
+        let mut doc = tiny();
+        doc.roaming = Some(RoamingDoc {
+            mean_dwell_ms: 300,
+            reassoc_min_ms: 10,
+            reassoc_max_ms: 60,
+            rate_palette: Some(vec!["mcs15".into(), "mcs3".into()]),
+        });
+        let compact = doc.encode(None).compact();
+        assert!(compact.contains("\"version\":4"), "{compact}");
+        let back = ScenarioDoc::from_text(&doc.text(None)).unwrap();
+        assert_eq!(doc, back);
+        assert_ne!(doc.hash(), plain.hash());
+        // And the encoded form passes the real loader end to end.
+        doc.validate().unwrap();
     }
 
     #[test]

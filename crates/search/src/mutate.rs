@@ -16,7 +16,8 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use crate::doc::{
-    ChurnDoc, FaultDoc, FaultKindDoc, PolicyDoc, PolicyNodeDoc, ScenarioDoc, StationDoc, TrafficDoc,
+    ChurnDoc, FaultDoc, FaultKindDoc, PolicyDoc, PolicyNodeDoc, RoamingDoc, ScenarioDoc,
+    StationDoc, TrafficDoc,
 };
 
 /// Rates the mutators draw from — spans the anomaly-relevant range from
@@ -67,7 +68,7 @@ pub fn mutate(
 }
 
 fn apply_op(rng: &mut SmallRng, doc: &mut ScenarioDoc, other: Option<&ScenarioDoc>, cap: u64) {
-    match rng.gen_range(0..12u32) {
+    match rng.gen_range(0..13u32) {
         0 => perturb_fault_window(rng, doc),
         1 => perturb_fault_intensity(rng, doc),
         2 => add_fault(rng, doc),
@@ -78,7 +79,8 @@ fn apply_op(rng: &mut SmallRng, doc: &mut ScenarioDoc, other: Option<&ScenarioDo
         7 => mutate_traffic(rng, doc),
         8 => mutate_policy(rng, doc),
         9 => mutate_secs(rng, doc, cap),
-        10 => doc.seed = rng.gen(),
+        10 => mutate_roaming(rng, doc),
+        11 => doc.seed = rng.gen(),
         _ => match other {
             Some(o) => crossover(rng, doc, o),
             None => doc.seed = rng.gen(),
@@ -210,6 +212,43 @@ fn mutate_churn(rng: &mut SmallRng, doc: &mut ScenarioDoc) {
             max_stations: rng.gen_range(min_stations + 1..=n),
         });
     }
+}
+
+fn mutate_roaming(rng: &mut SmallRng, doc: &mut ScenarioDoc) {
+    if doc.roaming.is_some() && rng.gen_bool(0.25) {
+        doc.roaming = None;
+        return;
+    }
+    let mut r = doc.roaming.clone().unwrap_or(RoamingDoc {
+        mean_dwell_ms: 5000,
+        reassoc_min_ms: 20,
+        reassoc_max_ms: 80,
+        rate_palette: None,
+    });
+    match rng.gen_range(0..3u32) {
+        // Dwell spans per-window flapping to nearly-static.
+        0 => r.mean_dwell_ms = rng.gen_range(200..8000u64),
+        // Reassociation gap window (min ≤ max by construction).
+        1 => {
+            r.reassoc_min_ms = rng.gen_range(5..100u64);
+            r.reassoc_max_ms = r.reassoc_min_ms + rng.gen_range(0..400u64);
+        }
+        // Re-roll the arrival-rate palette, or drop it so stations keep
+        // their configured rates across hand-offs.
+        _ => {
+            r.rate_palette = if rng.gen_bool(0.3) {
+                None
+            } else {
+                let k = rng.gen_range(1..=3usize);
+                Some(
+                    (0..k)
+                        .map(|_| RATE_PALETTE[rng.gen_range(0..RATE_PALETTE.len())].to_string())
+                        .collect(),
+                )
+            };
+        }
+    }
+    doc.roaming = Some(r);
 }
 
 fn mutate_station(rng: &mut SmallRng, doc: &mut ScenarioDoc) {
@@ -425,7 +464,7 @@ fn mutate_secs(rng: &mut SmallRng, doc: &mut ScenarioDoc, cap: u64) {
 fn crossover(rng: &mut SmallRng, doc: &mut ScenarioDoc, other: &ScenarioDoc) {
     let n = doc.stations.len();
     let secs = doc.secs as f64;
-    match rng.gen_range(0..3u32) {
+    match rng.gen_range(0..4u32) {
         // Splice the partner's fault schedule in, re-fit to this roster.
         0 => {
             doc.faults = other
@@ -448,6 +487,8 @@ fn crossover(rng: &mut SmallRng, doc: &mut ScenarioDoc, other: &ScenarioDoc) {
                 c
             });
         }
+        // Take the partner's roaming schedule (roster-independent).
+        2 => doc.roaming = other.roaming.clone(),
         // Take the partner's policy, if its refs fit this roster.
         _ => {
             fn max_ref(nodes: &[PolicyNodeDoc]) -> usize {
@@ -547,6 +588,7 @@ mod tests {
                 ],
                 switches: Vec::new(),
             }),
+            roaming: None,
         }
     }
 

@@ -217,6 +217,7 @@ pub fn planted_doc() -> ScenarioDoc {
             nodes: equal_split(),
             switches: vec![(2.0, equal_split())],
         }),
+        roaming: None,
     }
 }
 

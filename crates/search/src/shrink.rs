@@ -112,6 +112,17 @@ pub fn shrink(
             }
         }
 
+        // Pass 4b: drop roaming — a counterexample that reproduces
+        // without hand-offs is strictly simpler.
+        if current.roaming.is_some() {
+            let mut cand = current.clone();
+            cand.roaming = None;
+            if accept(&mut current, cand, &mut still_fails) {
+                steps += 1;
+                changed = true;
+            }
+        }
+
         // Pass 5: drop stations, last first, remapping references.
         let mut i = current.stations.len();
         while i > 0 {
@@ -225,6 +236,7 @@ mod tests {
             ],
             churn: None,
             policy: None,
+            roaming: None,
         }
     }
 

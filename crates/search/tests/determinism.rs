@@ -46,6 +46,7 @@ fn failing_seed() -> ScenarioDoc {
         }],
         churn: None,
         policy: None,
+        roaming: None,
     }
 }
 

@@ -116,6 +116,7 @@ fn laden(
         faults,
         churn,
         policy,
+        roaming: None,
     }
 }
 

@@ -153,6 +153,25 @@ impl Registry {
         merged
     }
 
+    /// Merges histograms named `component`/`metric` whose label passes
+    /// `keep` — the filtered variant of [`Registry::hist_merged`], for
+    /// consumers that need quantiles over a label subset (e.g. per-AC
+    /// sojourn over `Label::Tid` slots of one access category).
+    pub fn hist_merged_where(
+        &self,
+        component: &str,
+        metric: &str,
+        keep: impl Fn(Label) -> bool,
+    ) -> Option<Histogram> {
+        let mut merged: Option<Histogram> = None;
+        for ((c, m, l), h) in &self.hists {
+            if *c == component && *m == metric && keep(*l) {
+                merged.get_or_insert_with(Histogram::default).merge(h);
+            }
+        }
+        merged
+    }
+
     /// Sums every counter named `component`/`metric` across labels.
     pub fn counter_total(&self, component: &str, metric: &str) -> u64 {
         self.counters

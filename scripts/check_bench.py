@@ -1,41 +1,55 @@
 #!/usr/bin/env python3
-"""Gate the hot-path benchmark trajectory against the checked-in baseline.
+"""Gate benchmark trajectories against checked-in baselines.
 
 Usage: check_bench.py <current.json> <baseline.json> [tolerance]
 
-Both files follow the BENCH_hotpath.json schema: a JSON array of
-{"case": str, "ns_per_op": float, "ops": int} rows.
+Two schemas are auto-detected from the rows' fields:
 
-Only the cases in GATED fail the build: a gated case regressing by more
-than `tolerance` (default 0.50 = +50% ns/op) over the baseline, or
-missing from the current run, exits 1. Everything else is reported for
-trend visibility but never fails — wall-clock microbenchmarks on shared
-CI runners are too noisy to gate broadly, and the baseline was captured
-on a different machine than the runner, so the gate is one headline
-number with a generous margin: it catches accidental O(n) reintroduction
-(multiple-times regressions), not percent-level drift.
+- **hotpath** (BENCH_hotpath.json): an array of
+  {"case": str, "ns_per_op": float, "ops": int} rows. Lower is better; a
+  gated case regressing by more than `tolerance` (default 0.50 = +50%
+  ns/op) over the baseline fails.
+- **scale** (BENCH_scale.json): an array of rows keyed by
+  (stations, shards, churn) carrying an end-to-end "pkts_per_wall_sec"
+  rate. Higher is better; a gated point falling below
+  `baseline * (1 - tolerance)` (default 0.60 = may lose 60%) fails.
+
+Only the cases in GATED_* fail the build; a gated case missing from the
+current run also exits 1. Everything else is reported for trend
+visibility but never fails — wall-clock benchmarks on shared CI runners
+are too noisy to gate broadly, and the baselines were captured on a
+different machine than the runner, so each gate is one headline number
+with a generous margin: it catches accidental O(n) reintroduction and
+serialisation of the shard fan-out (multiple-times regressions), not
+percent-level drift.
 """
 
 import json
 import sys
 
-GATED = ["fq_ns_per_pkt"]
+GATED_HOTPATH = ["fq_ns_per_pkt"]
+GATED_SCALE = ["100sta_2shard"]
+
+
+def scale_key(row):
+    churn = "_churn" if row.get("churn") else ""
+    return f"{row['stations']}sta_{row['shards']}shard{churn}"
 
 
 def load(path):
+    """Returns (mode, {case: value}) for either benchmark schema."""
     with open(path) as f:
         rows = json.load(f)
-    return {r["case"]: float(r["ns_per_op"]) for r in rows}
+    if rows and "pkts_per_wall_sec" in rows[0]:
+        return "scale", {scale_key(r): float(r["pkts_per_wall_sec"]) for r in rows}
+    return "hotpath", {r["case"]: float(r["ns_per_op"]) for r in rows}
 
 
-def main():
-    if len(sys.argv) < 3:
-        sys.exit(__doc__)
-    cur = load(sys.argv[1])
-    base = load(sys.argv[2])
-    tol = float(sys.argv[3]) if len(sys.argv) > 3 else 0.50
+def check(gated, cur, base, tol, better):
+    """Gates `gated` cases; returns True when any fail. `better` maps a
+    current/baseline ratio to "did not regress past tolerance"."""
     failed = False
-    for case in GATED:
+    for case in gated:
         if case not in base:
             print(f"note: gated case {case} not in baseline; skipping")
             continue
@@ -44,23 +58,43 @@ def main():
             failed = True
             continue
         ratio = cur[case] / base[case]
-        ok = ratio <= 1 + tol
+        ok = better(ratio, tol)
         status = "ok" if ok else "FAIL"
         failed = failed or not ok
         print(
             f"{status}: {case} baseline {base[case]:.1f} -> current "
-            f"{cur[case]:.1f} ns/op ({ratio:.2f}x, tolerance {1 + tol:.2f}x)"
+            f"{cur[case]:.1f} ({ratio:.2f}x, tolerance {tol:.2f})"
         )
     for case in sorted(cur):
-        if case in GATED:
+        if case in gated:
             continue
         if case in base:
             print(
                 f"info: {case} baseline {base[case]:.1f} -> current "
-                f"{cur[case]:.1f} ns/op ({cur[case] / base[case]:.2f}x)"
+                f"{cur[case]:.1f} ({cur[case] / base[case]:.2f}x)"
             )
         else:
-            print(f"info: {case} current {cur[case]:.1f} ns/op (new case)")
+            print(f"info: {case} current {cur[case]:.1f} (new case)")
+    return failed
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    mode, cur = load(sys.argv[1])
+    base_mode, base = load(sys.argv[2])
+    if mode != base_mode:
+        sys.exit(f"schema mismatch: current is {mode}, baseline is {base_mode}")
+    if mode == "scale":
+        tol = float(sys.argv[3]) if len(sys.argv) > 3 else 0.60
+        failed = check(
+            GATED_SCALE, cur, base, tol, lambda ratio, tol: ratio >= 1 - tol
+        )
+    else:
+        tol = float(sys.argv[3]) if len(sys.argv) > 3 else 0.50
+        failed = check(
+            GATED_HOTPATH, cur, base, tol, lambda ratio, tol: ratio <= 1 + tol
+        )
     sys.exit(1 if failed else 0)
 
 

@@ -4,7 +4,8 @@
 A Python mirror of `crates/experiments/src/scenario_file.rs`: every
 scenarios/*.json must parse, use only known fields, respect the
 versioning rules (v2 gates `faults` and `churn`, v3 gates `policy` and
-`provenance`), and carry well-formed fault windows and policy trees.
+`provenance`, v4 gates `roaming`), and carry well-formed fault windows,
+policy trees and roaming blocks.
 Searcher-found counterexamples under scenarios/found/ must additionally
 carry a `provenance` block naming the searcher seed, the violated
 objective and the shrink trail. The Rust side re-validates at load time
@@ -32,7 +33,7 @@ from pathlib import Path
 TOP_FIELDS = {
     "version", "scheme", "secs", "seed", "station_fq", "rate_control",
     "aql_ms", "stations", "traffic", "faults", "churn", "policy",
-    "provenance",
+    "provenance", "roaming",
 }
 STATION_FIELDS = {"rate", "error", "mcs_cliff", "weight"}
 TRAFFIC_FIELDS = {
@@ -54,6 +55,9 @@ FAULT_FIELDS = {
     "ack_loss": {"prob"},
 }
 CHURN_FIELDS = {"mean_interval_ms", "min_stations", "max_stations"}
+ROAMING_FIELDS = {
+    "mean_dwell_ms", "reassoc_min_ms", "reassoc_max_ms", "rate_palette",
+}
 POLICY_FIELDS = {"nodes", "switches"}
 POLICY_NODE_FIELDS = {"name", "weight", "classes", "stations", "nodes"}
 POLICY_SWITCH_FIELDS = {"at_secs", "nodes"}
@@ -62,7 +66,14 @@ PROVENANCE_FIELDS = {
     "searcher_seed", "objective", "score", "shrink_steps",
     "first_failing_bytes", "minimal_bytes",
 }
-OBJECTIVES = {"jain_dip", "latency_spike", "codel_flap", "convergence_blowout"}
+OBJECTIVES = {
+    "jain_dip",
+    "latency_spike",
+    "ac_p99_spike",
+    "mos_collapse",
+    "codel_flap",
+    "convergence_blowout",
+}
 SCHEMES = {"fifo", "fqcodel", "fqmac", "airtime"}
 # Legacy rates mirror the exact DSSS/OFDM set the Rust parser accepts;
 # `[0-9.]+mbps` would accept rates the loader rejects (e.g. 6.5mbps).
@@ -185,6 +196,31 @@ def check_policy(name, policy, stations):
         check_policy_tree(name, f"{where}.nodes", sw.get("nodes"), stations)
 
 
+def check_roaming(name, roaming):
+    """Mirror of RoamingSpec::decode + build in scenario_file.rs."""
+    if not isinstance(roaming, dict):
+        fail(f"{name}: roaming must be an object")
+    for key in roaming:
+        if key not in ROAMING_FIELDS:
+            fail(f"{name}: roaming: unknown field {key!r}")
+    for field, default in (
+        ("mean_dwell_ms", 5000), ("reassoc_min_ms", 20), ("reassoc_max_ms", 80),
+    ):
+        v = roaming.get(field, default)
+        if not (isinstance(v, int) and not isinstance(v, bool) and v >= 0):
+            fail(f"{name}: roaming: `{field}` must be a non-negative integer")
+    if roaming.get("mean_dwell_ms", 5000) < 1:
+        fail(f"{name}: roaming: mean_dwell_ms must be positive")
+    if roaming.get("reassoc_min_ms", 20) > roaming.get("reassoc_max_ms", 80):
+        fail(f"{name}: roaming: reassoc_min_ms must not exceed reassoc_max_ms")
+    palette = roaming.get("rate_palette")
+    if palette is not None:
+        if not isinstance(palette, list) or not palette:
+            fail(f"{name}: roaming: rate_palette must be a non-empty array")
+        for i, rate in enumerate(palette):
+            check_rate(name, f"roaming.rate_palette[{i}]", rate)
+
+
 def check_provenance(name, prov):
     """Mirror of ProvenanceSpec::decode in scenario_file.rs."""
     if not isinstance(prov, dict):
@@ -220,7 +256,7 @@ def check_scenario(path, require_provenance=False):
         if key not in TOP_FIELDS:
             fail(f"{name}: unknown top-level field {key!r}")
     version = sc.get("version", 1)
-    if version not in (1, 2, 3):
+    if version not in (1, 2, 3, 4):
         fail(f"{name}: unsupported version {version}")
     if version < 2:
         for gated in ("faults", "churn"):
@@ -230,6 +266,8 @@ def check_scenario(path, require_provenance=False):
         for gated in ("policy", "provenance"):
             if gated in sc:
                 fail(f"{name}: `{gated}` requires \"version\": 3")
+    if version < 4 and "roaming" in sc:
+        fail(f"{name}: `roaming` requires \"version\": 4")
     if sc.get("scheme", "airtime") not in SCHEMES:
         fail(f"{name}: unknown scheme {sc.get('scheme')!r}")
     stations = sc.get("stations")
@@ -270,12 +308,20 @@ def check_scenario(path, require_provenance=False):
     policy = sc.get("policy")
     if policy is not None:
         check_policy(name, policy, len(stations))
+    roaming = sc.get("roaming")
+    if roaming is not None:
+        check_roaming(name, roaming)
     prov = sc.get("provenance")
     if prov is not None:
         check_provenance(name, prov)
     elif require_provenance:
         fail(f"{name}: found/ counterexamples must carry a `provenance` block")
-    return len(sc.get("faults", [])), churn is not None, policy is not None
+    return (
+        len(sc.get("faults", [])),
+        churn is not None,
+        policy is not None,
+        roaming is not None,
+    )
 
 
 def run_fixtures(fixture_dir):
@@ -329,18 +375,20 @@ def main():
         faults = 0
         churned = 0
         policied = 0
+        roamed = 0
         for path in files:
-            nfaults, has_churn, has_policy = check_scenario(path)
+            nfaults, has_churn, has_policy, has_roaming = check_scenario(path)
             faults += nfaults
             churned += has_churn
             policied += has_policy
+            roamed += has_roaming
         found = sorted((scenario_dir / "found").glob("*.json"))
         for path in found:
             check_scenario(path, require_provenance=True)
         print(
             f"check_scenarios: OK: {len(files)} scenarios, "
             f"{faults} fault entries, {churned} churned, {policied} with "
-            f"policies, {len(found)} found counterexamples"
+            f"policies, {roamed} roaming, {len(found)} found counterexamples"
         )
     except CheckError as e:
         print(f"check_scenarios: FAIL: {e}", file=sys.stderr)

@@ -24,6 +24,9 @@
 //!   cache, journal),
 //! - [`scale`](mod@crate::scale) — deterministic station churn and the
 //!   sharded multi-BSS engine with cross-shard telemetry rollup,
+//! - [`roam`](mod@crate::roam) — seeded inter-BSS roaming: mid-flow
+//!   hand-offs that migrate queued downlink state across the shard set
+//!   under a windowed-lockstep determinism guarantee,
 //! - [`chaos`](mod@crate::chaos) — deterministic seeded fault injection
 //!   (burst loss, rate collapse, stalls, backpressure, ACK loss) driven
 //!   by a declarative fault schedule,
@@ -46,6 +49,7 @@ pub use wifiq_model as model;
 pub use wifiq_phy as phy;
 pub use wifiq_policy as policy;
 pub use wifiq_qdisc as qdisc;
+pub use wifiq_roam as roam;
 pub use wifiq_scale as scale;
 pub use wifiq_sim as sim;
 pub use wifiq_stats as stats;
