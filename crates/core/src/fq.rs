@@ -21,7 +21,7 @@ use wifiq_telemetry::{
     CounterHandle, DropReason, EventKind, GaugeHandle, HistHandle, Label, Telemetry,
 };
 
-use crate::packet::{FqPacket, TidHandle};
+use crate::packet::{FqPacket, PacketArena, PacketFifo, TidHandle};
 
 /// Sentinel for "this flow is not in the backlog heap".
 const NOT_IN_HEAP: usize = usize::MAX;
@@ -80,8 +80,10 @@ enum Membership {
 }
 
 #[derive(Debug)]
-struct Flow<P> {
-    queue: VecDeque<P>,
+struct Flow {
+    /// The flow's packets, threaded through [`MacFq`]'s shared arena — the
+    /// list head/tail/len is 12 bytes; no per-flow buffer exists.
+    queue: PacketFifo,
     backlog_bytes: u64,
     deficit: i64,
     codel: CodelState,
@@ -94,10 +96,10 @@ struct Flow<P> {
     heap_pos: usize,
 }
 
-impl<P> Flow<P> {
-    fn new() -> Flow<P> {
+impl Flow {
+    fn new() -> Flow {
         Flow {
-            queue: VecDeque::new(),
+            queue: PacketFifo::new(),
             backlog_bytes: 0,
             deficit: 0,
             codel: CodelState::new(),
@@ -108,9 +110,11 @@ impl<P> Flow<P> {
     }
 }
 
-/// Adapter giving CoDel a head-droppable view of one flow queue.
+/// Adapter giving CoDel a head-droppable view of one arena-backed flow
+/// queue.
 struct FlowQueueRef<'a, P> {
-    queue: &'a mut VecDeque<P>,
+    arena: &'a mut PacketArena<P>,
+    queue: &'a mut PacketFifo,
     backlog_bytes: &'a mut u64,
 }
 
@@ -118,7 +122,7 @@ impl<P: QueuedPacket> CodelQueue for FlowQueueRef<'_, P> {
     type Packet = P;
 
     fn pop_head(&mut self) -> Option<P> {
-        let pkt = self.queue.pop_front()?;
+        let pkt = self.queue.pop_front(self.arena)?;
         *self.backlog_bytes -= pkt.wire_len();
         Some(pkt)
     }
@@ -248,7 +252,10 @@ pub struct FqStats {
 #[derive(Debug)]
 pub struct MacFq<P> {
     params: FqParams,
-    flows: Vec<Flow<P>>,
+    /// Shared packet storage: every queued packet lives here exactly once;
+    /// flow queues are intrusive lists of 4-byte slot links.
+    arena: PacketArena<P>,
+    flows: Vec<Flow>,
     tids: Vec<TidState>,
     /// Indices of flows that currently hold packets, arranged as a binary
     /// max-heap on `backlog_bytes` with each flow's slot stored
@@ -267,6 +274,9 @@ pub struct MacFq<P> {
     /// Names this instance in metric keys ("fq" at the AP; the client-side
     /// structure uses "client_fq").
     component: &'static str,
+    /// `flows - 1` when the pool size is a power of two, letting the
+    /// enqueue path replace the hash modulo with a mask.
+    hash_mask: Option<u64>,
 }
 
 impl<P: FqPacket> MacFq<P> {
@@ -280,6 +290,7 @@ impl<P: FqPacket> MacFq<P> {
         assert!(params.limit > 0, "global limit must be positive");
         MacFq {
             params,
+            arena: PacketArena::new(),
             flows: (0..params.flows).map(|_| Flow::new()).collect(),
             tids: Vec::new(),
             heap: Vec::new(),
@@ -289,6 +300,10 @@ impl<P: FqPacket> MacFq<P> {
             tele: Telemetry::disabled(),
             fq_tele: FqTele::default(),
             component: "fq",
+            hash_mask: params
+                .flows
+                .is_power_of_two()
+                .then(|| params.flows as u64 - 1),
         }
     }
 
@@ -416,7 +431,7 @@ impl<P: FqPacket> MacFq<P> {
         for fi in new_flows.drain(..).chain(old_flows.drain(..)) {
             let flow = &mut self.flows[fi];
             debug_assert_eq!(flow.tid, Some(ti), "flow on a foreign TID list");
-            while let Some(pkt) = flow.queue.pop_front() {
+            while let Some(pkt) = flow.queue.pop_front(&mut self.arena) {
                 flow.backlog_bytes -= pkt.wire_len();
                 removed_bytes += pkt.wire_len();
                 removed += 1;
@@ -477,15 +492,22 @@ impl<P: FqPacket> MacFq<P> {
         self.params
     }
 
+    /// Live packets in the shared arena. Always equals
+    /// [`MacFq::total_packets`]; exposed separately so teardown tests can
+    /// assert the arena itself drains to zero (no leaked slots).
+    pub fn arena_live(&self) -> usize {
+        self.arena.live()
+    }
+
     /// Capacity probe for the churn-reuse tests: (new-list, old-list,
-    /// overflow-queue) capacities for one TID slot.
+    /// packet-arena) capacities for one TID slot.
     #[doc(hidden)]
     pub fn churn_capacity_probe(&self, tid: TidHandle) -> (usize, usize, usize) {
         let t = &self.tids[tid.0];
         (
             t.new_flows.capacity(),
             t.old_flows.capacity(),
-            self.flows[t.overflow_flow].queue.capacity(),
+            self.arena.capacity(),
         )
     }
 
@@ -500,7 +522,7 @@ impl<P: FqPacket> MacFq<P> {
         let mut total = 0usize;
         for (fi, flow) in self.flows.iter().enumerate() {
             total += flow.queue.len();
-            let bytes: u64 = flow.queue.iter().map(|p| p.wire_len()).sum();
+            let bytes: u64 = flow.queue.iter(&self.arena).map(|p| p.wire_len()).sum();
             assert_eq!(
                 bytes, flow.backlog_bytes,
                 "flow {fi}: backlog_bytes drifted"
@@ -526,6 +548,11 @@ impl<P: FqPacket> MacFq<P> {
             }
         }
         assert_eq!(total, self.total_packets, "total_packets drifted");
+        assert_eq!(
+            self.arena.live(),
+            self.total_packets,
+            "arena live count drifted from total_packets"
+        );
         for (i, &fi) in self.heap.iter().enumerate() {
             assert!(
                 !self.flows[fi].queue.is_empty(),
@@ -671,7 +698,7 @@ impl<P: FqPacket> MacFq<P> {
     fn drop_from_longest(&mut self, now: Nanos) -> Option<P> {
         let fi = self.find_longest_queue()?;
         let flow = &mut self.flows[fi];
-        let pkt = flow.queue.pop_front()?;
+        let pkt = flow.queue.pop_front(&mut self.arena)?;
         flow.backlog_bytes -= pkt.wire_len();
         self.total_packets -= 1;
         self.stats.drops_overlimit += 1;
@@ -745,8 +772,12 @@ impl<P: FqPacket> MacFq<P> {
         };
 
         // Hash to a queue; on cross-TID collision use the overflow queue
-        // (lines 5–8).
-        let mut fi = (pkt.flow_hash() % self.params.flows as u64) as usize;
+        // (lines 5–8). A power-of-two pool reduces to a mask.
+        let hash = pkt.flow_hash();
+        let mut fi = match self.hash_mask {
+            Some(mask) => (hash & mask) as usize,
+            None => (hash % self.params.flows as u64) as usize,
+        };
         if self.flows[fi].tid.is_some_and(|t| t != ti) {
             fi = self.tids[ti].overflow_flow;
             self.stats.collisions += 1;
@@ -757,7 +788,7 @@ impl<P: FqPacket> MacFq<P> {
         // Append and activate (lines 9–12).
         let len = pkt.wire_len();
         let flow = &mut self.flows[fi];
-        flow.queue.push_back(pkt);
+        flow.queue.push_back(&mut self.arena, pkt);
         flow.backlog_bytes += len;
         self.total_packets += 1;
         self.stats.enqueued += 1;
@@ -837,6 +868,7 @@ impl<P: FqPacket> MacFq<P> {
             let pkt = {
                 let flow = &mut self.flows[fi];
                 let mut qref = FlowQueueRef {
+                    arena: &mut self.arena,
                     queue: &mut flow.queue,
                     backlog_bytes: &mut flow.backlog_bytes,
                 };
@@ -1220,7 +1252,7 @@ mod tests {
         }
         let before = fq.churn_capacity_probe(tid_b);
         assert!(before.0 >= 99, "new-flows list never grew: {before:?}");
-        assert!(before.2 >= 1, "overflow queue never grew: {before:?}");
+        assert!(before.2 >= 101, "packet arena never grew: {before:?}");
 
         fq.unregister_tid(tid_b, now);
         // LIFO slot reuse: the fresh handle revives tid_b's slot, and the
@@ -1265,6 +1297,60 @@ mod tests {
         assert!(fq.stats.drops_overlimit > 0, "never hit the global limit");
         fq.unregister_tid(tid_b, now);
         fq.check_invariants();
+        // Teardown: drain the survivor and audit the arena directly —
+        // every packet that ever entered must have left its slot.
+        while fq.dequeue(tid_a, now, &params()).is_some() {}
+        fq.unregister_tid(tid_a, now);
+        fq.check_invariants();
+        assert_eq!(fq.arena_live(), 0, "drained structure leaked arena slots");
+    }
+
+    #[test]
+    fn arena_drains_to_zero_after_tid_churn() {
+        // Repeated register / load / partial-drain / unregister cycles:
+        // unregister discards a TID's backlog mid-flow, the path most
+        // likely to strand an arena slot. After every cycle the arena
+        // must hold exactly the packets the counters say it does, and a
+        // fully torn-down structure must hold none.
+        let mut fq = MacFq::new(FqParams {
+            flows: 16,
+            limit: 256,
+            quantum: 300,
+            ..FqParams::default()
+        });
+        let mut now = Nanos::ZERO;
+        for cycle in 0..20u64 {
+            let tid = fq.register_tid();
+            for seq in 0..40 {
+                fq.enqueue(pkt((cycle * 13 + seq as u64) % 9, now, seq), tid, now);
+            }
+            now += Nanos::from_millis(1);
+            // Drain only part of the backlog, so unregister must free
+            // the remainder through the arena.
+            for _ in 0..(cycle % 41) {
+                fq.dequeue(tid, now, &params());
+            }
+            fq.unregister_tid(tid, now);
+            fq.check_invariants();
+            assert_eq!(
+                fq.arena_live(),
+                0,
+                "cycle {cycle} left packets stranded in the arena"
+            );
+        }
+        // Steady-state churn must recycle slots, not grow the slab.
+        let tid = fq.register_tid();
+        let cap = fq.churn_capacity_probe(tid).2;
+        for seq in 0..40 {
+            fq.enqueue(pkt(seq as u64 % 9, now, seq), tid, now);
+        }
+        while fq.dequeue(tid, now, &params()).is_some() {}
+        assert_eq!(
+            fq.churn_capacity_probe(tid).2,
+            cap,
+            "steady-state churn grew the packet arena"
+        );
+        assert_eq!(fq.arena_live(), 0);
     }
 
     #[test]

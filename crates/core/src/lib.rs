@@ -22,5 +22,7 @@ pub mod packet;
 pub mod scheduler;
 
 pub use fq::{FqParams, FqStats, MacFq};
-pub use packet::{FqPacket, QueuedPacket, StationHandle, TidHandle};
+pub use packet::{
+    FqPacket, PacketArena, PacketFifo, PacketHandle, QueuedPacket, StationHandle, TidHandle,
+};
 pub use scheduler::{AirtimeParams, AirtimeScheduler, AirtimeStats, QOS_LEVELS, WEIGHT_NEUTRAL};

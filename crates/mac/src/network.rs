@@ -345,6 +345,16 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
         self.ap.backlog()
     }
 
+    /// Packets live across every packet arena in the network — the AP
+    /// path's plus each station uplink's. Backlogs count stashed and
+    /// in-flight frames that live outside the arenas, so this is the
+    /// stricter teardown check: once all queues report empty, any
+    /// nonzero residue here is a leaked arena slot (a packet removed
+    /// from every list but never freed).
+    pub fn arena_live(&self) -> usize {
+        self.ap.arena_live() + self.stations.iter().map(|s| s.arena_live()).sum::<usize>()
+    }
+
     /// Packets dropped at AP queueing layers (tail/overlimit drops).
     pub fn ap_queue_drops(&self) -> u64 {
         self.ap.queue_drops
@@ -624,38 +634,43 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
         // each event, so the Vecs' capacity is reused instead of
         // reallocated per event.
         let mut cmds = Commands::new();
-        while let Some(t) = self.queue.peek_time() {
-            if t > until {
-                break;
-            }
-            let (now, ev) = self.queue.pop().expect("peeked event vanished");
-            self.events_processed += 1;
-            debug_assert!(cmds.is_empty(), "command buffer not drained");
-            match ev {
-                Event::WireToAp(mut pkt) => {
-                    if !self.station_active(pkt.wireless_peer()) {
-                        // Addressed to a departed (or never-associated)
-                        // station: the AP has no client to send it to.
-                        self.absent_drops += 1;
-                    } else {
-                        pkt.enqueued = now;
-                        let ac = pkt.ac;
-                        self.ap.enqueue(pkt, now);
-                        self.ap_schedule(ac, now);
+        // Same-tick events are drained in one `pop_tick` call and dispatched
+        // from this batch buffer, so a burst of co-timed deliveries costs a
+        // single wheel settle instead of one pop per event. Events a handler
+        // pushes *at* the current tick are picked up by the next `pop_tick`;
+        // they carry larger seqs than everything batched here, so dispatch
+        // order is identical to the one-pop-at-a-time loop.
+        let mut batch = Vec::new();
+        while let Some(now) = self.queue.pop_tick(until, &mut batch) {
+            for ev in batch.drain(..) {
+                self.events_processed += 1;
+                debug_assert!(cmds.is_empty(), "command buffer not drained");
+                match ev {
+                    Event::WireToAp(mut pkt) => {
+                        if !self.station_active(pkt.wireless_peer()) {
+                            // Addressed to a departed (or never-associated)
+                            // station: the AP has no client to send it to.
+                            self.absent_drops += 1;
+                        } else {
+                            pkt.enqueued = now;
+                            let ac = pkt.ac;
+                            self.ap.enqueue(pkt, now);
+                            self.ap_schedule(ac, now);
+                        }
+                    }
+                    Event::WireToServer(pkt) => {
+                        app.on_packet(Delivery::AtServer, pkt, now, &mut cmds);
+                    }
+                    Event::AppTimer(token) => {
+                        app.on_timer(token, now, &mut cmds);
+                    }
+                    Event::TxEnd => {
+                        self.handle_tx_end(now, app, &mut cmds);
                     }
                 }
-                Event::WireToServer(pkt) => {
-                    app.on_packet(Delivery::AtServer, pkt, now, &mut cmds);
-                }
-                Event::AppTimer(token) => {
-                    app.on_timer(token, now, &mut cmds);
-                }
-                Event::TxEnd => {
-                    self.handle_tx_end(now, app, &mut cmds);
-                }
+                self.apply(&mut cmds, now);
+                self.try_contend(now);
             }
-            self.apply(&mut cmds, now);
-            self.try_contend(now);
         }
     }
 

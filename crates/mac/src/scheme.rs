@@ -75,6 +75,13 @@ impl<M> LegacyQdisc<M> {
             LegacyQdisc::FqCodel(q) => q.len(),
         }
     }
+
+    fn arena_live(&self) -> usize {
+        match self {
+            LegacyQdisc::Pfifo(q) => q.arena_live(),
+            LegacyQdisc::FqCodel(q) => q.arena_live(),
+        }
+    }
 }
 
 enum StaSched {
@@ -477,6 +484,17 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
                 qdisc, buf_total, ..
             } => qdisc.len() + buf_total,
             PathInner::Fq { fq, .. } => fq.total_packets(),
+        }
+    }
+
+    /// Packets live in the path's packet arena — the teardown audit's
+    /// counterpart to [`ApTxPath::backlog`]. Stashed frames and driver
+    /// FIFOs hold owned packets outside the arena, so after a full drain
+    /// this must be exactly zero: any residue is a leaked arena slot.
+    pub fn arena_live(&self) -> usize {
+        match &self.inner {
+            PathInner::Legacy { qdisc, .. } => qdisc.arena_live(),
+            PathInner::Fq { fq, .. } => fq.arena_live(),
         }
     }
 

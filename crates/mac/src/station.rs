@@ -25,6 +25,10 @@ const FRAME_POOL_CAP: usize = 8;
 /// The client's uplink queueing: the stock per-AC FIFO, or the paper's
 /// FQ-CoDel structure ("WiFi client devices can also benefit from the
 /// proposed queueing structure").
+// One instance exists per station and `fq` sits on the per-packet
+// path; boxing the large variant would trade a few one-off bytes for
+// an extra pointer chase per packet.
+#[allow(clippy::large_enum_variant)]
 enum UplinkQueues<M> {
     Fifo {
         queues: [VecDeque<Packet<M>>; AccessCategory::COUNT],
@@ -77,6 +81,13 @@ impl<M: std::fmt::Debug> UplinkQueues<M> {
         match self {
             UplinkQueues::Fifo { queues, .. } => queues.iter().map(|q| q.len()).sum(),
             UplinkQueues::Fq { fq, .. } => fq.total_packets(),
+        }
+    }
+
+    fn arena_live(&self) -> usize {
+        match self {
+            UplinkQueues::Fifo { .. } => 0,
+            UplinkQueues::Fq { fq, .. } => fq.arena_live(),
         }
     }
 }
@@ -195,6 +206,14 @@ impl<M: std::fmt::Debug> StationUplink<M> {
                 .iter()
                 .map(|p| p.as_ref().map_or(0, |a| a.frames.len()))
                 .sum::<usize>()
+    }
+
+    /// Packets live in the uplink's packet arena (zero for the FIFO
+    /// uplink, which owns its packets directly). Stash and pending
+    /// aggregates hold owned packets outside the arena, so a fully
+    /// drained station must report exactly zero.
+    pub fn arena_live(&self) -> usize {
+        self.queues.arena_live()
     }
 
     /// The highest-priority access category with traffic ready to

@@ -11,11 +11,9 @@
 //! Under the FQ-MAC and Airtime schemes, the qdisc layer is bypassed
 //! entirely (Figure 3: "Qdisc layer (bypassed)").
 
-use std::collections::VecDeque;
-
 use wifiq_codel::CodelParams;
 use wifiq_core::fq::{FqParams, MacFq};
-use wifiq_core::packet::{FqPacket, TidHandle};
+use wifiq_core::packet::{FqPacket, PacketArena, PacketFifo, TidHandle};
 use wifiq_sim::Nanos;
 
 /// A queueing discipline installed on a network interface.
@@ -37,9 +35,14 @@ pub trait Qdisc<P> {
 }
 
 /// The default Linux `pfifo` qdisc: a tail-drop FIFO with a packet limit.
+///
+/// Packets live in a generational [`PacketArena`]; the FIFO itself is an
+/// intrusive list of slot links, so steady-state traffic recycles slots
+/// instead of growing or reallocating a buffer.
 #[derive(Debug)]
 pub struct PfifoQdisc<P> {
-    queue: VecDeque<P>,
+    arena: PacketArena<P>,
+    queue: PacketFifo,
     limit: usize,
     /// Packets dropped at the tail because the queue was full.
     pub tail_drops: u64,
@@ -54,7 +57,8 @@ impl<P> PfifoQdisc<P> {
     pub fn new(limit: usize) -> PfifoQdisc<P> {
         assert!(limit > 0, "pfifo limit must be positive");
         PfifoQdisc {
-            queue: VecDeque::new(),
+            arena: PacketArena::new(),
+            queue: PacketFifo::new(),
             limit,
             tail_drops: 0,
         }
@@ -65,18 +69,24 @@ impl<P> PfifoQdisc<P> {
         PfifoQdisc::new(1000)
     }
 
+    /// Live packets in the backing arena (equals [`Qdisc::len`]; exposed
+    /// so teardown tests can assert no slots leak).
+    pub fn arena_live(&self) -> usize {
+        self.arena.live()
+    }
+
     /// Removes and returns every queued packet matching `keep_out`, in
     /// FIFO order, leaving the rest in their original order. Used by the
     /// roaming hand-off to pull a departing station's frames out of a
     /// shared qdisc so they can follow it to the target BSS.
     pub fn drain_matching(&mut self, mut keep_out: impl FnMut(&P) -> bool) -> Vec<P> {
         let mut out = Vec::new();
-        let mut kept = VecDeque::with_capacity(self.queue.len());
-        for pkt in self.queue.drain(..) {
+        let mut kept = PacketFifo::new();
+        while let Some(pkt) = self.queue.pop_front(&mut self.arena) {
             if keep_out(&pkt) {
                 out.push(pkt);
             } else {
-                kept.push_back(pkt);
+                kept.push_back(&mut self.arena, pkt);
             }
         }
         self.queue = kept;
@@ -90,12 +100,12 @@ impl<P> Qdisc<P> for PfifoQdisc<P> {
             self.tail_drops += 1;
             return Some(pkt);
         }
-        self.queue.push_back(pkt);
+        self.queue.push_back(&mut self.arena, pkt);
         None
     }
 
     fn dequeue(&mut self, _now: Nanos) -> Option<P> {
-        self.queue.pop_front()
+        self.queue.pop_front(&mut self.arena)
     }
 
     fn len(&self) -> usize {
@@ -135,6 +145,11 @@ impl<P> PfifoFastQdisc<P> {
     /// Packets tail-dropped across all bands.
     pub fn tail_drops(&self) -> u64 {
         self.bands.iter().map(|b| b.tail_drops).sum()
+    }
+
+    /// Live packets across all band arenas (equals [`Qdisc::len`]).
+    pub fn arena_live(&self) -> usize {
+        self.bands.iter().map(|b| b.arena_live()).sum()
     }
 
     /// Removes and returns every queued packet matching `keep_out`, in
@@ -209,6 +224,12 @@ impl<P: FqPacket> FqCodelQdisc<P> {
     /// Packets dropped on overlimit (from the longest queue) so far.
     pub fn overlimit_drops(&self) -> u64 {
         self.fq.stats.drops_overlimit
+    }
+
+    /// Live packets in the underlying FQ structure's arena (equals
+    /// [`Qdisc::len`]).
+    pub fn arena_live(&self) -> usize {
+        self.fq.arena_live()
     }
 }
 

@@ -17,6 +17,8 @@ pub mod event;
 pub mod rng;
 pub mod time;
 
+#[doc(hidden)]
+pub use event::ReferenceQueue;
 pub use event::{EventId, EventQueue};
 pub use rng::SimRng;
 pub use time::Nanos;

@@ -1,8 +1,11 @@
 //! Property tests for the event queue's core guarantees: time ordering,
-//! FIFO tie-breaking, and cancellation consistency.
+//! FIFO tie-breaking, and cancellation consistency — plus the event-order
+//! oracle that drives the timing wheel and the pre-wheel two-lane heap
+//! (`ReferenceQueue`) through identical schedules and demands identical
+//! behaviour.
 
 use proptest::prelude::*;
-use wifiq_sim::{EventQueue, Nanos};
+use wifiq_sim::{EventQueue, Nanos, ReferenceQueue};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -123,5 +126,159 @@ proptest! {
             prop_assert!(!q.cancel(*id));
         }
         prop_assert_eq!(q.len(), 0);
+    }
+}
+
+/// One step of an oracle schedule. Deltas are drawn from a mix of ranges so
+/// shrunk failures stay readable while full runs still reach every admission
+/// path: zero (same-timestamp chains), small (level-0 churn), medium
+/// (multi-level cascades), and beyond-horizon (the overflow heap).
+#[derive(Debug, Clone)]
+enum OracleOp {
+    Push(u64),
+    Pop,
+    PopTick,
+    Cancel(usize),
+}
+
+fn oracle_op_strategy() -> impl Strategy<Value = OracleOp> {
+    fn delta() -> impl Strategy<Value = u64> {
+        prop_oneof![
+            Just(0u64),
+            1u64..200,
+            1u64..(1 << 22),
+            (1u64 << 40)..(1 << 44),
+        ]
+    }
+    // The vendored proptest has no weighted arms; repetition biases the mix
+    // toward pushes so queues grow deep enough to exercise every level.
+    prop_oneof![
+        delta().prop_map(OracleOp::Push),
+        delta().prop_map(OracleOp::Push),
+        Just(OracleOp::Pop),
+        Just(OracleOp::PopTick),
+        (0usize..64).prop_map(OracleOp::Cancel),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The event-order oracle: the timing wheel and the pre-wheel two-lane
+    /// heap run the same interleaved push/pop/cancel schedule and must agree
+    /// on every observable — pop sequence (time *and* payload, so FIFO
+    /// tie-breaks match exactly), clock, live count, peeked head, and cancel
+    /// outcomes. `PopTick` additionally checks that a wheel batch equals the
+    /// reference queue popped one event at a time, including the
+    /// front-lane-breaking pattern (out-of-order push after an in-order run)
+    /// that forces the old implementation to spill.
+    #[test]
+    fn wheel_matches_reference_queue(
+        ops in proptest::collection::vec(oracle_op_strategy(), 1..400),
+    ) {
+        let mut wheel: EventQueue<u64> = EventQueue::new();
+        let mut oracle: ReferenceQueue<u64> = ReferenceQueue::new();
+        // Both queues see pushes in the same order, so the i-th push gets
+        // the same internal seq in each; ids are paired by push index.
+        let mut live_ids = Vec::new();
+        let mut payload = 0u64;
+        let mut batch = Vec::new();
+
+        for op in ops {
+            match op {
+                OracleOp::Push(delta) => {
+                    let at = wheel.now() + Nanos::from_nanos(delta);
+                    let wid = wheel.push(at, payload);
+                    let oid = oracle.push(at, payload);
+                    live_ids.push((payload, wid, oid));
+                    payload += 1;
+                }
+                OracleOp::Pop => {
+                    let got = wheel.pop();
+                    prop_assert_eq!(got, oracle.pop(), "pop sequence diverged");
+                    if let Some((_, p)) = got {
+                        live_ids.retain(|&(pl, _, _)| pl != p);
+                    }
+                }
+                OracleOp::PopTick => {
+                    batch.clear();
+                    match wheel.pop_tick(Nanos(u64::MAX), &mut batch) {
+                        None => prop_assert_eq!(oracle.peek_time(), None),
+                        Some(t) => {
+                            // The batch must be exactly what the oracle
+                            // yields popping one event at a time at `t`.
+                            for p in &batch {
+                                prop_assert_eq!(oracle.pop(), Some((t, *p)));
+                                live_ids.retain(|&(pl, _, _)| pl != *p);
+                            }
+                            prop_assert!(
+                                oracle.peek_time() != Some(t),
+                                "pop_tick left same-tick events behind"
+                            );
+                        }
+                    }
+                }
+                OracleOp::Cancel(i) => {
+                    if !live_ids.is_empty() {
+                        let (_, wid, oid) = live_ids.remove(i % live_ids.len());
+                        prop_assert_eq!(wheel.cancel(wid), oracle.cancel(oid));
+                    }
+                }
+            }
+            prop_assert_eq!(wheel.len(), oracle.len(), "live count diverged");
+            prop_assert_eq!(wheel.now(), oracle.now(), "clock diverged");
+            prop_assert_eq!(wheel.peek_time(), oracle.peek_time());
+        }
+
+        // Drain both to the end: the tails must agree event for event.
+        loop {
+            let got = wheel.pop();
+            prop_assert_eq!(got, oracle.pop());
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// The exact front-lane-breaking shape from the old unit suite
+    /// (`out_of_order_push_spills_front_lane`), generalised: an in-order run
+    /// followed by an earlier push, repeated — the wheel must interleave
+    /// them exactly as the reference queue does.
+    #[test]
+    fn spill_patterns_match_reference(
+        runs in proptest::collection::vec(
+            (proptest::collection::vec(0u64..5_000, 1..8), 0u64..5_000),
+            1..20,
+        ),
+    ) {
+        let mut wheel: EventQueue<u32> = EventQueue::new();
+        let mut oracle: ReferenceQueue<u32> = ReferenceQueue::new();
+        let mut payload = 0u32;
+        for (in_order, early) in runs {
+            // Ascending lane-friendly pushes...
+            let mut at = wheel.now();
+            for step in in_order {
+                at += Nanos(step);
+                wheel.push(at, payload);
+                oracle.push(at, payload);
+                payload += 1;
+            }
+            // ...then one push that lands before the lane's tail.
+            let spill_at = wheel.now() + Nanos(early);
+            wheel.push(spill_at, payload);
+            oracle.push(spill_at, payload);
+            payload += 1;
+            // Drain a couple to advance the clock mid-pattern.
+            for _ in 0..2 {
+                prop_assert_eq!(wheel.pop(), oracle.pop());
+            }
+        }
+        loop {
+            let got = wheel.pop();
+            prop_assert_eq!(got, oracle.pop());
+            if got.is_none() {
+                break;
+            }
+        }
     }
 }

@@ -6,9 +6,10 @@ Usage: check_bench.py <current.json> <baseline.json> [tolerance]
 Two schemas are auto-detected from the rows' fields:
 
 - **hotpath** (BENCH_hotpath.json): an array of
-  {"case": str, "ns_per_op": float, "ops": int} rows. Lower is better; a
-  gated case regressing by more than `tolerance` (default 0.50 = +50%
-  ns/op) over the baseline fails.
+  {"case": str, "ns_per_op": float, "ops": int} rows, plus throughput
+  rows carrying "rate_per_s" instead of "ns_per_op". ns/op rows gate
+  lower-is-better (fail past `tolerance`, default 0.50 = +50% ns/op);
+  rate rows gate higher-is-better (fail below `1 - tolerance`).
 - **scale** (BENCH_scale.json): an array of rows keyed by
   (stations, shards, churn) carrying an end-to-end "pkts_per_wall_sec"
   rate. Higher is better; a gated point falling below
@@ -18,22 +19,48 @@ Only the cases in GATED_* fail the build; a gated case missing from the
 current run also exits 1. Everything else is reported for trend
 visibility but never fails — wall-clock benchmarks on shared CI runners
 are too noisy to gate broadly, and the baselines were captured on a
-different machine than the runner, so each gate is one headline number
+different machine than the runner, so each gate is a headline number
 with a generous margin: it catches accidental O(n) reintroduction and
 serialisation of the shard fan-out (multiple-times regressions), not
 percent-level drift.
+
+The hotpath mode additionally enforces RATIO_GATES_HOTPATH: same-run
+case-pair floors that are machine-independent because both sides were
+measured by the same binary on the same machine. The shipped pair pins
+the timing wheel's spill-schedule speedup over the retained pre-wheel
+reference heap at >= 2x.
 """
 
 import json
 import sys
 
-GATED_HOTPATH = ["fq_ns_per_pkt"]
-GATED_SCALE = ["100sta_2shard"]
+# case -> direction. "lower": ns/op, regression = ratio above 1 + tol.
+# "higher": rate, regression = ratio below 1 - tol.
+GATED_HOTPATH = {
+    "fq_ns_per_pkt": "lower",
+    "event_queue_spill": "lower",
+    "event_wheel_same_tick": "lower",
+    "event_wheel_deep_spill": "lower",
+    "pkts_wall_s": "higher",
+}
+GATED_SCALE = {"100sta_2shard": "higher"}
+
+# (numerator_case, denominator_case, floor): numerator / denominator of
+# the *current* run must be >= floor. Compared within one run, so no
+# cross-machine tolerance is needed.
+RATIO_GATES_HOTPATH = [("event_queue_spill_refheap", "event_queue_spill", 2.0)]
 
 
 def scale_key(row):
     churn = "_churn" if row.get("churn") else ""
     return f"{row['stations']}sta_{row['shards']}shard{churn}"
+
+
+def hotpath_value(row):
+    # Rate rows carry "ns_per_op": null (the emitter can't skip fields),
+    # and pre-wheel baselines had no rate field at all.
+    v = row.get("ns_per_op")
+    return float(v if v is not None else row["rate_per_s"])
 
 
 def load(path):
@@ -42,14 +69,13 @@ def load(path):
         rows = json.load(f)
     if rows and "pkts_per_wall_sec" in rows[0]:
         return "scale", {scale_key(r): float(r["pkts_per_wall_sec"]) for r in rows}
-    return "hotpath", {r["case"]: float(r["ns_per_op"]) for r in rows}
+    return "hotpath", {r["case"]: hotpath_value(r) for r in rows}
 
 
-def check(gated, cur, base, tol, better):
-    """Gates `gated` cases; returns True when any fail. `better` maps a
-    current/baseline ratio to "did not regress past tolerance"."""
+def check(gated, cur, base, tol):
+    """Gates `gated` ({case: direction}) cases; returns True when any fail."""
     failed = False
-    for case in gated:
+    for case, direction in gated.items():
         if case not in base:
             print(f"note: gated case {case} not in baseline; skipping")
             continue
@@ -58,12 +84,13 @@ def check(gated, cur, base, tol, better):
             failed = True
             continue
         ratio = cur[case] / base[case]
-        ok = better(ratio, tol)
+        ok = ratio <= 1 + tol if direction == "lower" else ratio >= 1 - tol
         status = "ok" if ok else "FAIL"
         failed = failed or not ok
         print(
             f"{status}: {case} baseline {base[case]:.1f} -> current "
-            f"{cur[case]:.1f} ({ratio:.2f}x, tolerance {tol:.2f})"
+            f"{cur[case]:.1f} ({ratio:.2f}x, tolerance {tol:.2f}, "
+            f"{direction} is better)"
         )
     for case in sorted(cur):
         if case in gated:
@@ -78,6 +105,25 @@ def check(gated, cur, base, tol, better):
     return failed
 
 
+def check_ratios(gates, cur):
+    """Same-run ratio floors; returns True when any fail."""
+    failed = False
+    for num, den, floor in gates:
+        if num not in cur or den not in cur:
+            print(f"FAIL: ratio gate {num}/{den} missing a case from current run")
+            failed = True
+            continue
+        ratio = cur[num] / cur[den]
+        ok = ratio >= floor
+        status = "ok" if ok else "FAIL"
+        failed = failed or not ok
+        print(
+            f"{status}: same-run ratio {num} ({cur[num]:.1f}) / {den} "
+            f"({cur[den]:.1f}) = {ratio:.2f}x (floor {floor:.2f}x)"
+        )
+    return failed
+
+
 def main():
     if len(sys.argv) < 3:
         sys.exit(__doc__)
@@ -87,14 +133,11 @@ def main():
         sys.exit(f"schema mismatch: current is {mode}, baseline is {base_mode}")
     if mode == "scale":
         tol = float(sys.argv[3]) if len(sys.argv) > 3 else 0.60
-        failed = check(
-            GATED_SCALE, cur, base, tol, lambda ratio, tol: ratio >= 1 - tol
-        )
+        failed = check(GATED_SCALE, cur, base, tol)
     else:
         tol = float(sys.argv[3]) if len(sys.argv) > 3 else 0.50
-        failed = check(
-            GATED_HOTPATH, cur, base, tol, lambda ratio, tol: ratio <= 1 + tol
-        )
+        failed = check(GATED_HOTPATH, cur, base, tol)
+        failed = check_ratios(RATIO_GATES_HOTPATH, cur) or failed
     sys.exit(1 if failed else 0)
 
 

@@ -140,6 +140,19 @@ fn interleaving_leaks_nothing(n: usize, dwell_ms: u64, churn_ms: u64, seed: u64)
         );
     }
 
+    // No leaked arena slots: the backlog counters above are derived from
+    // the flow lists; this audits the packet arenas underneath them. A
+    // packet unlinked from every list but never freed (e.g. during a
+    // mid-flow detach) would be invisible to the backlogs yet pin an
+    // arena slot forever — exactly the leak the generational arena is
+    // meant to surface.
+    assert_eq!(
+        net.arena_live(),
+        0,
+        "packet arenas kept {} live slots after the drain",
+        net.arena_live()
+    );
+
     // No slot leaks: `add_station` must have reused freed slots, so the
     // table never outgrows peak concurrent occupancy — across hundreds
     // of hand-offs and churn events, not one slot per arrival.
