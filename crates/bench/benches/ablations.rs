@@ -7,6 +7,7 @@ use wifiq_bench::BenchPkt;
 use wifiq_codel::{CodelParams, StationCodelParams};
 use wifiq_core::fq::{FqParams, MacFq};
 use wifiq_core::scheduler::{AirtimeParams, AirtimeScheduler};
+use wifiq_core::table::StationTable;
 use wifiq_sim::Nanos;
 
 /// Sparse-station optimisation: scheduling cost with it on vs off.
@@ -18,18 +19,23 @@ fn sparse_on_off(c: &mut Criterion) {
                 sparse_stations: sparse,
                 ..AirtimeParams::default()
             });
-            let handles: Vec<_> = (0..30).map(|_| s.register_station()).collect();
+            let mut table: StationTable<()> = StationTable::new();
+            let handles: Vec<_> = (0..30)
+                .map(|_| s.register_station(&mut table, ()))
+                .collect();
             for &h in &handles {
-                s.notify_active(h, 2);
+                s.notify_active(&mut table, h, 2);
             }
             let mut i = 0usize;
             b.iter(|| {
                 // One station keeps going idle and re-activating — the
                 // path the optimisation exists for.
                 i = (i + 1) % 30;
-                s.notify_active(handles[i], 2);
-                let st = s.next_station(2, |_| true).expect("active");
-                s.charge(st, 2, Nanos::from_micros(400));
+                s.notify_active(&mut table, handles[i], 2);
+                let st = s
+                    .next_station(&mut table, 2, |_, _| true)
+                    .expect("active");
+                s.charge(&mut table, st, 2, Nanos::from_micros(400));
                 black_box(st);
             });
         });
@@ -47,13 +53,18 @@ fn quantum_sweep(c: &mut Criterion) {
                 quantum: Nanos::from_micros(quantum_us),
                 ..AirtimeParams::default()
             });
-            let handles: Vec<_> = (0..10).map(|_| s.register_station()).collect();
+            let mut table: StationTable<()> = StationTable::new();
+            let handles: Vec<_> = (0..10)
+                .map(|_| s.register_station(&mut table, ()))
+                .collect();
             for &h in &handles {
-                s.notify_active(h, 2);
+                s.notify_active(&mut table, h, 2);
             }
             b.iter(|| {
-                let st = s.next_station(2, |_| true).expect("active");
-                s.charge(st, 2, Nanos::from_micros(1_500));
+                let st = s
+                    .next_station(&mut table, 2, |_, _| true)
+                    .expect("active");
+                s.charge(&mut table, st, 2, Nanos::from_micros(1_500));
                 black_box(st);
             });
         });

@@ -1,22 +1,29 @@
 //! Airtime-scheduler microbenchmarks: the per-aggregate decision cost
-//! (Algorithm 3's loop body) at different network sizes.
+//! (Algorithm 3's loop body) at different network sizes, driven through
+//! the SoA [`StationTable`] the scheduler operates on (DESIGN.md §14).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use wifiq_core::scheduler::{AirtimeParams, AirtimeScheduler};
+use wifiq_core::table::StationTable;
 use wifiq_sim::Nanos;
 
 fn schedule_decision(c: &mut Criterion) {
     let mut g = c.benchmark_group("airtime_scheduler");
-    for stations in [3usize, 30, 100] {
+    for stations in [3usize, 30, 100, 10_000] {
         g.bench_function(format!("next_and_charge_{stations}_stations"), |b| {
             let mut s = AirtimeScheduler::new(AirtimeParams::default());
-            let handles: Vec<_> = (0..stations).map(|_| s.register_station()).collect();
+            let mut table: StationTable<()> = StationTable::new();
+            let handles: Vec<_> = (0..stations)
+                .map(|_| s.register_station(&mut table, ()))
+                .collect();
             for &h in &handles {
-                s.notify_active(h, 2);
+                s.notify_active(&mut table, h, 2);
             }
             b.iter(|| {
-                let st = s.next_station(2, |_| true).expect("stations active");
-                s.charge(st, 2, Nanos::from_micros(500));
+                let st = s
+                    .next_station(&mut table, 2, |_, _| true)
+                    .expect("stations active");
+                s.charge(&mut table, st, 2, Nanos::from_micros(500));
                 black_box(st);
             });
         });
@@ -27,12 +34,13 @@ fn schedule_decision(c: &mut Criterion) {
 fn activation_path(c: &mut Criterion) {
     c.bench_function("notify_active_idle_station", |b| {
         let mut s = AirtimeScheduler::new(AirtimeParams::default());
-        let h = s.register_station();
+        let mut table: StationTable<()> = StationTable::new();
+        let h = s.register_station(&mut table, ());
         b.iter(|| {
-            s.notify_active(h, 2);
+            s.notify_active(&mut table, h, 2);
             // Drain it back to idle so every iteration takes the
             // activation path.
-            let _ = s.next_station(2, |_| false);
+            let _ = s.next_station(&mut table, 2, |_, _| false);
             black_box(&s);
         });
     });

@@ -21,7 +21,8 @@ use wifiq_telemetry::{
     CounterHandle, DropReason, EventKind, GaugeHandle, HistHandle, Label, Telemetry,
 };
 
-use crate::packet::{FqPacket, PacketArena, PacketFifo, TidHandle};
+use crate::packet::{FqPacket, PacketArena, PacketFifo};
+use crate::table::TidId;
 
 /// Sentinel for "this flow is not in the backlog heap".
 const NOT_IN_HEAP: usize = usize::MAX;
@@ -189,6 +190,10 @@ struct TidState {
     /// False once the TID has been detached; the slot (and its overflow
     /// queue) is parked on the free list until the next `register_tid`.
     registered: bool,
+    /// Slot generation, bumped at detach: a [`TidId`] issued before the
+    /// detach no longer matches and panics at first use instead of
+    /// addressing the slot's next occupant.
+    gen: u32,
     /// Handles survive detach/reattach — the slot index (and therefore the
     /// `Tid` label) is stable, so a churning roster resolves each
     /// instrument once, not once per join.
@@ -327,12 +332,13 @@ impl<P: FqPacket> MacFq<P> {
     /// [`MacFq::unregister_tid`] is reused (most recently freed first)
     /// together with its overflow queue, so a churning roster does not
     /// grow the flow pool without bound.
-    pub fn register_tid(&mut self) -> TidHandle {
+    pub fn register_tid(&mut self) -> TidId {
         if let Some(idx) = self.free_tids.pop() {
             // Revive the slot in place: the DRR list deques (emptied but
             // not shrunk by `unregister_tid`) and the resolved telemetry
             // handles are kept, so a detach/reattach cycle allocates
-            // nothing.
+            // nothing. The generation was bumped at detach, so the
+            // revived handle is distinct from the previous occupant's.
             let t = &mut self.tids[idx];
             debug_assert!(!t.registered, "free-listed TID still registered");
             debug_assert!(
@@ -342,7 +348,7 @@ impl<P: FqPacket> MacFq<P> {
             t.backlog_packets = 0;
             t.backlog_bytes = 0;
             t.registered = true;
-            return TidHandle(idx);
+            return TidId::from_raw(idx, t.gen);
         }
         let overflow = self.flows.len();
         self.flows.push(Flow::new());
@@ -353,7 +359,31 @@ impl<P: FqPacket> MacFq<P> {
             tele: TidTele::resolve(&self.tele, self.component, idx),
             ..TidState::default()
         });
-        TidHandle(idx)
+        TidId::from_raw(idx, 0)
+    }
+
+    /// Validates a handle against the slot's current generation and
+    /// returns the slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range slot (`unregistered TID handle`), a
+    /// handle from before the slot's last detach (`stale TID handle`),
+    /// or a parked slot (`detached TID handle`).
+    #[inline]
+    fn tid_slot(&self, tid: TidId) -> usize {
+        let ti = tid.slot();
+        assert!(ti < self.tids.len(), "unregistered TID handle");
+        let t = &self.tids[ti];
+        assert!(
+            t.gen == tid.generation(),
+            "stale TID handle: slot {} gen {} vs handle gen {}",
+            ti,
+            t.gen,
+            tid.generation()
+        );
+        assert!(t.registered, "detached TID handle");
+        ti
     }
 
     /// Detaches a TID, discarding its queued packets and returning its
@@ -368,8 +398,8 @@ impl<P: FqPacket> MacFq<P> {
     /// # Panics
     ///
     /// Panics if the handle is unregistered or already detached.
-    pub fn unregister_tid(&mut self, tid: TidHandle, now: Nanos) -> usize {
-        let ti = tid.0;
+    pub fn unregister_tid(&mut self, tid: TidId, now: Nanos) -> usize {
+        let ti = tid.slot();
         let (dropped, dropped_bytes) = self.detach_tid_with(tid, |_| {});
         self.stats.drops_detached += dropped as u64;
 
@@ -402,7 +432,7 @@ impl<P: FqPacket> MacFq<P> {
     /// # Panics
     ///
     /// Panics if the handle is unregistered or already detached.
-    pub fn unregister_tid_migrate(&mut self, tid: TidHandle) -> Vec<P> {
+    pub fn unregister_tid_migrate(&mut self, tid: TidId) -> Vec<P> {
         let mut out = Vec::new();
         let (migrated, _) = self.detach_tid_with(tid, |pkt| out.push(pkt));
         debug_assert_eq!(out.len(), migrated);
@@ -419,10 +449,8 @@ impl<P: FqPacket> MacFq<P> {
     /// dequeue releases them), so draining the lists drains the TID.
     /// The lists are taken out to walk without aliasing `self` and put
     /// back empty — capacity intact, no scratch allocation.
-    fn detach_tid_with(&mut self, tid: TidHandle, mut take: impl FnMut(P)) -> (usize, u64) {
-        let ti = tid.0;
-        assert!(ti < self.tids.len(), "unregistered TID handle");
-        assert!(self.tids[ti].registered, "TID already detached");
+    fn detach_tid_with(&mut self, tid: TidId, mut take: impl FnMut(P)) -> (usize, u64) {
+        let ti = self.tid_slot(tid);
 
         let mut new_flows = std::mem::take(&mut self.tids[ti].new_flows);
         let mut old_flows = std::mem::take(&mut self.tids[ti].old_flows);
@@ -457,14 +485,18 @@ impl<P: FqPacket> MacFq<P> {
         t.backlog_packets = 0;
         t.backlog_bytes = 0;
         t.registered = false;
+        // Every outstanding handle to this slot goes stale now.
+        t.gen = t.gen.wrapping_add(1);
         self.free_tids.push(ti);
         (removed, removed_bytes)
     }
 
     /// True if the handle refers to a currently registered (not detached)
     /// TID slot.
-    pub fn tid_is_registered(&self, tid: TidHandle) -> bool {
-        self.tids.get(tid.0).is_some_and(|t| t.registered)
+    pub fn tid_is_registered(&self, tid: TidId) -> bool {
+        self.tids
+            .get(tid.slot())
+            .is_some_and(|t| t.registered && t.gen == tid.generation())
     }
 
     /// Total packets queued across all TIDs.
@@ -473,18 +505,18 @@ impl<P: FqPacket> MacFq<P> {
     }
 
     /// Packets queued for one TID.
-    pub fn tid_backlog_packets(&self, tid: TidHandle) -> usize {
-        self.tids[tid.0].backlog_packets
+    pub fn tid_backlog_packets(&self, tid: TidId) -> usize {
+        self.tids[self.tid_slot(tid)].backlog_packets
     }
 
     /// Bytes queued for one TID.
-    pub fn tid_backlog_bytes(&self, tid: TidHandle) -> u64 {
-        self.tids[tid.0].backlog_bytes
+    pub fn tid_backlog_bytes(&self, tid: TidId) -> u64 {
+        self.tids[self.tid_slot(tid)].backlog_bytes
     }
 
     /// True if the TID has at least one queued packet.
-    pub fn tid_has_data(&self, tid: TidHandle) -> bool {
-        self.tids[tid.0].backlog_packets > 0
+    pub fn tid_has_data(&self, tid: TidId) -> bool {
+        self.tids[self.tid_slot(tid)].backlog_packets > 0
     }
 
     /// The configured parameters.
@@ -502,8 +534,8 @@ impl<P: FqPacket> MacFq<P> {
     /// Capacity probe for the churn-reuse tests: (new-list, old-list,
     /// packet-arena) capacities for one TID slot.
     #[doc(hidden)]
-    pub fn churn_capacity_probe(&self, tid: TidHandle) -> (usize, usize, usize) {
-        let t = &self.tids[tid.0];
+    pub fn churn_capacity_probe(&self, tid: TidId) -> (usize, usize, usize) {
+        let t = &self.tids[tid.slot()];
         (
             t.new_flows.capacity(),
             t.old_flows.capacity(),
@@ -741,10 +773,8 @@ impl<P: FqPacket> MacFq<P> {
     ///
     /// The packet must already carry its enqueue timestamp
     /// ([`QueuedPacket::enqueue_time`] is read by CoDel at dequeue).
-    pub fn enqueue(&mut self, pkt: P, tid: TidHandle, now: Nanos) -> Option<P> {
-        let ti = tid.0;
-        assert!(ti < self.tids.len(), "unregistered TID handle");
-        assert!(self.tids[ti].registered, "detached TID handle");
+    pub fn enqueue(&mut self, pkt: P, tid: TidId, now: Nanos) -> Option<P> {
+        let ti = self.tid_slot(tid);
 
         // Global limit (Algorithm 1 lines 2–4).
         let dropped = if self.total_packets >= self.params.limit {
@@ -829,10 +859,8 @@ impl<P: FqPacket> MacFq<P> {
     ///
     /// `codel_params` are the parameters for the *station* owning this TID
     /// (paper §3.1.1). Returns `None` when the TID has no eligible packet.
-    pub fn dequeue(&mut self, tid: TidHandle, now: Nanos, codel_params: &CodelParams) -> Option<P> {
-        let ti = tid.0;
-        assert!(ti < self.tids.len(), "unregistered TID handle");
-        assert!(self.tids[ti].registered, "detached TID handle");
+    pub fn dequeue(&mut self, tid: TidId, now: Nanos, codel_params: &CodelParams) -> Option<P> {
+        let ti = self.tid_slot(tid);
 
         loop {
             // Pick the head of new_flows, else old_flows (lines 2–7).
@@ -1229,7 +1257,7 @@ mod tests {
     #[should_panic(expected = "unregistered TID")]
     fn unregistered_tid_panics() {
         let mut fq: MacFq<Pkt> = MacFq::new(FqParams::default());
-        fq.enqueue(pkt(1, Nanos::ZERO, 0), TidHandle(3), Nanos::ZERO);
+        fq.enqueue(pkt(1, Nanos::ZERO, 0), TidId::from_raw(3, 0), Nanos::ZERO);
     }
 
     #[test]
@@ -1258,7 +1286,12 @@ mod tests {
         // LIFO slot reuse: the fresh handle revives tid_b's slot, and the
         // round-trip must not have released any of its capacity.
         let tid_b2 = fq.register_tid();
-        assert_eq!(tid_b2.0, tid_b.0, "slot not reused");
+        assert_eq!(tid_b2.slot(), tid_b.slot(), "slot not reused");
+        assert_ne!(
+            tid_b2.generation(),
+            tid_b.generation(),
+            "generation not bumped"
+        );
         let after = fq.churn_capacity_probe(tid_b2);
         assert_eq!(before, after, "detach/reattach reallocated");
 

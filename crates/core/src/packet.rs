@@ -18,13 +18,26 @@ pub trait FqPacket: QueuedPacket {
 /// Identifies one TID (station × traffic-identifier pair) registered with
 /// the FQ structure.
 ///
-/// Handles are dense indices handed out by
-/// [`MacFq::register_tid`](crate::fq::MacFq::register_tid); the MAC layer
-/// owns the mapping from (station, TID number) to handles.
+/// Superseded by the generational [`TidId`](crate::table::TidId): the
+/// raw index carries no generation, so a handle held across TID churn
+/// silently addresses the slot's next occupant. See DESIGN.md §14 for
+/// the migration note; this alias is kept for one PR.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the generational wifiq_core::table::TidId instead; raw indices do not catch reuse-after-churn"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TidHandle(pub usize);
 
 /// Identifies a station registered with the airtime scheduler.
+///
+/// Superseded by the generational [`StaId`](crate::table::StaId); kept
+/// for one PR (DESIGN.md §14) as the handle type of the retained
+/// [`ReferenceScheduler`](crate::scheduler::ReferenceScheduler) oracle.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the generational wifiq_core::table::StaId instead; raw indices do not catch reuse-after-churn"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StationHandle(pub usize);
 

@@ -434,7 +434,10 @@ fn policy_check(seed: u64) -> bool {
     let mut net: WifiNetwork<()> = WifiNetwork::new(cfg);
     net.seed_timer(0, Nanos::ZERO);
     let expect: Vec<Option<u32>> = (0..roster)
-        .map(|i| net.station_ac_weight(i, AccessCategory::Be))
+        .map(|i| {
+            net.sta_id(i)
+                .and_then(|id| net.station_ac_weight(id, AccessCategory::Be))
+        })
         .collect();
     let mut app = SoloFlood {
         slots: roster,
@@ -454,7 +457,11 @@ fn policy_check(seed: u64) -> bool {
     let landed_ok =
         s.policy_reattach + s.neutral_fallback + roam.in_transit() as u64 + s.skipped == s.handoffs;
     let weights_ok = (0..roster).all(|slot| {
-        !net.station_active(slot) || net.station_ac_weight(slot, AccessCategory::Be) == expect[slot]
+        !net.station_active(slot)
+            || net
+                .sta_id(slot)
+                .and_then(|id| net.station_ac_weight(id, AccessCategory::Be))
+                == expect[slot]
     });
     let ok = s.handoffs >= 20
         && s.neutral_fallback == 0

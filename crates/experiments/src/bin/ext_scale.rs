@@ -1,7 +1,7 @@
 //! Extension experiment: scale-out. How far does the airtime-fair MAC
 //! carry beyond the paper's 30-station testbed?
 //!
-//! Sweeps the roster from 10 to 10,000 stations, decomposed into 1–8
+//! Sweeps the roster from 10 to 100,000 stations, decomposed into 1–8
 //! independent BSS shards run through [`wifiq_scale::ShardSet`], with and
 //! without deterministic station churn ([`wifiq_scale::ChurnDriver`]).
 //! Each sweep point records saturated downlink throughput, Jain's
@@ -9,11 +9,14 @@
 //! delivered per wall-clock second, and a per-packet FQ hot-path cost
 //! (one enqueue+dequeue pair through [`MacFq`] at that roster size).
 //!
-//! Two rollup artifacts back the sharding determinism guarantee: the same
-//! shard decomposition is executed on one worker and on four, and the
-//! merged telemetry registries must be byte-identical
-//! (`results/scale_rollup_seq.json` vs `results/scale_rollup_par.json`;
-//! CI `cmp`s them). Results land in `results/BENCH_scale.json`.
+//! Two artifact pairs back the determinism guarantees: the same shard
+//! decomposition is executed on one worker and on four, and the merged
+//! telemetry registries must be byte-identical
+//! (`results/scale_rollup_seq.json` vs `results/scale_rollup_par.json`);
+//! likewise one uplink-flooded BSS is run with 1 and with 4 intra-shard
+//! contention lanes (`results/scale_lanes_seq.json` vs
+//! `results/scale_lanes_par.json`). CI `cmp`s both pairs. Results land
+//! in `results/BENCH_scale.json`.
 
 use std::time::Instant;
 
@@ -130,11 +133,13 @@ fn run_shard(
     warmup: Nanos,
     duration: Nanos,
     metrics: bool,
+    lanes: usize,
 ) -> (ShardOut, Option<Registry>) {
     let net_cfg = NetworkConfig::builder()
         .stations_at(stations, PhyRate::fast_station())
         .scheme(SchemeKind::AirtimeFair)
         .seed(ctx.seed)
+        .lanes(lanes)
         .build();
     let mut net: WifiNetwork<()> = WifiNetwork::new(net_cfg);
     let tele = if metrics {
@@ -293,6 +298,7 @@ fn run_point(
                     warmup,
                     duration,
                     false,
+                    1,
                 )
             });
         let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
@@ -348,6 +354,12 @@ fn determinism_check(stations: usize, shards: u32, warmup: Nanos, duration: Nano
         ShardSet::new(shards, seed)
             .with_workers(workers)
             .run(|ctx| {
+                // Intra-shard lanes are requested here too; the network
+                // collapses them to 1 while telemetry is live (DESIGN.md
+                // §14), which is exactly the determinism contract — the
+                // config knob must never change results either way. The
+                // parallel lane path itself is exercised (telemetry off)
+                // by `lanes_determinism_check`.
                 run_shard(
                     ctx,
                     per_shard[ctx.shard as usize],
@@ -355,6 +367,7 @@ fn determinism_check(stations: usize, shards: u32, warmup: Nanos, duration: Nano
                     warmup,
                     duration,
                     true,
+                    4,
                 )
             })
     };
@@ -386,6 +399,95 @@ fn determinism_check(stations: usize, shards: u32, warmup: Nanos, duration: Nano
     }
 }
 
+/// The intra-shard lane determinism guarantee, executed on the real
+/// parallel path: one BSS, uplink-flooded so the contention scan has set
+/// bits on every ready-bitmap word, run with 1 lane and then with 4.
+/// Telemetry stays off (a live registry collapses lanes to 1, DESIGN.md
+/// §14), so the rollup is the airtime meter plus delivered/event counts.
+/// Both artifacts are written for CI to `cmp`
+/// (`results/scale_lanes_seq.json` vs `results/scale_lanes_par.json`)
+/// and any divergence aborts the run.
+fn lanes_determinism_check(stations: usize, duration: Nanos, seed: u64) {
+    struct UplinkApp {
+        stations: usize,
+        next_id: u64,
+        received: u64,
+    }
+    impl App<()> for UplinkApp {
+        fn on_packet(
+            &mut self,
+            at: Delivery,
+            _pkt: Packet<()>,
+            _now: Nanos,
+            _cmds: &mut Commands<()>,
+        ) {
+            if at == Delivery::AtServer {
+                self.received += 1;
+            }
+        }
+        fn on_timer(&mut self, token: u64, now: Nanos, cmds: &mut Commands<()>) {
+            for i in 0..self.stations {
+                self.next_id += 1;
+                cmds.send(Packet {
+                    id: self.next_id,
+                    src: NodeAddr::Station(i),
+                    dst: NodeAddr::Server,
+                    flow: i as u64,
+                    len: 300,
+                    ac: AccessCategory::Be,
+                    created: now,
+                    enqueued: now,
+                    payload: (),
+                });
+            }
+            cmds.set_timer(token, now + Nanos::from_millis(5));
+        }
+    }
+    #[derive(serde::Serialize, PartialEq)]
+    struct LaneRollup {
+        received: u64,
+        events: u64,
+        airtime_shares: Vec<f64>,
+    }
+    let run = |lanes: usize| {
+        let net_cfg = NetworkConfig::builder()
+            .stations_at(stations, PhyRate::fast_station())
+            .scheme(SchemeKind::AirtimeFair)
+            .seed(seed)
+            .lanes(lanes)
+            .build();
+        let mut net: WifiNetwork<()> = WifiNetwork::new(net_cfg);
+        let mut app = UplinkApp {
+            stations,
+            next_id: 0,
+            received: 0,
+        };
+        net.seed_timer(0, Nanos::ZERO);
+        net.run(duration, &mut app);
+        LaneRollup {
+            received: app.received,
+            events: net.events_processed,
+            airtime_shares: net.meter().airtime_shares(),
+        }
+    };
+    let seq = run(1);
+    let par = run(4);
+    write_json("scale_lanes_seq", &seq);
+    write_json("scale_lanes_par", &par);
+    if seq != par {
+        eprintln!(
+            "lane determinism check FAILED: {stations} stations produced \
+             different results on 1 vs 4 intra-shard lanes"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "determinism: {stations} stations, uplink-flooded — 1-lane and \
+         4-lane runs byte-identical ({} pkts, {} events)",
+        seq.received, seq.events
+    );
+}
+
 fn main() {
     let cfg = RunCfg::from_env();
     let quick = std::env::var("WIFIQ_QUICK").is_ok_and(|v| v == "1");
@@ -398,13 +500,14 @@ fn main() {
         (Nanos::from_millis(250), Nanos::from_secs(1))
     };
     println!(
-        "Extension: scale-out — 10 → 10k stations across 1-8 BSS shards, \
+        "Extension: scale-out — 10 → 100k stations across 1-8 BSS shards, \
          saturated downlink, with and without churn ({} reps x {}ms sim)\n",
         cfg.reps,
         duration.as_millis()
     );
 
-    // (stations, shards, churn)
+    // (stations, shards, churn). Quick mode caps the sweep at 100
+    // stations — the 100k point alone would dominate a smoke run.
     let grid: &[(usize, u32, bool)] = if quick {
         &[
             (10, 1, false),
@@ -417,6 +520,9 @@ fn main() {
             (10, 1, false),
             (10, 2, false),
             (100, 1, false),
+            // 100sta/2shard doubles as the quick-mode gate case, so the
+            // full-grid baseline must carry it too.
+            (100, 2, false),
             (100, 4, false),
             (1000, 4, false),
             (1000, 4, true),
@@ -424,6 +530,7 @@ fn main() {
             (5000, 8, false),
             (10000, 8, false),
             (10000, 8, true),
+            (100_000, 8, false),
         ]
     };
     let rows: Vec<Row> = grid
@@ -464,6 +571,11 @@ fn main() {
 
     let (det_sta, det_shards) = if quick { (100, 2) } else { (5000, 4) };
     determinism_check(det_sta, det_shards, warmup, duration, cfg.base_seed);
+    // 130+ stations span multiple ready-bitmap words, so 4 lanes really
+    // split the contention scan.
+    let lane_sta = if quick { 130 } else { 512 };
+    let lane_dur = Nanos::from_millis(if quick { 100 } else { 200 });
+    lanes_determinism_check(lane_sta, lane_dur, cfg.base_seed);
 
     write_json("BENCH_scale", &rows);
     let max = rows.iter().map(|r| r.stations).max().unwrap_or(0);

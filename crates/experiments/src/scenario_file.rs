@@ -1338,8 +1338,9 @@ mod tests {
         // by two stations (3/4 of neutral each), bronze's by one (3/2).
         use wifiq_phy::AccessCategory;
         for (sta, expect) in [(0, 192), (1, 192), (2, 384)] {
+            let id = built.net.sta_id(sta).expect("slot occupied");
             assert_eq!(
-                built.net.station_ac_weight(sta, AccessCategory::Be),
+                built.net.station_ac_weight(id, AccessCategory::Be),
                 Some(expect),
                 "station {sta} weight after equalising switch"
             );

@@ -188,6 +188,14 @@ pub struct NetworkConfig {
     /// experiment; entries are replayed deterministically from a
     /// chaos-private fork of [`seed`](Self::seed).
     pub faults: FaultSchedule,
+    /// Intra-shard parallel lanes for the contention scan: the
+    /// per-round sweep that asks every backlogged station for its best
+    /// ready access category is split across this many worker threads
+    /// (phase A), while every draw from the network's main RNG stays
+    /// sequential in slot order (phase B) — so results are byte-identical
+    /// at any lane count (DESIGN.md §14). `1` (the default) keeps the
+    /// scan on the caller's thread.
+    pub lanes: usize,
     /// Hierarchical airtime policy (wifiq-policy): an optional initial
     /// [`PolicySet`](wifiq_policy::PolicySet) plus timed switches,
     /// compiled at network construction into per-(station, access
@@ -218,6 +226,7 @@ impl NetworkConfig {
             station_fq: false,
             aql: None,
             rate_control: false,
+            lanes: 1,
             faults: FaultSchedule::none(),
             policy: PolicyTimeline::none(),
         }

@@ -21,6 +21,7 @@
 //! including retries, exactly as §3.2 specifies.
 
 use wifiq_chaos::ChaosInjector;
+use wifiq_core::StaId;
 use wifiq_phy::consts::SLOT_TIME;
 use wifiq_phy::AccessCategory;
 use wifiq_policy::{CompiledPolicy, NODE_NONE};
@@ -87,6 +88,20 @@ pub struct RoamHandoff<M> {
     pub deferred: bool,
 }
 
+/// An exclusive, disjoint slice of station uplinks handed to one
+/// contention lane (phase A of [`WifiNetwork::try_contend`]).
+struct LaneChunk<'a, M>(&'a mut [StationUplink<M>]);
+
+// SAFETY: `StationUplink` is `!Send` only because its telemetry handles
+// wrap `Rc` slots shared with the registry hub. Lanes are spawned solely
+// from `scan_ready`, which collapses to the sequential path whenever
+// telemetry is enabled; a disabled hub hands out the empty handle
+// variant, so no `Rc` is ever live inside an uplink that crosses here.
+// Everything else the uplink owns (queues, arena, private RNG fork) is
+// exclusively held via this chunk's `&mut` slice, and chunks are
+// disjoint by construction (`split_at_mut`).
+unsafe impl<M: Send> Send for LaneChunk<'_, M> {}
+
 /// The simulated WiFi network under one queue-management scheme.
 ///
 /// `M` is the application payload type carried in packets.
@@ -113,8 +128,19 @@ pub struct WifiNetwork<M> {
     /// in every per-station table as tombstones until a join reuses them.
     active: Vec<bool>,
     /// Stations removed while their exchange was on the air; detached as
-    /// soon as that exchange completes.
-    pending_detach: Vec<StationIdx>,
+    /// soon as that exchange completes. The handles stay current until
+    /// [`detach_station`](Self::detach_station) frees the table slot, so
+    /// a deferred slot can never be reused before its teardown runs.
+    pending_detach: Vec<StaId>,
+    /// One bit per station slot, set whenever an uplink enqueue may have
+    /// made the slot ready to contend and cleared lazily when a
+    /// contention scan finds the station completely idle. The scan only
+    /// visits set bits, so a mostly-downlink 100k-station roster costs a
+    /// few word tests per round instead of a full sweep.
+    uplink_ready: Vec<u64>,
+    /// Scratch for phase A of the contention round (reused every round):
+    /// the stations that want the medium, in ascending slot order.
+    ready_scratch: Vec<(StationIdx, AccessCategory)>,
     /// Monotonic join counter — gives every join (including slot reuse) a
     /// fresh RNG fork salt, so a rejoining station never replays its
     /// predecessor's stream.
@@ -145,7 +171,7 @@ pub struct WifiNetwork<M> {
     pub events_processed: u64,
 }
 
-impl<M: std::fmt::Debug> WifiNetwork<M> {
+impl<M: std::fmt::Debug + Send> WifiNetwork<M> {
     /// Builds the network from a configuration.
     pub fn new(cfg: NetworkConfig) -> WifiNetwork<M> {
         let mut rng = SimRng::new(cfg.seed);
@@ -204,6 +230,8 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
             ap_cw: AccessCategory::ALL.map(|ac| ac.edca().cw_min),
             active: vec![true; stations.len()],
             pending_detach: Vec::new(),
+            uplink_ready: vec![0; stations.len().div_ceil(64)],
+            ready_scratch: Vec::new(),
             join_seq: stations.len() as u64,
             churn_drops: 0,
             roam_drops: 0,
@@ -265,9 +293,13 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
     /// only future refills, so switches never drain queues or reset
     /// credit already earned by unrelated nodes.
     fn apply_policy(&mut self, compiled: &CompiledPolicy) {
-        for sta in 0..self.stations.len() {
-            self.ap
-                .set_station_weights(sta, compiled.station_weights(sta));
+        // Policy trees address station *slots* (stable wire addressing);
+        // resolve each occupied slot to its current handle.
+        for slot in 0..self.stations.len() {
+            if let Some(id) = self.ap.sta_id(slot) {
+                self.ap
+                    .set_station_weights(id, compiled.station_weights(slot));
+            }
         }
     }
 
@@ -310,9 +342,17 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
 
     /// The effective scheduler weight of `(sta, ac)` under the current
     /// scheme, or `None` when the scheme has no airtime scheduler or the
-    /// station is detached.
-    pub fn station_ac_weight(&self, sta: StationIdx, ac: AccessCategory) -> Option<u32> {
+    /// handle is stale (the station departed).
+    pub fn station_ac_weight(&self, sta: StaId, ac: AccessCategory) -> Option<u32> {
         self.ap.station_ac_weight(sta, ac)
+    }
+
+    /// The current handle of the station occupying `slot`, or `None` when
+    /// the slot is vacant. This is the bridge from wire addressing
+    /// (packets and aggregates carry slots) to the handle-keyed station
+    /// table (DESIGN.md §14).
+    pub fn sta_id(&self, slot: StationIdx) -> Option<StaId> {
+        self.ap.sta_id(slot)
     }
 
     /// Current virtual time.
@@ -386,11 +426,13 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
     }
 
     /// Associates a new station mid-run, reusing the most recently vacated
-    /// slot when one exists (the AP transmit path's LIFO free list governs
-    /// slot choice). Returns the slot the station occupies. Safe to call
-    /// between [`run`](Self::run) windows.
-    pub fn add_station(&mut self, station: crate::config::StationCfg) -> StationIdx {
-        let sta = self.ap.add_station(&station);
+    /// slot when one exists (the station table's LIFO free list governs
+    /// slot choice). Returns the station's generational handle; read the
+    /// wire slot it occupies from [`StaId::slot`]. Safe to call between
+    /// [`run`](Self::run) windows.
+    pub fn add_station(&mut self, station: crate::config::StationCfg) -> StaId {
+        let id = self.ap.add_station(&station);
+        let sta = id.slot();
         self.join_seq += 1;
         let mut up = StationUplink::new(sta, station.rate, self.cfg.station_fifo_limit);
         if self.cfg.station_fq {
@@ -410,11 +452,16 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
             self.ratectrl.push(rc);
             self.cfg.stations.push(station);
             self.active.push(true);
+            if self.stations.len() > self.uplink_ready.len() * 64 {
+                self.uplink_ready.push(0);
+            }
         } else {
             self.stations[sta] = up;
             self.ratectrl[sta] = rc;
             self.cfg.stations[sta] = station;
             self.active[sta] = true;
+            // The reused slot hosts a fresh, empty uplink.
+            self.uplink_ready[sta / 64] &= !(1u64 << (sta % 64));
         }
         self.meter.ensure_station(sta);
         self.meter.reset_station(sta);
@@ -423,10 +470,10 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
         // a slot the roster never covered falls back to neutral.
         if let Some(active) = self.policy.as_ref().and_then(|p| p.active.as_ref()) {
             let weights = active.station_weights(sta);
-            self.ap.set_station_weights(sta, weights);
+            self.ap.set_station_weights(id, weights);
         }
         self.tele.count("mac", "station_joins", Label::Global, 1);
-        sta
+        id
     }
 
     /// Disassociates a station. It immediately stops contending and
@@ -435,17 +482,18 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
     /// exchange is on the air right now, the teardown is deferred until
     /// that exchange completes — aggregates already committed to hardware
     /// finish (or retry out) normally, as on real hardware.
-    pub fn remove_station(&mut self, sta: StationIdx) {
+    pub fn remove_station(&mut self, id: StaId) {
+        let sta = id.slot();
         assert!(
-            self.active.get(sta).copied().unwrap_or(false),
-            "removing unknown or already-removed station {sta}"
+            self.ap.station_current(id) && self.active.get(sta).copied().unwrap_or(false),
+            "removing unknown or already-removed station {id:?}"
         );
         self.active[sta] = false;
         self.tele.count("mac", "station_leaves", Label::Global, 1);
         if self.station_in_flight(sta) {
-            self.pending_detach.push(sta);
+            self.pending_detach.push(id);
         } else {
-            self.detach_station(sta);
+            self.detach_station(id);
         }
     }
 
@@ -462,7 +510,8 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
     /// Tears down a departed station's state: purges its hardware-queued
     /// aggregates (sparing one that is on the air), detaches its TIDs and
     /// scheduler slot at the AP, and discards its uplink backlog.
-    fn detach_station(&mut self, sta: StationIdx) {
+    fn detach_station(&mut self, id: StaId) {
+        let sta = id.slot();
         let now = self.queue.now();
         let mut inflight_ap = [false; AccessCategory::COUNT];
         for p in &self.in_flight {
@@ -480,7 +529,7 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
                 }
             }
         }
-        self.churn_drops += self.ap.remove_station(sta, now) as u64;
+        self.churn_drops += self.ap.remove_station(id, now) as u64;
         self.churn_drops += self.stations[sta].backlog() as u64;
         // Replacing the whole uplink discards its queues, stash and any
         // non-in-flight pending aggregate; `active` keeps the inert
@@ -491,6 +540,7 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
             self.cfg.station_fifo_limit,
         );
         self.ratectrl[sta] = None;
+        self.uplink_ready[sta / 64] &= !(1u64 << (sta % 64));
     }
 
     /// Whether slot `sta` currently hosts an associated station.
@@ -551,15 +601,16 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
     /// teardown happens when the exchange completes, and its drops are
     /// counted as [`churn_drops`](Self::churn_drops). The returned
     /// hand-off is marked [`deferred`](RoamHandoff::deferred).
-    pub fn roam_out(&mut self, sta: StationIdx) -> RoamHandoff<M> {
+    pub fn roam_out(&mut self, id: StaId) -> RoamHandoff<M> {
+        let sta = id.slot();
         assert!(
-            self.active.get(sta).copied().unwrap_or(false),
-            "roaming out unknown or already-removed station {sta}"
+            self.ap.station_current(id) && self.active.get(sta).copied().unwrap_or(false),
+            "roaming out unknown or already-removed station {id:?}"
         );
         self.active[sta] = false;
         self.tele.count("mac", "station_leaves", Label::Global, 1);
         if self.station_in_flight(sta) {
-            self.pending_detach.push(sta);
+            self.pending_detach.push(id);
             return RoamHandoff {
                 packets: Vec::new(),
                 dropped: 0,
@@ -580,7 +631,7 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
                 }
             }
         }
-        let packets = self.ap.remove_station_migrate(sta);
+        let packets = self.ap.remove_station_migrate(id);
         dropped += self.stations[sta].backlog() as u64;
         self.stations[sta] = StationUplink::new(
             sta,
@@ -588,6 +639,7 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
             self.cfg.station_fifo_limit,
         );
         self.ratectrl[sta] = None;
+        self.uplink_ready[sta / 64] &= !(1u64 << (sta % 64));
         self.roam_drops += dropped;
         RoamHandoff {
             packets,
@@ -601,13 +653,14 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
     /// re-addressed to the slot the roamer now occupies and re-enters the
     /// AP queueing path with a fresh enqueue stamp (CoDel sojourn restarts;
     /// end-to-end `created` timestamps survive, so latency metrics see the
-    /// full hand-off cost). Returns the occupied slot.
+    /// full hand-off cost). Returns the roamer's new handle.
     pub fn roam_in(
         &mut self,
         station: crate::config::StationCfg,
         carried: Vec<Packet<M>>,
-    ) -> StationIdx {
-        let slot = self.add_station(station);
+    ) -> StaId {
+        let id = self.add_station(station);
+        let slot = id.slot();
         let now = self.queue.now();
         let mut acs = [false; AccessCategory::COUNT];
         for mut pkt in carried {
@@ -622,7 +675,7 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
             }
         }
         self.try_contend(now);
-        slot
+        id
     }
 
     /// Runs the event loop until virtual time `until`, driving `app`.
@@ -696,6 +749,7 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
                     }
                     pkt.enqueued = now;
                     self.stations[i].enqueue(pkt);
+                    self.uplink_ready[i / 64] |= 1u64 << (i % 64);
                 }
             }
         }
@@ -726,12 +780,13 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
             let sta = {
                 let aql = self.cfg.aql;
                 let hw = &self.hw[ac.index()];
-                self.ap.next_tx(ac, now, |sta| match aql {
+                self.ap.next_tx(ac, now, |sta: StaId| match aql {
                     None => true,
                     Some(limit) => {
+                        let slot = sta.slot();
                         let queued: Nanos = hw
                             .iter()
-                            .filter(|a| a.station == sta)
+                            .filter(|a| a.station == slot)
                             .map(|a| a.exchange_airtime())
                             .sum();
                         queued < limit
@@ -739,21 +794,22 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
                 })
             };
             let Some(sta) = sta else { break };
-            if let Some(rc) = self.ratectrl[sta].as_mut() {
+            let slot = sta.slot();
+            if let Some(rc) = self.ratectrl[slot].as_mut() {
                 // The cap makes a chaos rate collapse visible to the
                 // controller itself: it cannot probe above the collapsed
                 // channel while the fault window is open.
-                rc.set_cap(self.chaos.rate_override(sta, now));
+                rc.set_cap(self.chaos.rate_override(slot, now));
                 self.ap.set_rate(sta, rc.rate_for_next(&mut self.rng));
             } else if self.chaos.is_enabled() {
-                match self.chaos.rate_override(sta, now) {
+                match self.chaos.rate_override(slot, now) {
                     Some(rate) => {
                         self.ap.set_rate(sta, rate);
-                        self.chaos.note_rate_override(sta);
+                        self.chaos.note_rate_override(slot);
                     }
                     // Restore the configured rate once the window closes
                     // (nothing else resets it without a controller).
-                    None => self.ap.set_rate(sta, self.cfg.stations[sta].rate),
+                    None => self.ap.set_rate(sta, self.cfg.stations[slot].rate),
                 }
             }
             match self.ap.build(sta, ac, now) {
@@ -772,14 +828,33 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
 
     /// Runs one contention round if the medium is idle and anyone has a
     /// frame ready.
+    ///
+    /// The round is split into two phases so the station sweep can run on
+    /// parallel lanes ([`NetworkConfig::lanes`]) without perturbing the
+    /// simulation (DESIGN.md §14):
+    ///
+    /// - **Phase A** asks every ready-flagged station for its best ready
+    ///   access category. That call touches only the station's private
+    ///   state and its private RNG fork, so lanes may sweep disjoint slot
+    ///   ranges concurrently; candidates are folded back in slot order.
+    /// - **Phase B** draws every backoff from the network's main RNG,
+    ///   sequentially: the AP first, then the phase-A candidates in
+    ///   ascending slot order — the exact draw order of a single-lane
+    ///   sweep, so results are byte-identical at any lane count.
     fn try_contend(&mut self, now: Nanos) {
         if !self.in_flight.is_empty() {
             return;
         }
 
+        // Phase A: collect the stations that want the medium.
+        let mut ready = std::mem::take(&mut self.ready_scratch);
+        ready.clear();
+        self.scan_ready(now, &mut ready);
+
         let mut best = std::mem::take(&mut self.contenders);
         best.clear();
-        // The AP contends with its highest-priority non-empty hw queue.
+        // Phase B. The AP contends with its highest-priority non-empty hw
+        // queue and draws first.
         if let Some(ac) = AccessCategory::ALL
             .into_iter()
             .find(|ac| !self.hw[ac.index()].is_empty())
@@ -788,18 +863,14 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
             let t = e.aifs() + SLOT_TIME * self.rng.backoff_slots(self.ap_cw[ac.index()]) as u64;
             best.push((Participant::Ap { ac }, t));
         }
-        // Each station contends with its highest-priority ready AC.
-        for i in 0..self.stations.len() {
-            if !self.active[i] {
-                continue;
-            }
-            if let Some(ac) = self.stations[i].best_ready_ac(now) {
-                let e = ac.edca();
-                let cw = self.stations[i].cw[ac.index()];
-                let t = e.aifs() + SLOT_TIME * self.rng.backoff_slots(cw) as u64;
-                best.push((Participant::Station { idx: i, ac }, t));
-            }
+        // Each ready station contends with its highest-priority ready AC.
+        for &(i, ac) in &ready {
+            let e = ac.edca();
+            let cw = self.stations[i].cw[ac.index()];
+            let t = e.aifs() + SLOT_TIME * self.rng.backoff_slots(cw) as u64;
+            best.push((Participant::Station { idx: i, ac }, t));
         }
+        self.ready_scratch = ready;
         let Some(&(_, t_min)) = best.iter().min_by_key(|(_, t)| *t) else {
             self.contenders = best;
             return;
@@ -820,6 +891,98 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
             .max()
             .expect("winners is non-empty");
         self.queue.push(now + t_min + dur, Event::TxEnd);
+    }
+
+    /// Phase A of a contention round: visits every slot whose
+    /// `uplink_ready` bit is set, asks the station for its best ready
+    /// access category, and clears the bit for stations found completely
+    /// idle (only an uplink enqueue can make them ready again).
+    ///
+    /// With `cfg.lanes > 1` the sweep is split into word-aligned chunks
+    /// scanned by scoped worker threads. Each visit mutates only the
+    /// station's own state and private RNG fork, and lane outputs are
+    /// concatenated in chunk order, so the resulting candidate list — and
+    /// every per-station RNG stream — is identical at any lane count.
+    ///
+    /// Lanes engage only while telemetry is disabled: enabled telemetry
+    /// threads `Rc`-based counter handles through every uplink, which
+    /// must not cross threads. A disabled hub hands out empty handles, so
+    /// the uplinks then hold no shared state at all (the basis of the
+    /// `Send` assertion on [`LaneChunk`]); with telemetry on, the sweep
+    /// silently falls back to one lane — same results, same RNG streams.
+    fn scan_ready(&mut self, now: Nanos, ready: &mut Vec<(StationIdx, AccessCategory)>) {
+        let mut lanes = self.cfg.lanes.max(1).min(self.uplink_ready.len().max(1));
+        if self.tele.is_enabled() {
+            lanes = 1;
+        }
+        if lanes <= 1 {
+            for w in 0..self.uplink_ready.len() {
+                let mut bits = self.uplink_ready[w];
+                while bits != 0 {
+                    let bit = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let i = w * 64 + bit;
+                    if !self.active[i] {
+                        continue;
+                    }
+                    match self.stations[i].best_ready_ac(now) {
+                        Some(ac) => ready.push((i, ac)),
+                        None => self.uplink_ready[w] &= !(1u64 << bit),
+                    }
+                }
+            }
+            return;
+        }
+        let per = self.uplink_ready.len().div_ceil(lanes);
+        let active = &self.active;
+        let mut outs: Vec<Vec<(StationIdx, AccessCategory)>> = Vec::with_capacity(lanes);
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(lanes);
+            let mut words: &mut [u64] = &mut self.uplink_ready;
+            let mut stas: &mut [StationUplink<M>] = &mut self.stations;
+            let mut base = 0usize;
+            while !words.is_empty() {
+                let take = per.min(words.len());
+                let (w_chunk, w_rest) = words.split_at_mut(take);
+                let split = (take * 64).min(stas.len());
+                let (s_chunk, s_rest) = stas.split_at_mut(split);
+                words = w_rest;
+                stas = s_rest;
+                let chunk = LaneChunk(s_chunk);
+                let b = base;
+                base += take * 64;
+                handles.push(s.spawn(move || {
+                    // Bind the whole wrapper so edition-2021 closure
+                    // capture moves `LaneChunk` (the `Send` carrier), not
+                    // the bare `chunk.0` slice path.
+                    let chunk = chunk;
+                    let s_chunk = chunk.0;
+                    let mut out = Vec::new();
+                    for (wi, word) in w_chunk.iter_mut().enumerate() {
+                        let mut bits = *word;
+                        while bits != 0 {
+                            let bit = bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            let li = wi * 64 + bit;
+                            if li >= s_chunk.len() || !active[b + li] {
+                                continue;
+                            }
+                            match s_chunk[li].best_ready_ac(now) {
+                                Some(ac) => out.push((b + li, ac)),
+                                None => *word &= !(1u64 << bit),
+                            }
+                        }
+                    }
+                    out
+                }));
+            }
+            for h in handles {
+                outs.push(h.join().expect("contention lane panicked"));
+            }
+        });
+        for out in outs {
+            ready.extend(out);
+        }
     }
 
     fn participant_airtime(&self, p: Participant) -> Nanos {
@@ -959,10 +1122,18 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
             Some(rate) => rate.bits_per_second(),
             None => rate_estimate,
         };
-        self.ap.on_tx_airtime(sta, ac, airtime, now, rate_estimate);
-        if self.chaos.is_enabled() {
-            self.chaos
-                .observe_codel(sta, self.ap.codel_degraded(sta), now);
+        // Resolve the aggregate's wire slot to the station's current
+        // handle. Removals of an on-air target are deferred until this
+        // exchange has been torn down, so the handle is normally current;
+        // a vacant slot (impossible today, but cheap to tolerate) simply
+        // skips the per-station charge — the meter above already billed
+        // the airtime.
+        if let Some(id) = self.ap.sta_id(sta) {
+            self.ap.on_tx_airtime(id, ac, airtime, now, rate_estimate);
+            if self.chaos.is_enabled() {
+                self.chaos
+                    .observe_codel(sta, self.ap.codel_degraded(id), now);
+            }
         }
 
         if failed {
@@ -1019,7 +1190,9 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
         // A station vetoed by AQL may have been rotated off the lists
         // while still holding traffic; now that hardware airtime drained,
         // re-list it.
-        self.ap.reactivate(sta, ac);
+        if let Some(id) = self.ap.sta_id(sta) {
+            self.ap.reactivate(id, ac);
+        }
         self.ap_schedule(ac, now);
     }
 
@@ -1091,7 +1264,10 @@ impl<M: std::fmt::Debug> WifiNetwork<M> {
         }
         // RX airtime is charged to the station's scheduler deficit so the
         // AP can compensate for upstream usage it cannot control (§3.2).
-        self.ap.on_rx_airtime(idx, ac, airtime);
+        // A contending station is associated, so its slot resolves.
+        if let Some(id) = self.ap.sta_id(idx) {
+            self.ap.on_rx_airtime(id, ac, airtime);
+        }
 
         if failed {
             self.meter.station_mut(idx).failures += 1;
@@ -1458,6 +1634,65 @@ mod tests {
     }
 
     #[test]
+    fn lane_count_does_not_change_results() {
+        // Phase A of the contention scan may run on parallel lanes; every
+        // main-RNG draw stays sequential in phase B, so any lane count
+        // must produce byte-identical results (DESIGN.md §14). 130
+        // stations span three bitmap words, so lanes=4 really splits the
+        // sweep.
+        const N: usize = 130;
+        struct ManyUp {
+            received: u64,
+        }
+        impl App<()> for ManyUp {
+            fn on_packet(&mut self, at: Delivery, _: Packet<()>, _: Nanos, _: &mut Commands<()>) {
+                if at == Delivery::AtServer {
+                    self.received += 1;
+                }
+            }
+            fn on_timer(&mut self, token: u64, now: Nanos, cmds: &mut Commands<()>) {
+                for i in 0..N {
+                    cmds.send(Packet {
+                        id: i as u64,
+                        src: NodeAddr::Station(i),
+                        dst: NodeAddr::Server,
+                        flow: i as u64,
+                        len: 300,
+                        ac: AccessCategory::Be,
+                        created: now,
+                        enqueued: now,
+                        payload: (),
+                    });
+                }
+                if now < Nanos::from_millis(20) {
+                    cmds.set_timer(token, now + Nanos::from_millis(5));
+                }
+            }
+        }
+        let run = |lanes: usize| {
+            let mut b = NetworkConfig::builder()
+                .scheme(SchemeKind::AirtimeFair)
+                .lanes(lanes);
+            for _ in 0..N {
+                b = b.station(wifiq_phy::PhyRate::fast_station());
+            }
+            let mut net = WifiNetwork::new(b.build());
+            let mut app = ManyUp { received: 0 };
+            net.seed_timer(0, Nanos::ZERO);
+            net.run(Nanos::from_millis(100), &mut app);
+            (
+                app.received,
+                net.events_processed,
+                net.meter().airtime_shares(),
+            )
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(one.0 > 0, "no uplink traffic flowed");
+        assert_eq!(one, four, "lane count changed the simulation");
+    }
+
+    #[test]
     fn station_churn_mid_run() {
         for scheme in SchemeKind::ALL {
             let cfg = NetworkConfig::paper_testbed(scheme);
@@ -1467,7 +1702,8 @@ mod tests {
             let mut app = FloodApp::new(3, Nanos::from_micros(500));
             net.seed_timer(0, Nanos::ZERO);
             net.run(Nanos::from_secs(1), &mut app);
-            net.remove_station(2);
+            let departing = net.sta_id(2).expect("slot 2 occupied");
+            net.remove_station(departing);
             assert!(!net.station_active(2), "{scheme}");
             assert_eq!(net.active_stations(), 2, "{scheme}");
             let at_removal = app.per_station_bytes[2];
@@ -1484,10 +1720,14 @@ mod tests {
             );
             assert!(net.absent_drops() > 0, "{scheme}: no absent drops counted");
             // Rejoin reuses the vacated slot and traffic resumes.
-            let slot = net.add_station(crate::config::StationCfg::clean(
+            let rejoined = net.add_station(crate::config::StationCfg::clean(
                 wifiq_phy::PhyRate::fast_station(),
             ));
-            assert_eq!(slot, 2, "{scheme}: slot not reused");
+            assert_eq!(rejoined.slot(), 2, "{scheme}: slot not reused");
+            assert_ne!(
+                rejoined, departing,
+                "{scheme}: slot reuse must mint a fresh generation"
+            );
             let at_rejoin = app.per_station_bytes[2];
             net.run(Nanos::from_secs(3), &mut app);
             assert!(
@@ -1505,7 +1745,8 @@ mod tests {
             let mut app = FloodApp::new(3, Nanos::from_micros(500));
             net.seed_timer(0, Nanos::ZERO);
             net.run(Nanos::from_millis(500), &mut app);
-            net.remove_station(1);
+            let id = net.sta_id(1).expect("slot 1 occupied");
+            net.remove_station(id);
             net.run(Nanos::from_secs(1), &mut app);
             net.add_station(crate::config::StationCfg::clean(
                 wifiq_phy::PhyRate::slow_station(),

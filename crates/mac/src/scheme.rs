@@ -11,13 +11,22 @@
 //! Figure 3: the qdisc layer is bypassed and packets enter the MAC FQ
 //! directly; stations are selected either round-robin (FQ-MAC) or by the
 //! airtime-fairness scheduler (Airtime).
+//!
+//! Station state lives in a [`StationTable`] (DESIGN.md §14): the hot
+//! per-round scheduler fields sit in the table's flat slabs, everything
+//! the per-aggregate path needs (`ColdSta`) in its cold side table, and
+//! the MAC FQ's TID handles in its per-slot TID stripe. All
+
+//! station-keyed access goes through generational [`StaId`] handles; a
+//! handle that outlives its station panics instead of addressing the
+//! slot's next occupant.
 
 use std::collections::VecDeque;
 
 use wifiq_codel::{CodelParams, StationCodelParams};
 use wifiq_core::fq::MacFq;
-use wifiq_core::packet::{StationHandle, TidHandle};
 use wifiq_core::scheduler::AirtimeScheduler;
+use wifiq_core::table::{StaId, StationTable};
 use wifiq_phy::{AccessCategory, PhyRate};
 use wifiq_qdisc::{FqCodelQdisc, PfifoFastQdisc, Qdisc};
 use wifiq_sim::Nanos;
@@ -32,8 +41,23 @@ use crate::packet::{Packet, StationIdx};
 const FRAME_POOL_CAP: usize = 32;
 
 /// Dense TID index: one per (station, access category).
-fn tid_index(sta: StationIdx, ac: AccessCategory) -> usize {
+#[deprecated(
+    since = "0.1.0",
+    note = "station/TID state is keyed by generational handles now; read TID \
+            handles from `StationTable::tid` instead of deriving indices \
+            (DESIGN.md §14)"
+)]
+pub fn tid_index(sta: StationIdx, ac: AccessCategory) -> usize {
     sta * AccessCategory::COUNT + ac.index()
+}
+
+/// Driver FIFO index for the legacy path's per-TID buf_q array. This is
+/// hardware-queue addressing (ath9k keys buf_q by TID number on the air),
+/// not station-state access — the station store itself is only reached
+/// through [`StationTable`] handles.
+#[inline]
+fn buf_index(slot: usize, ac: AccessCategory) -> usize {
+    slot * AccessCategory::COUNT + ac.index()
 }
 
 enum LegacyQdisc<M> {
@@ -86,11 +110,14 @@ impl<M> LegacyQdisc<M> {
 
 enum StaSched {
     /// Per-AC round-robin over active stations (pre-airtime mainline).
+    /// The lists hold station slots; `listed` is scheduler-internal
+    /// bookkeeping keyed by slot, kept in step with the table's roster.
     Rr {
-        lists: [VecDeque<StationIdx>; AccessCategory::COUNT],
+        lists: [VecDeque<usize>; AccessCategory::COUNT],
         listed: Vec<[bool; AccessCategory::COUNT]>,
     },
-    /// The paper's airtime-fairness scheduler.
+    /// The paper's airtime-fairness scheduler; all its per-station state
+    /// (deficits, weights, DRR list links) lives in the station table.
     Airtime(AirtimeScheduler),
 }
 
@@ -101,7 +128,7 @@ enum StaSched {
 enum PathInner<M> {
     Legacy {
         qdisc: LegacyQdisc<M>,
-        /// Per-TID driver FIFOs (ath9k's buf_q).
+        /// Per-TID driver FIFOs (ath9k's buf_q), indexed by [`buf_index`].
         bufq: Vec<VecDeque<Packet<M>>>,
         buf_total: usize,
         buf_cap: usize,
@@ -115,22 +142,27 @@ enum PathInner<M> {
     },
 }
 
+/// Per-station state off the per-round scheduling path, stored in the
+/// station table's cold side table: the per-aggregate build path touches
+/// it once per aggregate, not once per round.
+struct ColdSta<M> {
+    /// The rate the next aggregate for this station builds at.
+    rate: PhyRate,
+    /// Per-station CoDel parameter selection (§3.1.1).
+    codel: StationCodelParams,
+    /// One parked packet per AC: pulled for an aggregate but didn't fit
+    /// (the retry_q head slot of Figure 3).
+    stash: [Option<Packet<M>>; AccessCategory::COUNT],
+}
+
 /// The AP transmit path: scheme-specific queueing plus station selection
 /// and aggregate construction.
 pub struct ApTxPath<M> {
     kind: SchemeKind,
     inner: PathInner<M>,
-    /// One parked packet per TID: pulled for an aggregate but didn't fit
-    /// (the retry_q head slot of Figure 3).
-    stash: Vec<Option<Packet<M>>>,
-    /// Per-station CoDel parameter selection (§3.1.1).
-    codel: Vec<StationCodelParams>,
-    rates: Vec<PhyRate>,
-    /// Whether each station slot currently hosts a station.
-    active: Vec<bool>,
-    /// Removed station slots awaiting reuse (LIFO, kept in lockstep with
-    /// the FQ structure's TID free list and the scheduler's slot list).
-    free_slots: Vec<StationIdx>,
+    /// The station store: occupancy, generational handles, the airtime
+    /// scheduler's hot slabs, the FQ TID-handle stripe, and `ColdSta`.
+    table: StationTable<ColdSta<M>>,
     /// Remembered so stations added after construction get the same CoDel
     /// parameter policy as the initial roster.
     adaptive_codel: bool,
@@ -142,6 +174,13 @@ pub struct ApTxPath<M> {
     /// the steady state allocates no frame buffers at all.
     frame_pool: Vec<Vec<Packet<M>>>,
     tele: Telemetry,
+}
+
+/// What a station teardown yields: the drop count (churn) or the queued
+/// frames themselves (roaming hand-off).
+enum Teardown<M> {
+    Dropped(usize),
+    Moved(Vec<Packet<M>>),
 }
 
 /// CoDel parameter state for one station under the configured policy.
@@ -163,8 +202,6 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
     /// Builds the transmit path for the configured scheme.
     pub fn new(cfg: &NetworkConfig) -> ApTxPath<M> {
         let n = cfg.num_stations();
-        let n_tids = n * AccessCategory::COUNT;
-        let rates: Vec<PhyRate> = cfg.stations.iter().map(|s| s.rate).collect();
         let inner = match cfg.scheme {
             SchemeKind::Fifo | SchemeKind::FqCodelQdisc => PathInner::Legacy {
                 qdisc: if cfg.scheme == SchemeKind::Fifo {
@@ -172,49 +209,38 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
                 } else {
                     LegacyQdisc::FqCodel(Box::new(FqCodelQdisc::with_defaults()))
                 },
-                bufq: (0..n_tids).map(|_| VecDeque::new()).collect(),
+                bufq: Vec::new(),
                 buf_total: 0,
                 buf_cap: cfg.driver_buf_frames,
                 rr: Default::default(),
-                listed: vec![false; n_tids],
+                listed: Vec::new(),
             },
             SchemeKind::FqMac | SchemeKind::AirtimeFair => {
-                let mut fq = MacFq::new(cfg.fq);
-                for _ in 0..n_tids {
-                    fq.register_tid();
-                }
+                let fq = MacFq::new(cfg.fq);
                 let sched = if cfg.scheme == SchemeKind::FqMac {
                     StaSched::Rr {
                         lists: Default::default(),
-                        listed: vec![[false; AccessCategory::COUNT]; n],
+                        listed: Vec::new(),
                     }
                 } else {
-                    let mut s = AirtimeScheduler::new(cfg.airtime);
-                    for station in &cfg.stations {
-                        let h = s.register_station();
-                        s.set_weight(h, station.airtime_weight);
-                    }
-                    StaSched::Airtime(s)
+                    StaSched::Airtime(AirtimeScheduler::new(cfg.airtime))
                 };
                 PathInner::Fq { fq, sched }
             }
         };
-        let codel = (0..n)
-            .map(|_| codel_params_for(cfg.adaptive_codel))
-            .collect();
-        ApTxPath {
+        let mut path = ApTxPath {
             kind: cfg.scheme,
             inner,
-            stash: (0..n_tids).map(|_| None).collect(),
-            codel,
-            rates,
-            active: vec![true; n],
-            free_slots: Vec::new(),
+            table: StationTable::with_capacity(n),
             adaptive_codel: cfg.adaptive_codel,
             queue_drops: 0,
             frame_pool: Vec::new(),
             tele: Telemetry::disabled(),
+        };
+        for station in &cfg.stations {
+            path.add_station(station);
         }
+        path
     }
 
     /// Returns an emptied `Aggregate::frames` buffer to the pool for the
@@ -235,147 +261,80 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
 
     /// Attaches a station to the transmit path, reusing the most recently
     /// removed slot when one is free (otherwise growing every per-slot
-    /// table). Returns the slot index the station now occupies.
+    /// table). Returns the generational handle for the new station.
     ///
-    /// Slot reuse relies on the LIFO lockstep between this free list, the
-    /// FQ structure's TID free list, and the airtime scheduler's station
-    /// free list: all three are pushed/popped only from here, so a reused
-    /// slot `s` always reclaims exactly TID set `{4s..4s+3}` and scheduler
-    /// slot `s` (debug-asserted below).
-    pub fn add_station(&mut self, station: &StationCfg) -> StationIdx {
-        let sta = match self.free_slots.pop() {
-            Some(s) => s,
-            None => {
-                let s = self.codel.len();
-                for _ in 0..AccessCategory::COUNT {
-                    self.stash.push(None);
-                }
-                self.codel.push(codel_params_for(self.adaptive_codel));
-                self.rates.push(station.rate);
-                self.active.push(false);
-                match &mut self.inner {
-                    PathInner::Legacy { bufq, listed, .. } => {
-                        for _ in 0..AccessCategory::COUNT {
-                            bufq.push(VecDeque::new());
-                            listed.push(false);
-                        }
-                    }
-                    PathInner::Fq { sched, .. } => {
-                        if let StaSched::Rr { listed, .. } = sched {
-                            listed.push([false; AccessCategory::COUNT]);
-                        }
-                    }
-                }
-                s
-            }
+    /// Slot reuse relies on the LIFO lockstep between the table's free
+    /// list and the FQ structure's TID free list: both are pushed/popped
+    /// only from here, so a reused slot always reclaims the TID set it
+    /// released — and because the actual TID handles are stored in the
+    /// table's stripe, nothing downstream depends on that arithmetic.
+    pub fn add_station(&mut self, station: &StationCfg) -> StaId {
+        let cold = ColdSta {
+            rate: station.rate,
+            codel: codel_params_for(self.adaptive_codel),
+            stash: Default::default(),
         };
-        debug_assert!(!self.active[sta], "free slot still marked active");
-        debug_assert!(
-            (0..AccessCategory::COUNT)
-                .all(|a| self.stash[sta * AccessCategory::COUNT + a].is_none()),
-            "reused slot has stashed frames"
-        );
-        self.rates[sta] = station.rate;
-        self.codel[sta] = codel_params_for(self.adaptive_codel);
-        self.active[sta] = true;
-        if let PathInner::Fq { fq, sched } = &mut self.inner {
-            for _ in 0..AccessCategory::COUNT {
-                let h = fq.register_tid();
-                debug_assert_eq!(
-                    h.0 / AccessCategory::COUNT,
-                    sta,
-                    "TID free list out of lockstep with station slots"
-                );
-            }
-            match sched {
-                StaSched::Rr { listed, .. } => listed[sta] = [false; AccessCategory::COUNT],
-                StaSched::Airtime(s) => {
-                    let h = s.register_station();
-                    debug_assert_eq!(h.0, sta, "scheduler free list out of lockstep");
-                    s.set_weight(h, station.airtime_weight);
-                }
-            }
-        }
-        sta
-    }
-
-    /// Detaches a station: drops every frame of its queued at the AP
-    /// (stash, driver FIFOs or FQ flows), pulls its TIDs/slot out of all
-    /// scheduling lists mid-round without disturbing the survivors'
-    /// rotation order or deficits, and parks the slot for reuse. Returns
-    /// the number of packets dropped.
-    pub fn remove_station(&mut self, sta: StationIdx, now: Nanos) -> usize {
-        assert!(
-            self.active.get(sta).copied().unwrap_or(false),
-            "removing an inactive station slot"
-        );
-        let mut dropped = 0usize;
-        for ac in AccessCategory::ALL {
-            if self.stash[tid_index(sta, ac)].take().is_some() {
-                dropped += 1;
-            }
-        }
-        match &mut self.inner {
-            PathInner::Legacy {
-                bufq,
-                buf_total,
-                rr,
-                listed,
+        let id = match &mut self.inner {
+            PathInner::Fq {
+                sched: StaSched::Airtime(s),
                 ..
             } => {
-                // Packets for the station may still sit in the shared
-                // qdisc; those surface into bufq via pull_from_qdisc and
-                // are only discarded when addressed to an inactive slot at
-                // the network layer. Here we clear the driver FIFOs, which
-                // also releases the shared frame budget they pinned.
-                for ac in AccessCategory::ALL {
-                    let tid = tid_index(sta, ac);
-                    dropped += bufq[tid].len();
-                    *buf_total -= bufq[tid].len();
-                    bufq[tid].clear();
-                    if listed[tid] {
-                        rr[ac.index()].retain(|&t| t != tid);
-                        listed[tid] = false;
-                    }
+                let id = s.register_station(&mut self.table, cold);
+                self.table.set_weight(id, station.airtime_weight);
+                id
+            }
+            _ => self.table.alloc(cold),
+        };
+        let slot = id.slot();
+        match &mut self.inner {
+            PathInner::Legacy { bufq, listed, .. } => {
+                while bufq.len() < (slot + 1) * AccessCategory::COUNT {
+                    bufq.push(VecDeque::new());
+                    listed.push(false);
                 }
             }
             PathInner::Fq { fq, sched } => {
-                for ac in AccessCategory::ALL {
-                    dropped += fq.unregister_tid(TidHandle(tid_index(sta, ac)), now);
+                for ac in 0..AccessCategory::COUNT {
+                    let tid = fq.register_tid();
+                    debug_assert_eq!(
+                        tid.slot() / AccessCategory::COUNT,
+                        slot,
+                        "TID free list out of lockstep with station slots"
+                    );
+                    self.table.set_tid(id, ac, tid);
                 }
-                match sched {
-                    StaSched::Rr { lists, listed } => {
-                        for (aci, l) in lists.iter_mut().enumerate() {
-                            if listed[sta][aci] {
-                                l.retain(|&x| x != sta);
-                                listed[sta][aci] = false;
-                            }
-                        }
+                if let StaSched::Rr { listed, .. } = sched {
+                    while listed.len() <= slot {
+                        listed.push([false; AccessCategory::COUNT]);
                     }
-                    StaSched::Airtime(s) => s.remove_station(StationHandle(sta)),
+                    listed[slot] = [false; AccessCategory::COUNT];
                 }
             }
         }
-        self.active[sta] = false;
-        self.free_slots.push(sta);
-        dropped
+        id
     }
 
-    /// Detaches a station like [`remove_station`](Self::remove_station),
-    /// but hands back every frame queued for it at the AP (stash, driver
-    /// FIFOs, MAC FQ flows, and — for the pfifo qdiscs — the shared qdisc)
-    /// so a roaming hand-off can carry them to the target BSS. The shared
-    /// FQ-CoDel qdisc cannot be filtered per-station; its stale frames
-    /// surface and are discarded later, exactly as under churn.
-    pub fn remove_station_migrate(&mut self, sta: StationIdx) -> Vec<Packet<M>> {
-        assert!(
-            self.active.get(sta).copied().unwrap_or(false),
-            "migrating an inactive station slot"
-        );
+    /// Detaches a station: the single teardown path shared by churn
+    /// removal and roaming hand-off. Drops or hands back every frame
+    /// queued for the station at the AP (stash, driver FIFOs or FQ
+    /// flows), pulls its TIDs/slot out of all scheduling lists mid-round
+    /// without disturbing the survivors' rotation order or deficits, and
+    /// frees the table slot — which bumps the generation, so every
+    /// outstanding handle to the station goes stale.
+    fn detach_station(&mut self, id: StaId, now: Nanos, migrate: bool) -> Teardown<M> {
         let mut moved: Vec<Packet<M>> = Vec::new();
-        for ac in AccessCategory::ALL {
-            moved.extend(self.stash[tid_index(sta, ac)].take());
+        let mut dropped = 0usize;
+        // `cold_mut` validates the handle (stale/double-free panics here).
+        for ac in 0..AccessCategory::COUNT {
+            if let Some(p) = self.table.cold_mut(id).stash[ac].take() {
+                if migrate {
+                    moved.push(p);
+                } else {
+                    dropped += 1;
+                }
+            }
         }
+        let slot = id.slot();
         match &mut self.inner {
             PathInner::Legacy {
                 qdisc,
@@ -385,44 +344,101 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
                 listed,
                 ..
             } => {
+                // Packets for the station may still sit in the shared
+                // qdisc; those surface into bufq via pull_from_qdisc and
+                // are only discarded when addressed to a freed slot at the
+                // network layer. Here we clear the driver FIFOs, which
+                // also releases the shared frame budget they pinned.
                 for ac in AccessCategory::ALL {
-                    let tid = tid_index(sta, ac);
+                    let tid = buf_index(slot, ac);
                     *buf_total -= bufq[tid].len();
-                    moved.extend(bufq[tid].drain(..));
+                    if migrate {
+                        moved.extend(bufq[tid].drain(..));
+                    } else {
+                        dropped += bufq[tid].len();
+                        bufq[tid].clear();
+                    }
                     if listed[tid] {
                         rr[ac.index()].retain(|&t| t != tid);
                         listed[tid] = false;
                     }
                 }
-                if let LegacyQdisc::Pfifo(q) = qdisc {
-                    moved.extend(q.drain_matching(|p| p.wireless_peer() == sta));
+                // Only the pfifo qdisc can be filtered per-station; the
+                // shared FQ-CoDel qdisc's stale frames surface and are
+                // discarded later, exactly as under churn.
+                if migrate {
+                    if let LegacyQdisc::Pfifo(q) = qdisc {
+                        moved.extend(q.drain_matching(|p| p.wireless_peer() == slot));
+                    }
                 }
             }
             PathInner::Fq { fq, sched } => {
-                for ac in AccessCategory::ALL {
-                    moved.extend(fq.unregister_tid_migrate(TidHandle(tid_index(sta, ac))));
+                for ac in 0..AccessCategory::COUNT {
+                    let tid = self.table.tid(id, ac);
+                    if migrate {
+                        moved.extend(fq.unregister_tid_migrate(tid));
+                    } else {
+                        dropped += fq.unregister_tid(tid, now);
+                    }
                 }
-                match sched {
-                    StaSched::Rr { lists, listed } => {
-                        for (aci, l) in lists.iter_mut().enumerate() {
-                            if listed[sta][aci] {
-                                l.retain(|&x| x != sta);
-                                listed[sta][aci] = false;
-                            }
+                if let StaSched::Rr { lists, listed } = sched {
+                    for (aci, l) in lists.iter_mut().enumerate() {
+                        if listed[slot][aci] {
+                            l.retain(|&x| x != slot);
+                            listed[slot][aci] = false;
                         }
                     }
-                    StaSched::Airtime(s) => s.remove_station(StationHandle(sta)),
                 }
+                // Airtime: `table.free` below unlinks the station from the
+                // DRR lists without touching the survivors.
             }
         }
-        self.active[sta] = false;
-        self.free_slots.push(sta);
-        moved
+        self.table.free(id);
+        if migrate {
+            Teardown::Moved(moved)
+        } else {
+            Teardown::Dropped(dropped)
+        }
+    }
+
+    /// Detaches a station under churn, dropping every frame queued for it
+    /// at the AP. Returns the number of packets dropped. The handle goes
+    /// stale; the slot is parked for reuse.
+    pub fn remove_station(&mut self, id: StaId, now: Nanos) -> usize {
+        match self.detach_station(id, now, false) {
+            Teardown::Dropped(n) => n,
+            Teardown::Moved(_) => unreachable!(),
+        }
+    }
+
+    /// Detaches a station like [`remove_station`](Self::remove_station),
+    /// but hands back every frame queued for it at the AP (stash, driver
+    /// FIFOs, MAC FQ flows, and — for the pfifo qdiscs — the shared
+    /// qdisc) so a roaming hand-off can carry them to the target BSS.
+    pub fn remove_station_migrate(&mut self, id: StaId) -> Vec<Packet<M>> {
+        match self.detach_station(id, Nanos::ZERO, true) {
+            Teardown::Moved(v) => v,
+            Teardown::Dropped(_) => unreachable!(),
+        }
+    }
+
+    /// The current generational handle for the station at `slot`, or
+    /// `None` if the slot is empty. Wire addressing (packets, aggregates)
+    /// speaks slots; everything stateful speaks handles — this is the
+    /// bridge.
+    pub fn sta_id(&self, slot: StationIdx) -> Option<StaId> {
+        self.table.id_at(slot)
     }
 
     /// Whether slot `sta` currently hosts a station.
     pub fn station_active(&self, sta: StationIdx) -> bool {
-        self.active.get(sta).copied().unwrap_or(false)
+        self.table.id_at(sta).is_some()
+    }
+
+    /// Whether `id` still addresses a live station (i.e. the station has
+    /// not been removed since the handle was issued).
+    pub fn station_current(&self, id: StaId) -> bool {
+        self.table.is_current(id)
     }
 
     /// Re-writes one station's per-AC airtime weights (compiled policy
@@ -430,35 +446,33 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
     /// weights up at the station's next replenishment — so applying a
     /// policy switch never disturbs stations whose weights are unchanged.
     /// A no-op under the non-airtime schemes.
-    pub fn set_station_weights(&mut self, sta: StationIdx, weights: [u32; AccessCategory::COUNT]) {
+    pub fn set_station_weights(&mut self, id: StaId, weights: [u32; AccessCategory::COUNT]) {
         if let PathInner::Fq {
-            sched: StaSched::Airtime(s),
+            sched: StaSched::Airtime(_),
             ..
-        } = &mut self.inner
+        } = &self.inner
         {
-            if s.is_registered(StationHandle(sta)) {
-                s.set_ac_weights(StationHandle(sta), weights);
+            if self.table.is_current(id) {
+                self.table.set_ac_weights(id, weights);
             }
         }
     }
 
     /// One station's current airtime weight at `ac` (test/telemetry
-    /// probe); `None` under the non-airtime schemes or for an empty slot.
-    pub fn station_ac_weight(&self, sta: StationIdx, ac: AccessCategory) -> Option<u32> {
+    /// probe); `None` under the non-airtime schemes or for a stale handle.
+    pub fn station_ac_weight(&self, id: StaId, ac: AccessCategory) -> Option<u32> {
         match &self.inner {
             PathInner::Fq {
-                sched: StaSched::Airtime(s),
+                sched: StaSched::Airtime(_),
                 ..
-            } if s.is_registered(StationHandle(sta)) => {
-                Some(s.ac_weight(StationHandle(sta), ac.index()))
-            }
+            } if self.table.is_current(id) => Some(self.table.ac_weight(id, ac.index())),
             _ => None,
         }
     }
 
     /// Number of station slots ever allocated (active + tombstoned).
     pub fn station_slots(&self) -> usize {
-        self.codel.len()
+        self.table.slots()
     }
 
     /// Attaches a telemetry handle, propagating it to the MAC FQ structure
@@ -498,42 +512,50 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
         }
     }
 
-    fn tid_has_data(&self, tid: usize) -> bool {
-        if self.stash[tid].is_some() {
+    /// Whether `(id, ac)` has pending data (stash included).
+    fn tid_has_data(&self, id: StaId, ac: AccessCategory) -> bool {
+        if self.table.cold(id).stash[ac.index()].is_some() {
             return true;
         }
         match &self.inner {
-            PathInner::Legacy { bufq, .. } => !bufq[tid].is_empty(),
-            PathInner::Fq { fq, .. } => fq.tid_has_data(TidHandle(tid)),
+            PathInner::Legacy { bufq, .. } => !bufq[buf_index(id.slot(), ac)].is_empty(),
+            PathInner::Fq { fq, .. } => fq.tid_has_data(self.table.tid(id, ac.index())),
         }
     }
 
     /// Accepts a downlink packet from the IP layer. The packet must have
     /// `enqueued` stamped with the current time.
     pub fn enqueue(&mut self, pkt: Packet<M>, now: Nanos) {
-        let sta = pkt.wireless_peer();
+        let slot = pkt.wireless_peer();
         let ac = pkt.ac;
-        debug_assert!(self.active[sta], "enqueue for a removed station");
         match &mut self.inner {
             PathInner::Legacy { qdisc, .. } => {
+                debug_assert!(
+                    self.table.id_at(slot).is_some(),
+                    "enqueue for a removed station"
+                );
                 if qdisc.enqueue(pkt, now).is_some() {
                     self.queue_drops += 1;
                 }
                 self.pull_from_qdisc(now);
             }
             PathInner::Fq { fq, sched } => {
-                let tid = tid_index(sta, ac);
-                if fq.enqueue(pkt, TidHandle(tid), now).is_some() {
+                let id = self
+                    .table
+                    .id_at(slot)
+                    .expect("enqueue for a removed station");
+                let tid = self.table.tid(id, ac.index());
+                if fq.enqueue(pkt, tid, now).is_some() {
                     self.queue_drops += 1;
                 }
                 match sched {
                     StaSched::Rr { lists, listed } => {
-                        if !listed[sta][ac.index()] {
-                            listed[sta][ac.index()] = true;
-                            lists[ac.index()].push_back(sta);
+                        if !listed[slot][ac.index()] {
+                            listed[slot][ac.index()] = true;
+                            lists[ac.index()].push_back(slot);
                         }
                     }
-                    StaSched::Airtime(s) => s.notify_active(StationHandle(sta), ac.index()),
+                    StaSched::Airtime(s) => s.notify_active(&mut self.table, id, ac.index()),
                 }
             }
         }
@@ -558,11 +580,11 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
             let Some(pkt) = qdisc.dequeue(now) else { break };
             // The shared qdisc cannot be filtered on removal; frames for a
             // since-departed station are discarded as they surface.
-            if !self.active[pkt.wireless_peer()] {
+            if self.table.id_at(pkt.wireless_peer()).is_none() {
                 self.queue_drops += 1;
                 continue;
             }
-            let tid = tid_index(pkt.wireless_peer(), pkt.ac);
+            let tid = buf_index(pkt.wireless_peer(), pkt.ac);
             let ac = pkt.ac.index();
             bufq[tid].push_back(pkt);
             *buf_total += 1;
@@ -587,44 +609,46 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
         &mut self,
         ac: AccessCategory,
         _now: Nanos,
-        eligible: impl Fn(StationIdx) -> bool,
-    ) -> Option<StationIdx> {
+        eligible: impl Fn(StaId) -> bool,
+    ) -> Option<StaId> {
         let aci = ac.index();
-        // Collect stash state first to avoid borrowing conflicts inside
-        // the scheduler closures.
         match &mut self.inner {
             PathInner::Legacy {
                 bufq, rr, listed, ..
             } => loop {
                 let &tid = rr[aci].front()?;
-                let has = self.stash[tid].is_some() || !bufq[tid].is_empty();
-                if has {
-                    return Some(tid / AccessCategory::COUNT);
+                let slot = tid / AccessCategory::COUNT;
+                let stashed = self
+                    .table
+                    .cold_at(slot)
+                    .is_some_and(|c| c.stash[aci].is_some());
+                if stashed || !bufq[tid].is_empty() {
+                    // Teardown unlists a departing station's TIDs, so the
+                    // slot at the front is always occupied.
+                    return self.table.id_at(slot);
                 }
                 rr[aci].pop_front();
                 listed[tid] = false;
             },
             PathInner::Fq { fq, sched } => match sched {
                 StaSched::Rr { lists, listed } => loop {
-                    let &sta = lists[aci].front()?;
-                    let tid = tid_index(sta, ac);
-                    let has = (self.stash[tid].is_some() || fq.tid_has_data(TidHandle(tid)))
-                        && eligible(sta);
+                    let &slot = lists[aci].front()?;
+                    let id = self.table.id_at(slot)?;
+                    let tid = self.table.tid(id, aci);
+                    let has = (self.table.cold(id).stash[aci].is_some() || fq.tid_has_data(tid))
+                        && eligible(id);
                     if has {
-                        return Some(sta);
+                        return Some(id);
                     }
                     lists[aci].pop_front();
-                    listed[sta][aci] = false;
+                    listed[slot][aci] = false;
                 },
                 StaSched::Airtime(s) => {
-                    let stash = &self.stash;
                     let fq_ref = &*fq;
-                    s.next_station(aci, |sh| {
-                        let tid = tid_index(sh.0, ac);
-                        (stash[tid].is_some() || fq_ref.tid_has_data(TidHandle(tid)))
-                            && eligible(sh.0)
+                    s.next_station(&mut self.table, aci, |t, id| {
+                        (t.cold(id).stash[aci].is_some() || fq_ref.tid_has_data(t.tid(id, aci)))
+                            && eligible(id)
                     })
-                    .map(|sh| sh.0)
                 }
             },
         }
@@ -639,47 +663,46 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
     /// they are heavy airtime users whose deficits are deeply negative,
     /// so the deficit check rotates them straight to the old list before
     /// any priority is realised.
-    pub fn reactivate(&mut self, sta: StationIdx, ac: AccessCategory) {
-        let tid = tid_index(sta, ac);
-        if !self.tid_has_data(tid) {
+    pub fn reactivate(&mut self, id: StaId, ac: AccessCategory) {
+        if !self.tid_has_data(id, ac) {
             return;
         }
         let aci = ac.index();
         if let PathInner::Fq { sched, .. } = &mut self.inner {
             match sched {
                 StaSched::Rr { lists, listed } => {
-                    if !listed[sta][aci] {
-                        listed[sta][aci] = true;
-                        lists[aci].push_back(sta);
+                    let slot = id.slot();
+                    if !listed[slot][aci] {
+                        listed[slot][aci] = true;
+                        lists[aci].push_back(slot);
                     }
                 }
-                StaSched::Airtime(s) => s.notify_active(StationHandle(sta), aci),
+                StaSched::Airtime(s) => s.notify_active(&mut self.table, id, aci),
             }
         }
     }
 
-    /// Builds an aggregate for `(sta, ac)` and performs the scheme's
+    /// Builds an aggregate for `(id, ac)` and performs the scheme's
     /// post-build rotation (RR advance). Returns `None` if the TID turned
     /// out to be empty (e.g. CoDel dropped its remaining packets).
-    pub fn build(
-        &mut self,
-        sta: StationIdx,
-        ac: AccessCategory,
-        now: Nanos,
-    ) -> Option<Aggregate<M>> {
-        let tid = tid_index(sta, ac);
-        let rate = self.rates[sta];
-        let codel_params = self.codel[sta].current();
-        let stash_slot = &mut self.stash[tid];
+    pub fn build(&mut self, id: StaId, ac: AccessCategory, now: Nanos) -> Option<Aggregate<M>> {
+        let slot = id.slot();
+        let rate = self.table.cold(id).rate;
+        let codel_params = self.table.cold(id).codel.current();
+        let fq_tid = match &self.inner {
+            PathInner::Fq { .. } => self.table.tid(id, ac.index()),
+            PathInner::Legacy { .. } => wifiq_core::table::TidId::NONE,
+        };
+        let stash_slot = &mut self.table.cold_mut(id).stash[ac.index()];
         let frames_buf = self.frame_pool.pop().unwrap_or_default();
 
         let (built, leftover) = match &mut self.inner {
             PathInner::Legacy {
                 bufq, buf_total, ..
             } => {
-                let q = &mut bufq[tid];
+                let q = &mut bufq[buf_index(slot, ac)];
                 let mut taken = 0usize;
-                let (built, leftover) = build_aggregate_into(sta, ac, rate, frames_buf, || {
+                let (built, leftover) = build_aggregate_into(slot, ac, rate, frames_buf, || {
                     if let Some(p) = stash_slot.take() {
                         return Some(p);
                     }
@@ -692,14 +715,14 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
                 *buf_total -= taken;
                 (built, leftover)
             }
-            PathInner::Fq { fq, .. } => build_aggregate_into(sta, ac, rate, frames_buf, || {
+            PathInner::Fq { fq, .. } => build_aggregate_into(slot, ac, rate, frames_buf, || {
                 if let Some(p) = stash_slot.take() {
                     return Some(p);
                 }
-                fq.dequeue(TidHandle(tid), now, &codel_params)
+                fq.dequeue(fq_tid, now, &codel_params)
             }),
         };
-        self.stash[tid] = leftover;
+        self.table.cold_mut(id).stash[ac.index()] = leftover;
         let agg = match built {
             Ok(agg) => Some(agg),
             Err(buf) => {
@@ -716,6 +739,7 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
         let aci = ac.index();
         match &mut self.inner {
             PathInner::Legacy { rr, .. } => {
+                let tid = buf_index(slot, ac);
                 if let Some(&front) = rr[aci].front() {
                     if front == tid {
                         rr[aci].pop_front();
@@ -726,9 +750,9 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
             PathInner::Fq { sched, .. } => {
                 if let StaSched::Rr { lists, .. } = sched {
                     if let Some(&front) = lists[aci].front() {
-                        if front == sta {
+                        if front == slot {
                             lists[aci].pop_front();
-                            lists[aci].push_back(sta);
+                            lists[aci].push_back(slot);
                         }
                     }
                 }
@@ -746,72 +770,68 @@ impl<M: std::fmt::Debug> ApTxPath<M> {
     /// throughput estimate, which is the configured rate under static
     /// rate control or the Minstrel estimate when rate control runs
     /// (§3.1.1: "obtained from the rate selection algorithm").
+    ///
+    /// Callers resolve the handle from the aggregate's wire slot at
+    /// completion time; an exchange completing after its target departed
+    /// simply finds no current handle and never reaches this method.
     pub fn on_tx_airtime(
         &mut self,
-        sta: StationIdx,
+        id: StaId,
         ac: AccessCategory,
         airtime: Nanos,
         now: Nanos,
         rate_estimate_bps: u64,
     ) {
-        // An exchange can complete after its target departed (removal is
-        // deferred past in-flight exchanges at the network layer, but a
-        // retry chain may outlive that); the tombstoned slot takes no
-        // charges.
-        if !self.active[sta] {
-            return;
-        }
         if let PathInner::Fq {
             sched: StaSched::Airtime(s),
             ..
         } = &mut self.inner
         {
-            s.charge(StationHandle(sta), ac.index(), airtime);
+            s.charge(&mut self.table, id, ac.index(), airtime);
         }
-        self.codel[sta].update_rate_observed(now, rate_estimate_bps, &self.tele, sta as u32);
+        let slot = id.slot() as u32;
+        let tele = self.tele.clone();
+        self.table
+            .cold_mut(id)
+            .codel
+            .update_rate_observed(now, rate_estimate_bps, &tele, slot);
     }
 
-    /// The rate the next aggregate for `sta` will be built at.
-    pub fn rate_of(&self, sta: StationIdx) -> PhyRate {
-        self.rates[sta]
+    /// The rate the next aggregate for the station will be built at.
+    pub fn rate_of(&self, id: StaId) -> PhyRate {
+        self.table.cold(id).rate
     }
 
     /// Whether the §3.1.1 slow-station CoDel parameters are currently
-    /// active for `sta` (recovery tracking for fault injection).
-    pub fn codel_degraded(&self, sta: StationIdx) -> bool {
-        self.codel[sta].is_degraded()
+    /// active for the station (recovery tracking for fault injection).
+    pub fn codel_degraded(&self, id: StaId) -> bool {
+        self.table.cold(id).codel.is_degraded()
     }
 
-    /// Overrides the downlink rate for `sta` (driven by the rate
+    /// Overrides the downlink rate for the station (driven by the rate
     /// controller between aggregates).
-    pub fn set_rate(&mut self, sta: StationIdx, rate: PhyRate) {
-        self.rates[sta] = rate;
+    pub fn set_rate(&mut self, id: StaId, rate: PhyRate) {
+        self.table.cold_mut(id).rate = rate;
     }
 
     /// Charges *received* airtime to a station's deficit (§3.2 point 2:
     /// "also accounting the airtime from received frames"), unless the
     /// scheduler is configured for TX-only accounting (ablation).
-    pub fn on_rx_airtime(&mut self, sta: StationIdx, ac: AccessCategory, airtime: Nanos) {
-        if !self.active[sta] {
-            return;
-        }
+    pub fn on_rx_airtime(&mut self, id: StaId, ac: AccessCategory, airtime: Nanos) {
         if let PathInner::Fq {
             sched: StaSched::Airtime(s),
             ..
         } = &mut self.inner
         {
             if s.params().charge_rx {
-                s.charge(StationHandle(sta), ac.index(), airtime);
+                s.charge(&mut self.table, id, ac.index(), airtime);
             }
         }
     }
 
-    /// Whether any TID at `ac` has pending data (stash included).
+    /// Whether any station at `ac` has pending data (stash included).
     pub fn has_data_at(&self, ac: AccessCategory) -> bool {
-        let n_tids = self.stash.len();
-        (0..n_tids)
-            .filter(|t| t % AccessCategory::COUNT == ac.index())
-            .any(|t| self.tid_has_data(t))
+        self.table.iter().any(|id| self.tid_has_data(id, ac))
     }
 
     /// CoDel drop count accumulated in the MAC FQ (0 for legacy paths; the
@@ -853,8 +873,15 @@ mod tests {
     }
 
     fn drain_one(path: &mut ApTxPath<()>, now: Nanos) -> Option<Aggregate<()>> {
-        let sta = path.next_tx(AccessCategory::Be, now, |_| true)?;
-        path.build(sta, AccessCategory::Be, now)
+        let id = path.next_tx(AccessCategory::Be, now, |_| true)?;
+        path.build(id, AccessCategory::Be, now)
+    }
+
+    /// Frames parked in a station slot's stash (test probe).
+    fn stashed(path: &ApTxPath<()>, slot: usize) -> usize {
+        path.table
+            .cold_at(slot)
+            .map_or(0, |c| c.stash.iter().filter(|s| s.is_some()).count())
     }
 
     #[test]
@@ -969,6 +996,7 @@ mod tests {
         for i in 0..20 {
             path.enqueue(pkt(0, 1, Nanos::from_nanos(i)), now);
         }
+        let id0 = path.sta_id(0).unwrap();
         // Vetoed: the scheduler treats station 0 as empty and, having no
         // other candidates, returns None (rotating it off the lists).
         assert_eq!(path.next_tx(AccessCategory::Be, now, |_| false), None);
@@ -976,15 +1004,15 @@ mod tests {
         // its queue is non-empty.
         assert_eq!(path.next_tx(AccessCategory::Be, now, |_| true), None);
         // Reactivate re-lists it.
-        path.reactivate(0, AccessCategory::Be);
-        assert_eq!(path.next_tx(AccessCategory::Be, now, |_| true), Some(0));
+        path.reactivate(id0, AccessCategory::Be);
+        assert_eq!(path.next_tx(AccessCategory::Be, now, |_| true), Some(id0));
         // Reactivating an empty station is a no-op.
         let mut drained = 0;
         while drain_one(&mut path, now).is_some() {
             drained += 1;
         }
         assert!(drained >= 1);
-        path.reactivate(0, AccessCategory::Be);
+        path.reactivate(id0, AccessCategory::Be);
         assert_eq!(path.next_tx(AccessCategory::Be, now, |_| true), None);
     }
 
@@ -997,19 +1025,34 @@ mod tests {
                 path.enqueue(pkt(0, 1, Nanos::from_nanos(i)), now);
                 path.enqueue(pkt(1, 2, Nanos::from_nanos(i)), now);
             }
-            path.remove_station(1, now);
+            let id1 = path.sta_id(1).unwrap();
+            path.remove_station(id1, now);
             assert!(!path.station_active(1), "{scheme}");
+            assert!(!path.station_current(id1), "{scheme}: handle not stale");
             while let Some(agg) = drain_one(&mut path, now) {
                 assert_ne!(agg.station, 1, "{scheme}: removed station was scheduled");
             }
             assert_eq!(path.backlog(), 0, "{scheme}: backlog left behind");
-            let slot = path.add_station(&StationCfg::clean(PhyRate::fast_station()));
-            assert_eq!(slot, 1, "{scheme}: LIFO slot reuse");
+            let readded = path.add_station(&StationCfg::clean(PhyRate::fast_station()));
+            assert_eq!(readded.slot(), 1, "{scheme}: LIFO slot reuse");
+            assert_ne!(readded, id1, "{scheme}: generation not bumped on reuse");
             assert_eq!(path.station_slots(), 3, "{scheme}: slot table grew");
             path.enqueue(pkt(1, 3, now), now);
             let agg = drain_one(&mut path, now).expect("readded station must transmit");
             assert_eq!(agg.station, 1, "{scheme}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "stale station handle")]
+    fn stale_handle_panics_on_use() {
+        let mut path: ApTxPath<()> = ApTxPath::new(&cfg(SchemeKind::AirtimeFair));
+        let now = Nanos::ZERO;
+        let id1 = path.sta_id(1).unwrap();
+        path.remove_station(id1, now);
+        path.add_station(&StationCfg::clean(PhyRate::fast_station()));
+        // The slot is occupied again, but this handle predates the churn.
+        path.rate_of(id1);
     }
 
     #[test]
@@ -1028,11 +1071,9 @@ mod tests {
                     break;
                 }
             }
-            let before = path.backlog()
-                + (0..AccessCategory::COUNT)
-                    .filter(|a| path.stash[AccessCategory::COUNT + a].is_some())
-                    .count();
-            let moved = path.remove_station_migrate(1);
+            let before = path.backlog() + stashed(&path, 1);
+            let id1 = path.sta_id(1).unwrap();
+            let moved = path.remove_station_migrate(id1);
             assert!(!path.station_active(1), "{scheme}");
             assert!(
                 moved.iter().all(|p| p.wireless_peer() == 1),
@@ -1043,11 +1084,7 @@ mod tests {
             // frame for the roamer any more.
             if scheme != SchemeKind::FqCodelQdisc {
                 assert_eq!(
-                    path.backlog()
-                        + (0..AccessCategory::COUNT)
-                            .filter(|a| path.stash[AccessCategory::COUNT + a].is_some())
-                            .count()
-                        + moved.len(),
+                    path.backlog() + stashed(&path, 1) + moved.len(),
                     before,
                     "{scheme}: frames vanished in migration"
                 );
@@ -1056,8 +1093,8 @@ mod tests {
                 }
             }
             // The slot is reusable, exactly as after a plain removal.
-            let slot = path.add_station(&StationCfg::clean(PhyRate::fast_station()));
-            assert_eq!(slot, 1, "{scheme}: LIFO slot reuse after migrate");
+            let readded = path.add_station(&StationCfg::clean(PhyRate::fast_station()));
+            assert_eq!(readded.slot(), 1, "{scheme}: LIFO slot reuse after migrate");
         }
     }
 
@@ -1066,8 +1103,8 @@ mod tests {
         for scheme in SchemeKind::ALL {
             let mut path: ApTxPath<()> = ApTxPath::new(&cfg(scheme));
             let now = Nanos::ZERO;
-            let slot = path.add_station(&StationCfg::clean(PhyRate::slow_station()));
-            assert_eq!(slot, 3, "{scheme}: new slot appended");
+            let id = path.add_station(&StationCfg::clean(PhyRate::slow_station()));
+            assert_eq!(id.slot(), 3, "{scheme}: new slot appended");
             path.enqueue(pkt(3, 9, now), now);
             let agg = drain_one(&mut path, now).expect("new station must transmit");
             assert_eq!(agg.station, 3, "{scheme}");
@@ -1081,6 +1118,7 @@ mod tests {
         for i in 0..10 {
             path.enqueue(pkt(0, 1, Nanos::from_nanos(i)), now);
         }
+        let id0 = path.sta_id(0).unwrap();
         let agg = drain_one(&mut path, now).unwrap();
         assert_eq!(path.frame_pool_len(), 0, "pool starts empty");
         let mut frames = agg.frames;
@@ -1099,7 +1137,7 @@ mod tests {
         assert_eq!(path.frame_pool_len(), 0);
         // A build that finds nothing returns the buffer to the pool.
         path.recycle_frames(agg.frames);
-        assert!(path.build(0, AccessCategory::Be, now).is_none());
+        assert!(path.build(id0, AccessCategory::Be, now).is_none());
         assert_eq!(path.frame_pool_len(), 1, "empty build re-pools its buffer");
     }
 

@@ -9,7 +9,7 @@ use std::collections::VecDeque;
 
 use wifiq_codel::CodelParams;
 use wifiq_core::fq::{FqParams, MacFq};
-use wifiq_core::packet::TidHandle;
+use wifiq_core::table::TidId;
 use wifiq_phy::{AccessCategory, PhyRate};
 use wifiq_sim::{Nanos, SimRng};
 use wifiq_telemetry::Telemetry;
@@ -36,7 +36,7 @@ enum UplinkQueues<M> {
     },
     Fq {
         fq: MacFq<Packet<M>>,
-        tids: [TidHandle; AccessCategory::COUNT],
+        tids: [TidId; AccessCategory::COUNT],
         codel: CodelParams,
     },
 }

@@ -13,7 +13,8 @@
 
 use wifiq_codel::CodelParams;
 use wifiq_core::fq::{FqParams, MacFq};
-use wifiq_core::packet::{FqPacket, PacketArena, PacketFifo, TidHandle};
+use wifiq_core::packet::{FqPacket, PacketArena, PacketFifo};
+use wifiq_core::table::TidId;
 use wifiq_sim::Nanos;
 
 /// A queueing discipline installed on a network interface.
@@ -189,7 +190,7 @@ impl<P> Qdisc<P> for PfifoFastQdisc<P> {
 #[derive(Debug)]
 pub struct FqCodelQdisc<P> {
     fq: MacFq<P>,
-    tid: TidHandle,
+    tid: TidId,
     codel: CodelParams,
 }
 

@@ -30,7 +30,7 @@
 use std::collections::BTreeMap;
 use std::sync::mpsc::{self, Receiver, Sender};
 
-use wifiq_mac::{Packet, StationCfg, StationIdx, WifiNetwork};
+use wifiq_mac::{Packet, StaId, StationCfg, StationIdx, WifiNetwork};
 use wifiq_phy::PhyRate;
 use wifiq_scale::{ShardCtx, ShardSet};
 use wifiq_sim::Nanos;
@@ -456,9 +456,9 @@ fn worker_loop<B, T, F, G>(
     F: Fn(&ShardCtx) -> B,
     G: Fn(u32, B) -> (T, Option<Registry>),
 {
-    // (shard, host, schedule-station → slot) in ascending shard order,
+    // (shard, host, schedule-station → handle) in ascending shard order,
     // matching the coordinator's per-worker sort.
-    let mut hosts: Vec<(u32, B, BTreeMap<u32, StationIdx>)> = ctxs
+    let mut hosts: Vec<(u32, B, BTreeMap<u32, StaId>)> = ctxs
         .iter()
         .map(|c| (c.shard, build(c), BTreeMap::new()))
         .collect();
@@ -474,19 +474,19 @@ fn worker_loop<B, T, F, G>(
                 let mut arr_ack = Vec::new();
                 for (shard, host, slots) in hosts.iter_mut() {
                     while let Some(a) = arr_iter.next_if(|a| a.shard == *shard) {
-                        let slot = host.net_mut().roam_in(StationCfg::clean(a.rate), a.packets);
-                        slots.insert(a.station, slot);
-                        let covered = policy_covered(host.net_mut(), slot);
-                        host.station_arrived(a.station, slot);
+                        let id = host.net_mut().roam_in(StationCfg::clean(a.rate), a.packets);
+                        slots.insert(a.station, id);
+                        let covered = policy_covered(host.net_mut(), id.slot());
+                        host.station_arrived(a.station, id.slot());
                         arr_ack.push((a.station, covered));
                     }
                     host.advance(until);
                     for d in departs.iter().filter(|d| d.shard == *shard) {
-                        let slot = slots
+                        let id = slots
                             .remove(&d.station)
                             .expect("departing station is not on this shard");
-                        let h = host.net_mut().roam_out(slot);
-                        host.station_departed(d.station, slot);
+                        let h = host.net_mut().roam_out(id);
+                        host.station_departed(d.station, id.slot());
                         dep_ack.push(DepartAck {
                             station: d.station,
                             dropped: h.dropped,

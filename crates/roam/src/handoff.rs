@@ -89,7 +89,10 @@ pub(crate) fn tele_arrive(tele: &Telemetry, covered: bool, reassoc: Nanos) {
 }
 
 /// Whether any access category of `slot` is owned by a policy node.
-pub(crate) fn policy_covered<M: std::fmt::Debug>(net: &WifiNetwork<M>, slot: StationIdx) -> bool {
+pub(crate) fn policy_covered<M: std::fmt::Debug + Send>(
+    net: &WifiNetwork<M>,
+    slot: StationIdx,
+) -> bool {
     AccessCategory::ALL
         .iter()
         .any(|&ac| net.policy_node_of(slot, ac).is_some())
@@ -120,7 +123,7 @@ pub struct SoloRoam<M> {
     pub stats: RoamStats,
 }
 
-impl<M: std::fmt::Debug> SoloRoam<M> {
+impl<M: std::fmt::Debug + Send> SoloRoam<M> {
     /// A replayer for `roster` stations already associated on slots
     /// `0..roster` of the target network (the usual builder layout).
     pub fn new(cfg: RoamCfg, seed: u64, roster: usize) -> SoloRoam<M> {
@@ -196,14 +199,16 @@ impl<M: std::fmt::Debug> SoloRoam<M> {
     fn depart(&mut self, net: &mut WifiNetwork<M>) {
         let m = self.driver.next_move();
         let slot = self.slot_of[m.station as usize];
-        if !net.station_active(slot) {
-            // A concurrent churn schedule removed whoever held this
-            // slot; there is nothing to hand off.
+        // Resolve the remembered slot to its current handle; a vacant or
+        // disassociated slot means a concurrent churn schedule removed
+        // whoever held it, so there is nothing to hand off.
+        let id = net.station_active(slot).then(|| net.sta_id(slot)).flatten();
+        let Some(id) = id else {
             self.stats.skipped += 1;
             self.tele.count("roam", "skipped_moves", Label::Global, 1);
             return;
-        }
-        let h = net.roam_out(slot);
+        };
+        let h = net.roam_out(id);
         self.stats.on_depart(h.dropped, h.packets.len(), h.deferred);
         tele_depart(&self.tele, h.dropped, h.packets.len(), h.deferred);
         self.transit.push(Transit {
@@ -226,7 +231,8 @@ impl<M: std::fmt::Debug> SoloRoam<M> {
         // assignment) must not depend on transit-buffer layout.
         rejoins.sort_by_key(|t| t.station);
         for t in rejoins {
-            let slot = net.roam_in(StationCfg::clean(t.rate), t.packets);
+            let id = net.roam_in(StationCfg::clean(t.rate), t.packets);
+            let slot = id.slot();
             self.slot_of[t.station as usize] = slot;
             let covered = policy_covered(net, slot);
             let reassoc = now - t.departed_at;

@@ -6,7 +6,7 @@
 //! what the network itself does in between — attaching churn to an
 //! experiment never perturbs the experiment's other random draws.
 
-use wifiq_mac::{App, StationCfg, WifiNetwork};
+use wifiq_mac::{App, StaId, StationCfg, WifiNetwork};
 use wifiq_phy::PhyRate;
 use wifiq_sim::{Nanos, SimRng};
 
@@ -39,10 +39,11 @@ impl Default for ChurnCfg {
 /// One applied churn event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChurnEvent {
-    /// A station joined and now occupies `slot`.
-    Join { slot: usize },
-    /// The station at `slot` left.
-    Leave { slot: usize },
+    /// A station joined under handle `id` (its wire slot is `id.slot()`).
+    Join { id: StaId },
+    /// The station holding handle `id` left; the table tombstones the
+    /// slot until a later join reuses it under a fresh generation.
+    Leave { id: StaId },
 }
 
 /// Applies a seeded join/leave schedule to a network between event-loop
@@ -93,7 +94,7 @@ impl ChurnDriver {
     /// after it. At the roster bounds the event direction is forced
     /// (join at the minimum, leave at the maximum); in between it is a
     /// fair coin.
-    pub fn step<M: std::fmt::Debug>(&mut self, net: &mut WifiNetwork<M>) -> ChurnEvent {
+    pub fn step<M: std::fmt::Debug + Send>(&mut self, net: &mut WifiNetwork<M>) -> ChurnEvent {
         let active = net.active_stations();
         let join = if active <= self.cfg.min_stations {
             true
@@ -104,19 +105,21 @@ impl ChurnDriver {
         };
         let ev = if join {
             let rate = self.cfg.rate_palette[self.rng.index(self.cfg.rate_palette.len())];
-            let slot = net.add_station(StationCfg::clean(rate));
+            let id = net.add_station(StationCfg::clean(rate));
             self.joins += 1;
-            ChurnEvent::Join { slot }
+            ChurnEvent::Join { id }
         } else {
-            // Pick the k-th currently associated station.
+            // Pick the k-th currently associated station and resolve its
+            // slot to the current handle.
             let k = self.rng.index(active);
-            let slot = (0..net.station_slots())
+            let id = (0..net.station_slots())
                 .filter(|&s| net.station_active(s))
                 .nth(k)
-                .expect("active_stations out of sync with slots");
-            net.remove_station(slot);
+                .and_then(|s| net.sta_id(s))
+                .expect("active_stations out of sync with the table");
+            net.remove_station(id);
             self.leaves += 1;
-            ChurnEvent::Leave { slot }
+            ChurnEvent::Leave { id }
         };
         self.next_at += Self::draw_interval(&mut self.rng, self.cfg.mean_interval);
         ev
@@ -124,7 +127,7 @@ impl ChurnDriver {
 
     /// Drives `net` to virtual time `until`, applying every churn event
     /// that falls due along the way.
-    pub fn run_until<M: std::fmt::Debug, A: App<M>>(
+    pub fn run_until<M: std::fmt::Debug + Send, A: App<M>>(
         &mut self,
         net: &mut WifiNetwork<M>,
         until: Nanos,

@@ -280,7 +280,8 @@ pub fn evaluate(text: &str) -> Result<Objectives, String> {
         .map(|i| {
             built
                 .net
-                .station_ac_weight(i, AccessCategory::Be)
+                .sta_id(i)
+                .and_then(|id| built.net.station_ac_weight(id, AccessCategory::Be))
                 .map_or(NEUTRAL_WEIGHT, f64::from)
         })
         .collect();

@@ -11,6 +11,7 @@ use ending_anomaly::codel::{CodelParams, QueuedPacket};
 use ending_anomaly::core::fq::{FqParams, MacFq};
 use ending_anomaly::core::packet::FqPacket;
 use ending_anomaly::core::scheduler::{AirtimeParams, AirtimeScheduler};
+use ending_anomaly::core::table::StationTable;
 use ending_anomaly::sim::Nanos;
 
 /// A minimal packet: 1500 bytes, one flow per station.
@@ -42,8 +43,13 @@ fn main() {
 
     let mut fq: MacFq<Pkt> = MacFq::new(FqParams::default());
     let mut sched = AirtimeScheduler::new(AirtimeParams::default());
+    // The flat station table holds the hot scheduler state; the cold
+    // side here is just each station's TID handle.
+    let mut table = StationTable::new();
     let tids: Vec<_> = (0..2).map(|_| fq.register_tid()).collect();
-    let stations: Vec<_> = (0..2).map(|_| sched.register_station()).collect();
+    let stations: Vec<_> = (0..2)
+        .map(|i| sched.register_station(&mut table, tids[i]))
+        .collect();
 
     // A hand-rolled schedule() loop: 2000 transmission opportunities.
     // Queues are topped up with freshly-stamped packets each round, as a
@@ -64,20 +70,21 @@ fn main() {
                     tids[sta],
                     now,
                 );
-                sched.notify_active(stations[sta], be);
+                sched.notify_active(&mut table, stations[sta], be);
             }
         }
-        let Some(handle) = sched.next_station(be, |s| fq.tid_has_data(tids[s.0])) else {
+        let Some(handle) = sched.next_station(&mut table, be, |t, s| fq.tid_has_data(*t.cold(s)))
+        else {
             break;
         };
-        let sta = handle.0;
+        let sta = handle.slot();
         // "Build an aggregate": dequeue up to 10 frames for this station.
         let mut n = 0;
         while n < 10 && fq.dequeue(tids[sta], now, &codel).is_some() {
             n += 1;
         }
         let cost = per_frame_cost[sta] * n;
-        sched.charge(handle, be, cost);
+        sched.charge(&mut table, handle, be, cost);
         airtime[sta] += cost;
         frames[sta] += n;
         now += cost;

@@ -4,7 +4,7 @@
 //! runtime switch, and must neither leak policy nodes nor lose weight
 //! mass when the roster churns underneath a policy tree.
 
-use ending_anomaly::core::{AirtimeParams, AirtimeScheduler, StationHandle, WEIGHT_NEUTRAL};
+use ending_anomaly::core::{AirtimeParams, AirtimeScheduler, StaId, StationTable, WEIGHT_NEUTRAL};
 use ending_anomaly::mac::{
     App, Commands, Delivery, NetworkConfig, NodeAddr, Packet, PolicyNode, PolicySet, SchemeKind,
     StationCfg, WifiNetwork,
@@ -143,20 +143,21 @@ proptest! {
         new_weight in 1u32..2048,
     ) {
         let mut s = AirtimeScheduler::new(AirtimeParams::default());
-        let handles: Vec<StationHandle> = (0..n).map(|_| s.register_station()).collect();
+        let mut table: StationTable<()> = StationTable::new();
+        let handles: Vec<StaId> = (0..n).map(|_| s.register_station(&mut table, ())).collect();
         for &(sta, ac, ns) in &charges {
-            s.charge(handles[sta % n], ac, Nanos::from_nanos(ns));
+            s.charge(&mut table, handles[sta % n], ac, Nanos::from_nanos(ns));
         }
         let before: Vec<Vec<i64>> = handles
             .iter()
-            .map(|&h| (0..4).map(|ac| s.deficit(h, ac)).collect())
+            .map(|&h| (0..4).map(|ac| table.deficit(h, ac)).collect())
             .collect();
         let touched = touched % n;
-        s.set_ac_weights(handles[touched], [new_weight; 4]);
+        table.set_ac_weights(handles[touched], [new_weight; 4]);
         for (sta, (&h, before)) in handles.iter().zip(&before).enumerate() {
             for (ac, &expect) in before.iter().enumerate() {
                 prop_assert_eq!(
-                    s.deficit(h, ac),
+                    table.deficit(h, ac),
                     expect,
                     "deficit moved for station {} ac {}",
                     sta,
@@ -164,7 +165,7 @@ proptest! {
                 );
             }
         }
-        prop_assert_eq!(s.ac_weight(handles[touched], 0), new_weight);
+        prop_assert_eq!(table.ac_weight(handles[touched], 0), new_weight);
     }
 
     /// Station churn under a policy tree leaks nothing: every active
@@ -201,14 +202,17 @@ proptest! {
                 // Usually reuses a vacated slot; if the leaver's exchange
                 // is still on the air the teardown is deferred and the
                 // join lands on a fresh (policy-uncovered) slot instead.
-                let slot = net.add_station(StationCfg::clean(PhyRate::fast_station()));
+                let slot = net
+                    .add_station(StationCfg::clean(PhyRate::fast_station()))
+                    .slot();
                 if slot >= active.len() {
                     active.push(true);
                 } else {
                     active[slot] = true;
                 }
             } else if !join && sta < active.len() && active[sta] && active.iter().filter(|&&a| a).count() > 1 {
-                net.remove_station(sta);
+                let id = net.sta_id(sta).expect("active slot resolves");
+                net.remove_station(id);
                 active[sta] = false;
             }
             // Invariant: every active slot carries the compiled weights.
@@ -219,7 +223,9 @@ proptest! {
                 }
                 let want = compiled.station_weights(slot);
                 for ac in AccessCategory::ALL {
-                    let got = net.station_ac_weight(slot, ac);
+                    let got = net
+                        .sta_id(slot)
+                        .and_then(|id| net.station_ac_weight(id, ac));
                     prop_assert_eq!(
                         got,
                         Some(want[ac.index()]),

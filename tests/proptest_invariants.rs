@@ -4,6 +4,7 @@ use ending_anomaly::codel::{CodelParams, QueuedPacket};
 use ending_anomaly::core::fq::{FqParams, MacFq};
 use ending_anomaly::core::packet::FqPacket;
 use ending_anomaly::core::scheduler::{AirtimeParams, AirtimeScheduler};
+use ending_anomaly::core::table::StationTable;
 use ending_anomaly::model::{base_rate, predict, ModelStation};
 use ending_anomaly::phy::timing::max_aggregate_frames;
 use ending_anomaly::phy::{ChannelWidth, PhyRate};
@@ -124,16 +125,17 @@ proptest! {
         costs_us in proptest::collection::vec(50u64..4_000, 2..8)
     ) {
         let mut sched = AirtimeScheduler::new(AirtimeParams::default());
-        let stations: Vec<_> = costs_us.iter().map(|_| sched.register_station()).collect();
+        let mut table: StationTable<()> = StationTable::new();
+        let stations: Vec<_> = costs_us.iter().map(|_| sched.register_station(&mut table, ())).collect();
         for &s in &stations {
-            sched.notify_active(s, 2);
+            sched.notify_active(&mut table, s, 2);
         }
         let mut airtime = vec![0u64; costs_us.len()];
         for _ in 0..5_000 {
-            let st = sched.next_station(2, |_| true).unwrap();
-            let cost = costs_us[st.0];
-            airtime[st.0] += cost;
-            sched.charge(st, 2, Nanos::from_micros(cost));
+            let st = sched.next_station(&mut table, 2, |_, _| true).unwrap();
+            let cost = costs_us[st.slot()];
+            airtime[st.slot()] += cost;
+            sched.charge(&mut table, st, 2, Nanos::from_micros(cost));
         }
         let shares: Vec<f64> = airtime.iter().map(|&a| a as f64).collect();
         let jain = jain_index(&shares);
@@ -152,15 +154,16 @@ proptest! {
             quantum: Nanos::from_micros(quantum),
             ..AirtimeParams::default()
         });
-        let stations: Vec<_> = costs_us.iter().map(|_| sched.register_station()).collect();
+        let mut table: StationTable<()> = StationTable::new();
+        let stations: Vec<_> = costs_us.iter().map(|_| sched.register_station(&mut table, ())).collect();
         for &s in &stations {
-            sched.notify_active(s, 2);
+            sched.notify_active(&mut table, s, 2);
         }
         let mut airtime = vec![0u64; costs_us.len()];
         for _ in 0..rounds {
-            let st = sched.next_station(2, |_| true).unwrap();
-            airtime[st.0] += costs_us[st.0];
-            sched.charge(st, 2, Nanos::from_micros(costs_us[st.0]));
+            let st = sched.next_station(&mut table, 2, |_, _| true).unwrap();
+            airtime[st.slot()] += costs_us[st.slot()];
+            sched.charge(&mut table, st, 2, Nanos::from_micros(costs_us[st.slot()]));
         }
         let max_cost = *costs_us.iter().max().unwrap();
         let mean = airtime.iter().sum::<u64>() as f64 / airtime.len() as f64;
@@ -336,33 +339,34 @@ proptest! {
     #[test]
     fn scheduler_never_schedules_removed(ops in proptest::collection::vec(sched_op_strategy(), 1..300)) {
         let mut sched = AirtimeScheduler::new(AirtimeParams::default());
+        let mut table: StationTable<()> = StationTable::new();
         let mut live: Vec<_> = (0..2).map(|_| {
-            let h = sched.register_station();
-            sched.notify_active(h, 2);
+            let h = sched.register_station(&mut table, ());
+            sched.notify_active(&mut table, h, 2);
             h
         }).collect();
         for op in ops {
             match op {
                 SchedOp::Add => {
-                    let h = sched.register_station();
-                    sched.notify_active(h, 2);
+                    let h = sched.register_station(&mut table, ());
+                    sched.notify_active(&mut table, h, 2);
                     live.push(h);
                 }
                 SchedOp::Remove { k } => {
                     if !live.is_empty() {
                         let h = live.swap_remove(k % live.len());
-                        sched.remove_station(h);
-                        prop_assert!(!sched.is_registered(h));
+                        table.free(h);
+                        prop_assert!(!table.is_current(h));
                     }
                 }
                 SchedOp::Round { cost_us } => {
-                    if let Some(st) = sched.next_station(2, |_| true) {
+                    if let Some(st) = sched.next_station(&mut table, 2, |_, _| true) {
                         prop_assert!(
                             live.contains(&st),
                             "DRR round offered removed station {:?}", st
                         );
-                        sched.charge(st, 2, Nanos::from_micros(cost_us));
-                        sched.notify_active(st, 2);
+                        sched.charge(&mut table, st, 2, Nanos::from_micros(cost_us));
+                        sched.notify_active(&mut table, st, 2);
                     }
                 }
             }
@@ -385,17 +389,18 @@ proptest! {
         for op in ops {
             match op {
                 NetOp::Join => {
-                    let slot = net.add_station(StationCfg::clean(PhyRate::fast_station()));
-                    app.slots = app.slots.max(slot + 1);
+                    let id = net.add_station(StationCfg::clean(PhyRate::fast_station()));
+                    app.slots = app.slots.max(id.slot() + 1);
                 }
                 NetOp::Leave { k } => {
                     let n = net.active_stations();
                     if n > 0 {
-                        let slot = (0..net.station_slots())
+                        let id = (0..net.station_slots())
                             .filter(|&s| net.station_active(s))
                             .nth(k % n)
+                            .and_then(|s| net.sta_id(s))
                             .unwrap();
-                        net.remove_station(slot);
+                        net.remove_station(id);
                     }
                 }
                 NetOp::Run { ms } => {
@@ -407,7 +412,8 @@ proptest! {
         // Tear the whole roster down and let in-flight exchanges land.
         for slot in 0..net.station_slots() {
             if net.station_active(slot) {
-                net.remove_station(slot);
+                let id = net.sta_id(slot).expect("active slot resolves");
+                net.remove_station(id);
             }
         }
         deadline += Nanos::from_millis(50);
